@@ -1,0 +1,32 @@
+// Shared helpers for the experiment harness (bench/).
+
+#ifndef INCDB_BENCH_BENCH_COMMON_H_
+#define INCDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "incdb.h"
+
+namespace incdb_bench {
+
+/// Prints a header for the experiment's summary table. Summaries are
+/// emitted once, before the timing benchmarks, from a global initializer.
+inline void TableHeader(const char* experiment, const char* claim,
+                        const char* columns) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("----------------------------------------------------------------"
+              "\n");
+  std::printf("%s\n", columns);
+}
+
+inline void TableFooter() {
+  std::printf("==============================================================="
+              "=\n\n");
+}
+
+}  // namespace incdb_bench
+
+#endif  // INCDB_BENCH_BENCH_COMMON_H_

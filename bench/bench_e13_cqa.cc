@@ -1,0 +1,100 @@
+// E13 — consistent query answering: repairs as possible worlds. The number
+// of repairs is exponential in the number of independent conflicts, and
+// consistent answers shrink as inconsistency grows — certain answers over
+// repairs behave exactly like certain answers over ⟦D⟧ (paper, Section 7).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace incdb;
+
+namespace {
+
+// Emp(id, salary): `conflicts` keys get two salaries, the rest one.
+Database MakeInconsistent(size_t rows, size_t conflicts, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t id = static_cast<int64_t>(i);
+    db.AddTuple("Emp", Tuple{Value::Int(id), Value::Int(rng.UniformInt(50, 150))});
+    if (i < conflicts) {
+      db.AddTuple("Emp",
+                  Tuple{Value::Int(id), Value::Int(rng.UniformInt(151, 250))});
+    }
+  }
+  return db;
+}
+
+FdSet KeyFd() { return {{"Emp", {FunctionalDependency{{0}, {1}}}}}; }
+
+struct Summary {
+  Summary() {
+    incdb_bench::TableHeader(
+        "E13: consistent query answering over FD-violating databases",
+        "repairs double per independent conflict; consistent full-tuple "
+        "answers exclude every conflicting tuple",
+        "  rows  conflicts  repairs  |consistent|  |naive|");
+    for (size_t conflicts : {0, 2, 4, 8}) {
+      Database db = MakeInconsistent(12, conflicts, 3);
+      size_t repair_count = 0;
+      Status st = ForEachRepair(db, KeyFd(), [&](const Database&) {
+        ++repair_count;
+        return true;
+      });
+      if (!st.ok()) continue;
+      auto q = RAExpr::Scan("Emp");
+      auto consistent = ConsistentAnswers(q, db, KeyFd());
+      auto naive = EvalNaive(q, db);
+      if (!consistent.ok() || !naive.ok()) continue;
+      std::printf("%6u  %9zu  %7zu  %12zu  %7zu\n", 12u, conflicts,
+                  repair_count, consistent->size(), naive->size());
+    }
+    incdb_bench::TableFooter();
+  }
+};
+const Summary kSummary;
+
+void BM_RepairEnumeration(benchmark::State& state) {
+  Database db = MakeInconsistent(16, static_cast<size_t>(state.range(0)), 3);
+  FdSet fds = KeyFd();
+  for (auto _ : state) {
+    size_t count = 0;
+    Status st = ForEachRepair(db, fds, [&](const Database&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetLabel("repairs=" + std::to_string(1ull << state.range(0)));
+}
+BENCHMARK(BM_RepairEnumeration)->DenseRange(1, 9, 2)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ConsistentAnswers(benchmark::State& state) {
+  Database db = MakeInconsistent(16, static_cast<size_t>(state.range(0)), 3);
+  FdSet fds = KeyFd();
+  auto q = RAExpr::Project({0}, RAExpr::Scan("Emp"));
+  for (auto _ : state) {
+    auto r = ConsistentAnswers(q, db, fds);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ConsistentAnswers)->DenseRange(1, 9, 2)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ConflictGraphOnly(benchmark::State& state) {
+  // Conflict detection is only quadratic — the exponential part is the
+  // repair space, not finding the conflicts.
+  Database db = MakeInconsistent(static_cast<size_t>(state.range(0)),
+                                 static_cast<size_t>(state.range(0)) / 4, 3);
+  FdSet fds = KeyFd();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountConflicts(db, fds));
+  }
+}
+BENCHMARK(BM_ConflictGraphOnly)->Arg(100)->Arg(400)->Arg(1600)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// E1 — SQL 3VL returns wrong answers to NOT IN queries; the wrong-answer
+// rate grows with null density (paper, Section 1).
+//
+// Workload: orders/payments. The query is the introduction's unpaid-orders
+// NOT IN query. We measure recall of the 3VL answer against the true set of
+// unpaid orders in the hidden complete world, plus the behaviour of the
+// naïve (possible-answer) evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace incdb;
+
+namespace {
+
+constexpr const char* kQuery =
+    "SELECT o_id FROM Ord WHERE o_id NOT IN (SELECT order_id FROM Pay)";
+
+// Orders/payments with SQL-accessible schema (o_id ints).
+OrdersPaymentsWorkload MakeWorkload(size_t n, double p, uint64_t seed) {
+  OrdersPaymentsConfig cfg;
+  cfg.n_orders = n;
+  cfg.pay_fraction = 0.8;
+  cfg.null_density = p;
+  cfg.seed = seed;
+  auto w = MakeOrdersPayments(cfg);
+  // Rename relations for SQL (attribute names already set by the
+  // generator: Order(o_id, product), Pay(p_id, order_id, amount)).
+  Schema s;
+  (void)s.AddRelation("Ord", {"o_id", "product"});
+  (void)s.AddRelation("Pay", {"p_id", "order_id", "amount"});
+  Database db(s);
+  for (const Tuple& t : w.db.GetRelation("Order").tuples()) {
+    db.AddTuple("Ord", t);
+  }
+  for (const Tuple& t : w.db.GetRelation("Pay").tuples()) {
+    db.AddTuple("Pay", t);
+  }
+  w.db = std::move(db);
+  return w;
+}
+
+struct Summary {
+  Summary() {
+    incdb_bench::TableHeader(
+        "E1: the NOT IN anomaly at scale",
+        "3VL recall of truly-unpaid orders collapses to 0 the moment any "
+        "payment order-id is null",
+        "    n      p  |truth|  |3VL|  recall3VL  |naive|  naive_recall");
+    for (size_t n : {100, 1000, 5000}) {
+      for (double p : {0.0, 0.01, 0.05, 0.10, 0.25}) {
+        auto w = MakeWorkload(n, p, 42);
+        auto sql3vl = EvalSql(kQuery, w.db, SqlEvalMode::kSql3VL);
+        auto naive = EvalSql(kQuery, w.db, SqlEvalMode::kNaive);
+        if (!sql3vl.ok() || !naive.ok()) continue;
+        size_t hit3 = 0, hitn = 0;
+        for (int64_t oid : w.truly_unpaid) {
+          if (sql3vl->Contains(Tuple{Value::Int(oid)})) ++hit3;
+          if (naive->Contains(Tuple{Value::Int(oid)})) ++hitn;
+        }
+        const double truth = static_cast<double>(w.truly_unpaid.size());
+        std::printf("%6zu  %.2f  %7zu  %5zu  %9.2f  %7zu  %12.2f\n", n, p,
+                    w.truly_unpaid.size(), sql3vl->size(),
+                    truth > 0 ? hit3 / truth : 1.0, naive->size(),
+                    truth > 0 ? hitn / truth : 1.0);
+      }
+    }
+    incdb_bench::TableFooter();
+  }
+};
+const Summary kSummary;
+
+void BM_NotIn3VL(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)),
+                        static_cast<double>(state.range(1)) / 100.0, 42);
+  auto q = ParseSql(kQuery);
+  for (auto _ : state) {
+    auto r = EvalSql(*q, w.db, SqlEvalMode::kSql3VL);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("n=" + std::to_string(state.range(0)) +
+                 " p=" + std::to_string(state.range(1)) + "%");
+}
+BENCHMARK(BM_NotIn3VL)
+    ->Args({100, 10})
+    ->Args({1000, 10})
+    ->Args({2000, 10})
+    ->Args({1000, 0})
+    ->Args({1000, 25})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NotInNaive(benchmark::State& state) {
+  auto w = MakeWorkload(static_cast<size_t>(state.range(0)), 0.10, 42);
+  auto q = ParseSql(kQuery);
+  for (auto _ : state) {
+    auto r = EvalSql(*q, w.db, SqlEvalMode::kNaive);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NotInNaive)->Arg(100)->Arg(1000)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace

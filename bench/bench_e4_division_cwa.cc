@@ -1,0 +1,124 @@
+// E4 — cwa-naïve evaluation works for RA_cwa: division queries over
+// incomplete data at plain query-evaluation cost (paper, Section 6.2).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace incdb;
+
+namespace {
+
+// `max_nulls` bounds the number of distinct marked nulls injected so the
+// enumeration ground truth stays feasible where it is used.
+Database Workload(size_t employees, uint64_t seed, double null_density,
+                  size_t max_nulls = SIZE_MAX) {
+  DivisionConfig cfg;
+  cfg.n_employees = employees;
+  cfg.n_projects = 8;
+  cfg.coverage = 0.2;
+  cfg.assign_density = 0.5;
+  cfg.seed = seed;
+  Database db = MakeDivisionWorkload(cfg);
+  if (null_density > 0) {
+    // Replace some project values with fresh nulls.
+    Rng rng(seed + 1);
+    Relation* assign = db.MutableRelation("Assign", 2);
+    Relation patched(2);
+    NullId next = 0;
+    for (const Tuple& t : assign->tuples()) {
+      if (next < max_nulls && rng.Bernoulli(null_density)) {
+        patched.Add(Tuple{t[0], Value::Null(next++)});
+      } else {
+        patched.Add(t);
+      }
+    }
+    *assign = patched;
+  }
+  return db;
+}
+
+RAExprPtr Query() {
+  return RAExpr::Divide(RAExpr::Scan("Assign"), RAExpr::Scan("Proj"));
+}
+
+struct Summary {
+  Summary() {
+    incdb_bench::TableHeader(
+        "E4: division (RA_cwa) with nulls under CWA",
+        "naive evaluation equals enumeration ground truth on small "
+        "instances and scales to large ones",
+        "   employees  nulls  |naive|  |enum|  match");
+    auto q = Query();
+    // Validation on small instances (enumeration feasible).
+    for (size_t emp : {3, 4, 5}) {
+      Database db = Workload(emp, 11, 0.3, /*max_nulls=*/4);
+      auto naive = CertainAnswersNaive(q, db, WorldSemantics::kClosedWorld);
+      WorldEnumOptions opts;
+      opts.max_worlds = 5'000'000;
+      auto truth = CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld,
+                                      opts);
+      if (!naive.ok()) continue;
+      if (truth.ok()) {
+        std::printf("%12zu  %5zu  %7zu  %6zu  %5s\n", emp, db.Nulls().size(),
+                    naive->size(), truth->size(),
+                    (*naive == *truth) ? "yes" : "NO");
+      } else {
+        std::printf("%12zu  %5zu  %7zu  %6s  %5s\n", emp, db.Nulls().size(),
+                    naive->size(), "-", "skip");
+      }
+    }
+    // Scale-out: naive only.
+    for (size_t emp : {1000, 10000, 100000}) {
+      Database db = Workload(emp, 11, 0.1);
+      auto naive = CertainAnswersNaive(q, db, WorldSemantics::kClosedWorld);
+      if (!naive.ok()) continue;
+      std::printf("%12zu  %5zu  %7zu  %6s  %5s\n", emp, db.Nulls().size(),
+                  naive->size(), "-", "-");
+    }
+    incdb_bench::TableFooter();
+  }
+};
+const Summary kSummary;
+
+void BM_DivisionNaive(benchmark::State& state) {
+  Database db = Workload(static_cast<size_t>(state.range(0)), 11, 0.1);
+  auto q = Query();
+  for (auto _ : state) {
+    auto r = CertainAnswersNaive(q, db, WorldSemantics::kClosedWorld);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DivisionNaive)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DivisionViaExpansion(benchmark::State& state) {
+  Database db = Workload(static_cast<size_t>(state.range(0)), 11, 0.1);
+  auto q = RAExpr::ExpandDivision(Query(), db.schema());
+  for (auto _ : state) {
+    auto r = EvalNaive(q, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DivisionViaExpansion)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DivisionEnumerationSmall(benchmark::State& state) {
+  // range(0) = number of injected nulls (the exponent of the world count).
+  Database db = Workload(4, 11, 0.9, static_cast<size_t>(state.range(0)));
+  auto q = Query();
+  for (auto _ : state) {
+    auto r = CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("nulls=" + std::to_string(db.Nulls().size()));
+}
+BENCHMARK(BM_DivisionEnumerationSmall)->Arg(2)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace

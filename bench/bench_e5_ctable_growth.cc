@@ -1,0 +1,106 @@
+// E5 — c-tables are a strong representation system for full RA under CWA,
+// at the price of condition growth under difference pipelines (paper,
+// Section 2: "hardly meaningful to humans").
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace incdb;
+
+namespace {
+
+CDatabase MakeInput(size_t rows, size_t depth, uint64_t seed) {
+  Rng rng(seed);
+  CDatabase db;
+  CTable* r = db.MutableTable("R", 1);
+  NullId next = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    r->AddRow(Tuple{Value::Int(static_cast<int64_t>(i))}, Condition::True());
+  }
+  for (size_t d = 0; d < depth; ++d) {
+    CTable* s = db.MutableTable("S" + std::to_string(d), 1);
+    for (size_t i = 0; i < rows / 2 + 1; ++i) {
+      const Value v = rng.Bernoulli(0.5)
+                          ? Value::Null(next++)
+                          : Value::Int(rng.UniformInt(0, static_cast<int64_t>(
+                                                             rows)));
+      s->AddRow(Tuple{v}, Condition::True());
+    }
+  }
+  return db;
+}
+
+RAExprPtr Pipeline(size_t depth) {
+  RAExprPtr q = RAExpr::Scan("R");
+  for (size_t d = 0; d < depth; ++d) {
+    q = RAExpr::Diff(q, RAExpr::Scan("S" + std::to_string(d)));
+  }
+  return q;
+}
+
+struct Summary {
+  Summary() {
+    incdb_bench::TableHeader(
+        "E5: c-table condition growth under iterated difference",
+        "the strong representation system pays with condition size "
+        "multiplying at each difference",
+        " depth   rows_in  rows_out  cond_size  cond/row");
+    for (size_t depth : {1, 2, 3, 4, 5, 6}) {
+      CDatabase db = MakeInput(6, depth, 3);
+      auto ct = EvalOnCTables(Pipeline(depth), db);
+      if (!ct.ok()) continue;
+      const size_t conds = ct->TotalConditionSize();
+      std::printf("%6zu  %8u  %8zu  %9zu  %8.1f\n", depth, 6u,
+                  ct->rows().size(), conds,
+                  ct->rows().empty()
+                      ? 0.0
+                      : static_cast<double>(conds) / ct->rows().size());
+    }
+    incdb_bench::TableFooter();
+  }
+};
+const Summary kSummary;
+
+void BM_CTableDiffPipeline(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  CDatabase db = MakeInput(8, depth, 3);
+  auto q = Pipeline(depth);
+  for (auto _ : state) {
+    auto ct = EvalOnCTables(q, db);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_CTableDiffPipeline)->DenseRange(1, 6, 1);
+
+void BM_CTableJoin(benchmark::State& state) {
+  // Join growth (product × selection) instead of difference.
+  CDatabase db = MakeInput(static_cast<size_t>(state.range(0)), 1, 3);
+  auto q = RAExpr::Project(
+      {0}, RAExpr::Select(Predicate::Eq(Term::Column(0), Term::Column(1)),
+                          RAExpr::Product(RAExpr::Scan("R"),
+                                          RAExpr::Scan("S0"))));
+  for (auto _ : state) {
+    auto ct = EvalOnCTables(q, db);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_CTableJoin)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ConditionSatisfiability(benchmark::State& state) {
+  // SAT cost on the conditions produced by a depth-3 pipeline.
+  CDatabase db = MakeInput(6, 3, 3);
+  auto ct = EvalOnCTables(Pipeline(3), db);
+  if (!ct.ok() || ct->rows().empty()) {
+    state.SkipWithError("no rows to test");
+    return;
+  }
+  for (auto _ : state) {
+    for (const CTableRow& row : ct->rows()) {
+      benchmark::DoNotOptimize(IsSatisfiable(row.condition));
+    }
+  }
+}
+BENCHMARK(BM_ConditionSatisfiability)->Unit(benchmark::kMillisecond);
+
+}  // namespace

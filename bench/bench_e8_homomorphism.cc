@@ -1,0 +1,103 @@
+// E8 — certain answers under OWA for Boolean CQs are exactly naïve
+// satisfaction / tableau homomorphism (paper, Section 4). This bench
+// profiles the homomorphism check across query/instance shapes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace incdb;
+
+namespace {
+
+struct Summary {
+  Summary() {
+    incdb_bench::TableHeader(
+        "E8: certain OWA answers = tableau homomorphism",
+        "chain CQs embed into long paths and dense graphs; cost depends on "
+        "shape, not on any possible-world enumeration",
+        " query        instance          certain");
+    struct Row {
+      const char* qname;
+      ConjunctiveQuery q;
+      const char* iname;
+      Database db;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"chain(4)", ChainCQ(4), "path(10)", MakePathDatabase(10)});
+    rows.push_back({"chain(12)", ChainCQ(12), "path(10)",
+                    MakePathDatabase(10)});
+    rows.push_back({"chain(12)", ChainCQ(12), "graph(30,120)",
+                    MakeRandomGraph(30, 120, 1)});
+    rows.push_back({"star(6)", StarCQ(6), "graph(30,120)",
+                    MakeRandomGraph(30, 120, 1)});
+    for (auto& row : rows) {
+      auto r = CertainOwaBoolean(row.q, row.db);
+      std::printf(" %-12s %-16s  %s\n", row.qname, row.iname,
+                  r.ok() ? (*r ? "yes" : "no") : "err");
+    }
+    incdb_bench::TableFooter();
+  }
+};
+const Summary kSummary;
+
+void BM_ChainIntoPath(benchmark::State& state) {
+  // Positive instance: chain embeds (path longer than chain).
+  const size_t len = static_cast<size_t>(state.range(0));
+  ConjunctiveQuery q = ChainCQ(len);
+  Database db = MakePathDatabase(len + 5);
+  for (auto _ : state) {
+    auto r = CertainOwaBoolean(q, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChainIntoPath)->DenseRange(2, 14, 4);
+
+void BM_ChainIntoShortPathNegative(benchmark::State& state) {
+  // Negative instance: chain longer than path — must explore and fail.
+  const size_t len = static_cast<size_t>(state.range(0));
+  ConjunctiveQuery q = ChainCQ(len);
+  Database db = MakePathDatabase(len - 1);
+  for (auto _ : state) {
+    auto r = CertainOwaBoolean(q, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChainIntoShortPathNegative)->DenseRange(4, 12, 4);
+
+void BM_ChainIntoRandomGraph(benchmark::State& state) {
+  ConjunctiveQuery q = ChainCQ(static_cast<size_t>(state.range(0)));
+  Database db = MakeRandomGraph(50, 200, 2);
+  for (auto _ : state) {
+    auto r = CertainOwaBoolean(q, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChainIntoRandomGraph)->DenseRange(2, 10, 2);
+
+void BM_StarIntoRandomGraph(benchmark::State& state) {
+  ConjunctiveQuery q = StarCQ(static_cast<size_t>(state.range(0)));
+  Database db = MakeRandomGraph(50, 200, 2);
+  for (auto _ : state) {
+    auto r = CertainOwaBoolean(q, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_StarIntoRandomGraph)->DenseRange(2, 8, 2);
+
+void BM_DatabaseHomomorphism(benchmark::State& state) {
+  // Database-to-database homomorphism on null-chains.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Database from;
+  for (size_t i = 0; i < n; ++i) {
+    from.AddTuple("R", Tuple{Value::Null(static_cast<NullId>(i)),
+                             Value::Null(static_cast<NullId>(i + 1))});
+  }
+  Database to = MakeRandomGraph(20, 80, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HasHomomorphism(from, to));
+  }
+}
+BENCHMARK(BM_DatabaseHomomorphism)->DenseRange(2, 10, 2);
+
+}  // namespace

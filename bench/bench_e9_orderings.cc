@@ -1,0 +1,112 @@
+// E9 — deciding the information orderings: ⪯_owa (homomorphism) vs ⪯_cwa
+// (strong onto homomorphism) vs ⪯_wcwa (onto homomorphism) across instance
+// sizes and null densities (paper, Sections 5.2 and 6.1).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace incdb;
+
+namespace {
+
+// A pair (D, v(D) + noise): D always precedes the image under all three
+// orderings when noise = 0.
+std::pair<Database, Database> MakePair(size_t rows, double null_density,
+                                       uint64_t seed, size_t noise_tuples) {
+  RandomDbConfig cfg;
+  cfg.arities = {2};
+  cfg.rows_per_relation = rows;
+  cfg.domain_size = static_cast<int64_t>(rows);
+  cfg.null_density = null_density;
+  cfg.null_reuse = 0.3;
+  cfg.seed = seed;
+  Database d = MakeRandomDatabase(cfg);
+  Valuation v;
+  Rng rng(seed + 1);
+  for (NullId id : d.Nulls()) {
+    v.Bind(id, Value::Int(rng.UniformInt(0, static_cast<int64_t>(rows))));
+  }
+  Database image = v.Apply(d);
+  for (size_t i = 0; i < noise_tuples; ++i) {
+    image.AddTuple("R0", Tuple{Value::Int(1000 + static_cast<int64_t>(i)),
+                               Value::Int(2000 + static_cast<int64_t>(i))});
+  }
+  return {std::move(d), std::move(image)};
+}
+
+struct Summary {
+  Summary() {
+    incdb_bench::TableHeader(
+        "E9: information-ordering decisions",
+        "D ⪯ v(D) always holds; adding tuples to the image keeps ⪯_owa but "
+        "breaks ⪯_cwa (no strong onto hom)",
+        "  rows  nulls  noise  owa  cwa  wcwa");
+    for (size_t rows : {4, 8, 16}) {
+      for (size_t noise : {0, 2}) {
+        auto [d, img] = MakePair(rows, 0.3, 7, noise);
+        std::printf("%6zu  %5zu  %5zu  %3s  %3s  %4s\n", rows,
+                    d.Nulls().size(), noise,
+                    PrecedesOwa(d, img) ? "yes" : "no",
+                    PrecedesCwa(d, img) ? "yes" : "no",
+                    PrecedesWcwa(d, img) ? "yes" : "no");
+      }
+    }
+    incdb_bench::TableFooter();
+  }
+};
+const Summary kSummary;
+
+void BM_PrecedesOwa(benchmark::State& state) {
+  auto [d, img] = MakePair(static_cast<size_t>(state.range(0)), 0.3, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrecedesOwa(d, img));
+  }
+}
+BENCHMARK(BM_PrecedesOwa)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PrecedesCwa(benchmark::State& state) {
+  auto [d, img] = MakePair(static_cast<size_t>(state.range(0)), 0.3, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrecedesCwa(d, img));
+  }
+}
+BENCHMARK(BM_PrecedesCwa)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PrecedesWcwa(benchmark::State& state) {
+  auto [d, img] = MakePair(static_cast<size_t>(state.range(0)), 0.3, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrecedesWcwa(d, img));
+  }
+}
+BENCHMARK(BM_PrecedesWcwa)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PrecedesCwaNegative(benchmark::State& state) {
+  // Noise breaks strong-onto: the search must exhaust and reject.
+  auto [d, img] = MakePair(static_cast<size_t>(state.range(0)), 0.3, 7, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrecedesCwa(d, img));
+  }
+}
+BENCHMARK(BM_PrecedesCwaNegative)->Arg(4)->Arg(8);
+
+void BM_InformationEquivalence(benchmark::State& state) {
+  // Null-renamed copies are equivalent; both directions must find homs.
+  const size_t rows = static_cast<size_t>(state.range(0));
+  RandomDbConfig cfg;
+  cfg.arities = {2};
+  cfg.rows_per_relation = rows;
+  cfg.null_density = 0.4;
+  cfg.seed = 9;
+  Database d = MakeRandomDatabase(cfg);
+  NullSubstitution rename;
+  for (NullId id : d.Nulls()) rename.Bind(id, Value::Null(id + 100));
+  Database d2 = rename.Apply(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        InformationEquivalent(d, d2, WorldSemantics::kOpenWorld));
+  }
+}
+BENCHMARK(BM_InformationEquivalence)->Arg(4)->Arg(8);
+
+}  // namespace

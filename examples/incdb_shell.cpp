@@ -1,0 +1,278 @@
+// incdb_shell — a tiny interactive shell over the library.
+//
+// Commands (one per line; also scriptable via stdin):
+//   create <table>(<col>, <col>, ...)      declare a relation
+//   insert <table> (v1, v2, ...)           values: 42, 'str', null, _3
+//   show                                   print the database
+//   sql     <SELECT ...>                   evaluate with SQL 3VL semantics
+//   naive   <SELECT ...>                   evaluate with marked-null naïve
+//   certain <SELECT ...>                   certain answers (positive only)
+//   modes   <SELECT ...>                   all three side by side
+//   ra      <algebra expr>                 e.g. ra proj{0}(R - S)
+//   help / quit
+//
+// Example session:
+//   create R(a)
+//   create S(a)
+//   insert R (1)
+//   insert R (2)
+//   insert S (null)
+//   modes SELECT a FROM R WHERE a NOT IN (SELECT a FROM S)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "incdb.h"
+
+using namespace incdb;
+
+namespace {
+
+NullId g_next_null = 0;
+
+Result<Value> ParseValueToken(const std::string& tok) {
+  if (tok.empty()) return Status::ParseError("empty value");
+  if (EqualsIgnoreCase(tok, "null")) return Value::Null(g_next_null++);
+  if (tok[0] == '_') {
+    return Value::Null(static_cast<NullId>(std::stoul(tok.substr(1))));
+  }
+  if (tok.front() == '\'' && tok.back() == '\'' && tok.size() >= 2) {
+    return Value::Str(tok.substr(1, tok.size() - 2));
+  }
+  try {
+    size_t used = 0;
+    const int64_t v = std::stoll(tok, &used);
+    if (used == tok.size()) return Value::Int(v);
+  } catch (...) {
+  }
+  return Status::ParseError("cannot parse value: " + tok);
+}
+
+// Splits "(a, b, 'c d')" into value tokens, respecting quotes.
+Result<std::vector<std::string>> SplitTuple(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quote = false;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '\'') in_quote = !in_quote;
+    if (!in_quote) {
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;
+      }
+      if (c == ')') {
+        --depth;
+        if (depth == 0) continue;
+      }
+      if (c == ',' && depth == 1) {
+        out.push_back(Trim(cur));
+        cur.clear();
+        continue;
+      }
+    }
+    if (depth >= 1) cur += c;
+  }
+  if (in_quote || depth != 0) {
+    return Status::ParseError("unbalanced tuple literal");
+  }
+  if (!Trim(cur).empty()) out.push_back(Trim(cur));
+  return out;
+}
+
+void PrintRelation(const Relation& r) {
+  std::printf("%s   (%zu row%s)\n", r.ToString().c_str(), r.size(),
+              r.size() == 1 ? "" : "s");
+}
+
+void RunQuery(const std::string& mode, const std::string& sql, Database* db) {
+  if (mode == "sql" || mode == "modes") {
+    auto r = EvalSql(sql, *db, SqlEvalMode::kSql3VL);
+    if (r.ok()) {
+      std::printf("  [3VL]     ");
+      PrintRelation(*r);
+    } else {
+      std::printf("  [3VL]     error: %s\n", r.status().ToString().c_str());
+    }
+  }
+  if (mode == "maybe" || mode == "modes") {
+    auto r = EvalSql(sql, *db, SqlEvalMode::kSqlMaybe);
+    if (r.ok()) {
+      std::printf("  [maybe]   ");
+      PrintRelation(*r);
+    } else {
+      std::printf("  [maybe]   error: %s\n", r.status().ToString().c_str());
+    }
+  }
+  if (mode == "naive" || mode == "modes") {
+    auto r = EvalSql(sql, *db, SqlEvalMode::kNaive);
+    if (r.ok()) {
+      std::printf("  [naive]   ");
+      PrintRelation(*r);
+    } else {
+      std::printf("  [naive]   error: %s\n", r.status().ToString().c_str());
+    }
+  }
+  if (mode == "certain" || mode == "modes") {
+    auto r = EvalSqlCertain(sql, *db);
+    if (r.ok()) {
+      std::printf("  [certain] ");
+      PrintRelation(*r);
+    } else {
+      std::printf("  [certain] %s\n", r.status().ToString().c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  std::printf("incdb shell — type 'help' for commands\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream iss(line);
+    std::string cmd;
+    iss >> cmd;
+    cmd = ToLower(cmd);
+    std::string rest;
+    std::getline(iss, rest);
+    rest = Trim(rest);
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "  create <t>(<c>,...)   declare relation\n"
+          "  insert <t> (v, ...)   add tuple; null = fresh marked null\n"
+          "  show                  print database\n"
+          "  save <file> / load <file>   dump-format persistence\n"
+          "  sql|maybe|naive|certain <SELECT ...>\n"
+          "  modes <SELECT ...>    all three evaluations\n"
+          "  ra <algebra expr>     classify + evaluate algebra\n"
+          "  quit\n");
+      continue;
+    }
+    if (cmd == "show") {
+      std::printf("%s", db.ToString().c_str());
+      continue;
+    }
+    if (cmd == "save") {
+      std::ofstream f(rest);
+      if (!f) {
+        std::printf("  cannot open %s\n", rest.c_str());
+        continue;
+      }
+      f << DumpDatabase(db);
+      std::printf("  saved %zu tuples to %s\n", db.TupleCount(),
+                  rest.c_str());
+      continue;
+    }
+    if (cmd == "load") {
+      std::ifstream f(rest);
+      if (!f) {
+        std::printf("  cannot open %s\n", rest.c_str());
+        continue;
+      }
+      std::stringstream buf;
+      buf << f.rdbuf();
+      auto loaded = LoadDatabase(buf.str());
+      if (!loaded.ok()) {
+        std::printf("  %s\n", loaded.status().ToString().c_str());
+        continue;
+      }
+      db = *loaded;
+      std::printf("  loaded %zu tuples from %s\n", db.TupleCount(),
+                  rest.c_str());
+      continue;
+    }
+    if (cmd == "create") {
+      const size_t paren = rest.find('(');
+      if (paren == std::string::npos) {
+        std::printf("  usage: create name(col, ...)\n");
+        continue;
+      }
+      const std::string name = Trim(rest.substr(0, paren));
+      auto cols = SplitTuple(rest.substr(paren));
+      if (!cols.ok()) {
+        std::printf("  %s\n", cols.status().ToString().c_str());
+        continue;
+      }
+      Status st = db.mutable_schema()->AddRelation(name, *cols);
+      std::printf("  %s\n", st.ok() ? "ok" : st.ToString().c_str());
+      continue;
+    }
+    if (cmd == "insert") {
+      std::istringstream rs(rest);
+      std::string table;
+      rs >> table;
+      std::string tup;
+      std::getline(rs, tup);
+      auto toks = SplitTuple(Trim(tup));
+      if (!toks.ok()) {
+        std::printf("  %s\n", toks.status().ToString().c_str());
+        continue;
+      }
+      std::vector<Value> vals;
+      bool ok = true;
+      for (const std::string& tok : *toks) {
+        auto v = ParseValueToken(tok);
+        if (!v.ok()) {
+          std::printf("  %s\n", v.status().ToString().c_str());
+          ok = false;
+          break;
+        }
+        vals.push_back(*v);
+      }
+      if (!ok) continue;
+      if (db.schema().HasRelation(table) &&
+          *db.schema().Arity(table) != vals.size()) {
+        std::printf("  arity mismatch for %s\n", table.c_str());
+        continue;
+      }
+      db.AddTuple(table, Tuple(std::move(vals)));
+      std::printf("  ok\n");
+      continue;
+    }
+    if (cmd == "sql" || cmd == "naive" || cmd == "certain" || cmd == "modes" ||
+        cmd == "maybe") {
+      RunQuery(cmd, rest, &db);
+      continue;
+    }
+    if (cmd == "ra") {
+      auto expr = ParseRA(rest);
+      if (!expr.ok()) {
+        std::printf("  %s\n", expr.status().ToString().c_str());
+        continue;
+      }
+      std::printf("  class: %s\n", QueryClassName(Classify(*expr)));
+      auto naive = EvalNaive(*expr, db);
+      if (naive.ok()) {
+        std::printf("  [naive]   ");
+        PrintRelation(*naive);
+      } else {
+        std::printf("  [naive]   error: %s\n",
+                    naive.status().ToString().c_str());
+        continue;
+      }
+      for (auto sem :
+           {WorldSemantics::kOpenWorld, WorldSemantics::kClosedWorld}) {
+        auto certain = CertainAnswersNaive(*expr, db, sem);
+        if (certain.ok()) {
+          std::printf("  [certain/%s] ", WorldSemanticsName(sem));
+          PrintRelation(*certain);
+        } else {
+          std::printf("  [certain/%s] %s\n", WorldSemanticsName(sem),
+                      certain.status().ToString().c_str());
+        }
+      }
+      continue;
+    }
+    std::printf("  unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Consistent query answering and the general chase: the paper's Section 7
+// application areas, end to end.
+//
+// Build & run:   ./build/examples/repairs_cqa
+
+#include <cstdio>
+
+#include "incdb.h"
+
+using namespace incdb;
+
+int main() {
+  // --- Part 1: repairs ---------------------------------------------------
+  // Two sources disagree about employee 1's salary.
+  Database db;
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(100)});
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(200)});
+  db.AddTuple("Emp", Tuple{Value::Int(2), Value::Int(80)});
+  FdSet fds = {{"Emp", {FunctionalDependency{{0}, {1}}}}};
+
+  std::printf("Database:\n%s", db.ToString().c_str());
+  std::printf("Key FD %s; consistent: %s; conflicts: %zu\n\n",
+              fds["Emp"][0].ToString().c_str(),
+              *IsConsistent(db, fds) ? "yes" : "no",
+              *CountConflicts(db, fds));
+
+  std::printf("Repairs (maximal consistent subinstances):\n");
+  (void)ForEachRepair(db, fds, [&](const Database& r) {
+    std::printf("  %s", r.GetRelation("Emp").ToString().c_str());
+    std::printf("\n");
+    return true;
+  });
+
+  auto ids = RAExpr::Project({0}, RAExpr::Scan("Emp"));
+  auto rows = RAExpr::Scan("Emp");
+  std::printf("\nConsistent ids:    %s\n",
+              ConsistentAnswers(ids, db, fds)->ToString().c_str());
+  std::printf("Consistent tuples: %s\n",
+              ConsistentAnswers(rows, db, fds)->ToString().c_str());
+  std::printf("  -> id 1 exists consistently, but no salary for it is "
+              "certain.\n\n");
+
+  // --- Part 2: the general chase -----------------------------------------
+  // Target dependencies: every employee needs a manager record, and
+  // manager ids are functionally determined.
+  DependencySet deps;
+  deps.tgds.push_back(*ParseTgd("Emp2(e) -> Mgr(e, m)"));
+  Egd key;
+  key.body = ParseCQ(":- Mgr(e, m), Mgr(e, n)")->body;
+  key.lhs = 1;
+  key.rhs = 2;
+  deps.egds.push_back(key);
+
+  Database start;
+  start.AddTuple("Emp2", Tuple{Value::Int(1)});
+  start.AddTuple("Emp2", Tuple{Value::Int(2)});
+  start.AddTuple("Mgr", Tuple{Value::Int(1), Value::Int(77)});
+
+  std::printf("Chasing:\n%s", start.ToString().c_str());
+  std::printf("weakly acyclic tgds: %s\n",
+              IsWeaklyAcyclic(deps.tgds) ? "yes" : "no");
+  auto chased = Chase(start, deps);
+  if (!chased.ok()) {
+    std::fprintf(stderr, "%s\n", chased.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Result (%zu tgd steps, %zu egd unifications):\n%s",
+              chased->tgd_steps, chased->egd_steps,
+              chased->instance.ToString().c_str());
+  std::printf("  -> employee 1's manager witness unified with 77; employee "
+              "2 got a marked null.\n");
+  return 0;
+}

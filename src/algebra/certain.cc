@@ -1,0 +1,94 @@
+#include "algebra/certain.h"
+
+#include "algebra/eval.h"
+
+namespace incdb {
+
+Relation DropNullTuples(const Relation& r) {
+  Relation out(r.arity());
+  for (const Tuple& t : r.tuples()) {
+    if (!t.HasNull()) out.Add(t);
+  }
+  return out;
+}
+
+Result<Relation> CertainAnswersNaive(const RAExprPtr& e, const Database& db,
+                                     WorldSemantics semantics, bool force) {
+  if (!force && !NaiveEvaluationWorks(e, semantics)) {
+    return Status::Unsupported(
+        std::string("naive evaluation has no certain-answer guarantee for a ") +
+        QueryClassName(Classify(e)) + " query under " +
+        WorldSemanticsName(semantics));
+  }
+  INCDB_ASSIGN_OR_RETURN(Relation naive, EvalNaive(e, db));
+  return DropNullTuples(naive);
+}
+
+Result<Relation> CertainObjectNaive(const RAExprPtr& e, const Database& db) {
+  return EvalNaive(e, db);
+}
+
+Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
+                                    WorldSemantics semantics,
+                                    const WorldEnumOptions& opts) {
+  INCDB_ASSIGN_OR_RETURN(size_t arity, e->InferArity(db.schema()));
+
+  if (semantics == WorldSemantics::kOpenWorld ||
+      semantics == WorldSemantics::kWeakClosedWorld) {
+    // Sound only for monotone queries: the intersection over all worlds then
+    // equals the intersection over the minimal worlds v(D).
+    if (!IsPositive(e)) {
+      return Status::Unsupported(
+          "certain answers under owa/wcwa by enumeration require a positive "
+          "(monotone) query; got " +
+          std::string(QueryClassName(Classify(e))));
+    }
+  }
+
+  bool first = true;
+  Relation acc(arity);
+  Status eval_error = Status::OK();
+  Status st = ForEachWorldCwa(db, opts, [&](const Database& world) {
+    auto ans = EvalComplete(e, world);
+    if (!ans.ok()) {
+      eval_error = ans.status();
+      return false;
+    }
+    if (first) {
+      acc = *ans;
+      first = false;
+    } else {
+      Relation next(arity);
+      for (const Tuple& t : acc.tuples()) {
+        if (ans->Contains(t)) next.Add(t);
+      }
+      acc = std::move(next);
+    }
+    // Early exit: an empty intersection can only stay empty.
+    return !acc.empty() || first;
+  });
+  INCDB_RETURN_IF_ERROR(eval_error);
+  INCDB_RETURN_IF_ERROR(st);
+  return acc;
+}
+
+Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
+                                     const WorldEnumOptions& opts) {
+  INCDB_ASSIGN_OR_RETURN(size_t arity, e->InferArity(db.schema()));
+  Relation acc(arity);
+  Status eval_error = Status::OK();
+  Status st = ForEachWorldCwa(db, opts, [&](const Database& world) {
+    auto ans = EvalComplete(e, world);
+    if (!ans.ok()) {
+      eval_error = ans.status();
+      return false;
+    }
+    acc.AddAll(*ans);
+    return true;
+  });
+  INCDB_RETURN_IF_ERROR(eval_error);
+  INCDB_RETURN_IF_ERROR(st);
+  return acc;
+}
+
+}  // namespace incdb

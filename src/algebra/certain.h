@@ -1,0 +1,54 @@
+// Certain answers: the classical intersection-based notion (eq. (1) of the
+// paper) and the naïve-evaluation shortcut (eq. (4)), plus a possible-world
+// enumeration used as ground truth.
+//
+//   certain(Q, D) = ⋂ { Q(D') | D' ∈ ⟦D⟧ }
+//
+// * `CertainAnswersNaive` computes Q(D)_cmpl — the naïve answer with
+//   null-containing tuples dropped. By the paper's Section 6 this equals
+//   certain(Q, D) when `NaiveEvaluationWorks(Q, semantics)`; the function
+//   errors (kUnsupported) outside that fragment unless `force` is set.
+// * `CertainAnswersEnum` enumerates CWA worlds over the finite domain of
+//   core/possible_worlds.h and intersects the answers. Under OWA it requires
+//   a monotone (positive) query, for which the intersection over minimal
+//   worlds v(D) equals the intersection over all worlds.
+// * `CertainObjectNaive` returns the *object* certain answer certainO(Q,D) =
+//   Q(D) (nulls retained), per eq. (9).
+
+#ifndef INCDB_ALGEBRA_CERTAIN_H_
+#define INCDB_ALGEBRA_CERTAIN_H_
+
+#include "algebra/ast.h"
+#include "algebra/classify.h"
+#include "core/possible_worlds.h"
+#include "core/valuation.h"
+
+namespace incdb {
+
+/// Drops tuples containing nulls (the ·_cmpl operation).
+Relation DropNullTuples(const Relation& r);
+
+/// Q(D)_cmpl, guarded by the fragment check (kUnsupported outside it unless
+/// force=true — useful for measuring how wrong the shortcut is).
+Result<Relation> CertainAnswersNaive(const RAExprPtr& e, const Database& db,
+                                     WorldSemantics semantics,
+                                     bool force = false);
+
+/// certainO(Q, D) = Q(D): the naïve answer as an (incomplete) object.
+Result<Relation> CertainObjectNaive(const RAExprPtr& e, const Database& db);
+
+/// Ground-truth certain answers by world enumeration / monotonicity.
+/// Exponential in the number of nulls (CWA); kUnsupported for non-positive
+/// queries under OWA.
+Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
+                                    WorldSemantics semantics,
+                                    const WorldEnumOptions& opts = {});
+
+/// Possible answers: ⋃ { Q(D') | D' ∈ ⟦D⟧_cwa } by enumeration. Useful for
+/// "maybe" tuples in examples and tests.
+Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
+                                     const WorldEnumOptions& opts = {});
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_CERTAIN_H_

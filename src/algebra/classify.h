@@ -1,0 +1,49 @@
+// Static classification of relational algebra queries into the paper's
+// fragments (Sections 2 and 6.2):
+//
+//  * kPositive — σπ×∪∩ with positive selection predicates (equalities under
+//    AND/OR). Expressively: unions of conjunctive queries. Naïve evaluation
+//    computes certain answers under both OWA and CWA.
+//  * kRAcwa — positive algebra extended with guarded division Q ÷ Q' where
+//    Q' ∈ RA(Δ, π, ×, ∪) (built from base relations and Δ by π, ×, ∪ only).
+//    Equals Pos∀G; cwa-naïve evaluation works.
+//  * kFullRA — anything else (uses −, unguarded ÷, negated/ordered
+//    predicates, IS NULL). No naïve-evaluation guarantee; certain answers
+//    are coNP-hard (CWA) / undecidable (OWA).
+
+#ifndef INCDB_ALGEBRA_CLASSIFY_H_
+#define INCDB_ALGEBRA_CLASSIFY_H_
+
+#include "algebra/ast.h"
+#include "core/valuation.h"
+
+namespace incdb {
+
+enum class QueryClass {
+  kPositive = 0,
+  kRAcwa = 1,
+  kFullRA = 2,
+};
+
+const char* QueryClassName(QueryClass c);
+
+/// True if `e` is a positive-algebra query (UCQ-expressible).
+bool IsPositive(const RAExprPtr& e);
+
+/// True if `e` is in RA(Δ, π, ×, ∪): base relations and Δ closed under
+/// projection, product, and union (the admissible divisors of RA_cwa).
+bool IsDeltaPiTimesUnion(const RAExprPtr& e);
+
+/// True if `e` is in RA_cwa.
+bool IsRAcwa(const RAExprPtr& e);
+
+/// The most specific class containing `e`.
+QueryClass Classify(const RAExprPtr& e);
+
+/// Naïve-evaluation guarantee (equation (4) of the paper): does naïve
+/// evaluation compute certain answers for `e` under `semantics`?
+bool NaiveEvaluationWorks(const RAExprPtr& e, WorldSemantics semantics);
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_CLASSIFY_H_

@@ -1,0 +1,113 @@
+#include "algebra/eval.h"
+
+#include <algorithm>
+
+namespace incdb {
+
+Relation DivideRelations(const Relation& r, const Relation& s) {
+  INCDB_CHECK_MSG(s.arity() > 0 && s.arity() < r.arity(),
+                  "division arity constraint violated");
+  const size_t m = r.arity() - s.arity();
+  std::vector<size_t> head(m);
+  for (size_t i = 0; i < m; ++i) head[i] = i;
+  Relation out(m);
+  // Candidate heads: π_head(r).
+  Relation heads(m);
+  for (const Tuple& t : r.tuples()) heads.Add(t.Project(head));
+  for (const Tuple& h : heads.tuples()) {
+    bool all = true;
+    for (const Tuple& sv : s.tuples()) {
+      if (!r.Contains(h.Concat(sv))) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.Add(h);
+  }
+  return out;
+}
+
+Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db) {
+  // Validate typing once at the root.
+  INCDB_RETURN_IF_ERROR(e->InferArity(db.schema()).status());
+
+  struct Rec {
+    const Database& db;
+    Relation Run(const RAExprPtr& e) {
+      switch (e->kind()) {
+        case RAExpr::Kind::kScan:
+          return db.GetRelation(e->relation_name());
+        case RAExpr::Kind::kConstRel:
+          return e->literal();
+        case RAExpr::Kind::kSelect: {
+          Relation in = Run(e->left());
+          Relation out(in.arity());
+          for (const Tuple& t : in.tuples()) {
+            if (e->predicate()->EvalNaive(t)) out.Add(t);
+          }
+          return out;
+        }
+        case RAExpr::Kind::kProject: {
+          Relation in = Run(e->left());
+          Relation out(e->columns().size());
+          for (const Tuple& t : in.tuples()) out.Add(t.Project(e->columns()));
+          return out;
+        }
+        case RAExpr::Kind::kProduct: {
+          Relation l = Run(e->left());
+          Relation r = Run(e->right());
+          Relation out(l.arity() + r.arity());
+          for (const Tuple& a : l.tuples()) {
+            for (const Tuple& b : r.tuples()) out.Add(a.Concat(b));
+          }
+          return out;
+        }
+        case RAExpr::Kind::kUnion: {
+          Relation l = Run(e->left());
+          Relation r = Run(e->right());
+          l.AddAll(r);
+          return l;
+        }
+        case RAExpr::Kind::kDiff: {
+          Relation l = Run(e->left());
+          Relation r = Run(e->right());
+          Relation out(l.arity());
+          for (const Tuple& t : l.tuples()) {
+            if (!r.Contains(t)) out.Add(t);
+          }
+          return out;
+        }
+        case RAExpr::Kind::kIntersect: {
+          Relation l = Run(e->left());
+          Relation r = Run(e->right());
+          Relation out(l.arity());
+          for (const Tuple& t : l.tuples()) {
+            if (r.Contains(t)) out.Add(t);
+          }
+          return out;
+        }
+        case RAExpr::Kind::kDivide:
+          return DivideRelations(Run(e->left()), Run(e->right()));
+        case RAExpr::Kind::kDelta: {
+          Relation out(2);
+          for (const Value& v : db.ActiveDomain()) out.Add(Tuple{v, v});
+          return out;
+        }
+      }
+      return Relation(0);
+    }
+  };
+
+  Rec rec{db};
+  return rec.Run(e);
+}
+
+Result<Relation> EvalComplete(const RAExprPtr& e, const Database& db) {
+  if (!db.IsComplete()) {
+    return Status::InvalidArgument(
+        "EvalComplete called on a database with nulls");
+  }
+  return EvalNaive(e, db);
+}
+
+}  // namespace incdb

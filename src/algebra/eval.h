@@ -1,0 +1,31 @@
+// Naïve (and complete-database) evaluation of relational algebra.
+//
+// Naïve evaluation treats marked nulls as ordinary values: ⊥_3 joins with
+// ⊥_3, not with ⊥_4 or any constant. On a complete database this is simply
+// standard set-semantics query evaluation, so a single evaluator serves both
+// roles. The paper's central positive results (Section 6) say exactly when
+// the naïve answer — with or without its null-free restriction — is the
+// right certain answer.
+
+#ifndef INCDB_ALGEBRA_EVAL_H_
+#define INCDB_ALGEBRA_EVAL_H_
+
+#include "algebra/ast.h"
+#include "core/database.h"
+
+namespace incdb {
+
+/// Evaluates `e` on `db` treating nulls as values. Errors on ill-typed
+/// expressions (arity mismatches, unknown relations).
+Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db);
+
+/// Evaluates on a database required to be complete (checked).
+Result<Relation> EvalComplete(const RAExprPtr& e, const Database& db);
+
+/// Division primitive: tuples t over the first arity(r)-arity(s) columns of
+/// `r` such that (t, s̄) ∈ r for every s̄ ∈ s. Exposed for tests.
+Relation DivideRelations(const Relation& r, const Relation& s);
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_EVAL_H_

@@ -1,0 +1,35 @@
+// SQL-style three-valued-logic evaluation of relational algebra.
+//
+// This evaluator reproduces what a standard SQL engine computes on tables
+// with (Codd) nulls — the behaviour the paper's introduction critiques:
+//
+//  * σ_p keeps a tuple only when p evaluates to TRUE (UNKNOWN is dropped);
+//  * t ∈ R − S keeps t only when the 3VL row comparison t = s is FALSE for
+//    *every* s ∈ S (the SQL `NOT IN` rule: one UNKNOWN poisons the test);
+//  * t ∈ R ∩ S keeps t only when some s ∈ S compares TRUE to it (`IN`);
+//  * R ÷ S keeps a head h when for every s̄ ∈ S some r ∈ R compares TRUE to
+//    (h, s̄).
+//
+// Union, product and projection are null-agnostic and identical to naïve
+// evaluation. Duplicate rows that are merely 3VL-possibly-equal (e.g. (1,⊥)
+// vs (1,⊥')) are distinct tuples, as in SQL's set operations on distinct
+// rows.
+
+#ifndef INCDB_ALGEBRA_EVAL_3VL_H_
+#define INCDB_ALGEBRA_EVAL_3VL_H_
+
+#include "algebra/ast.h"
+#include "core/database.h"
+
+namespace incdb {
+
+/// 3VL row comparison: AND over positions of component equality, where a
+/// component involving a null is UNKNOWN.
+TruthValue TupleEquals3VL(const Tuple& a, const Tuple& b);
+
+/// Evaluates `e` on `db` under SQL's three-valued logic.
+Result<Relation> Eval3VL(const RAExprPtr& e, const Database& db);
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_EVAL_3VL_H_

@@ -1,0 +1,29 @@
+// Text syntax for relational algebra expressions, round-tripping
+// RAExpr::ToString():
+//
+//   expr    := term ( ('U' | '-' | '&') term )*        left-assoc, same prec
+//   term    := factor ( ('x' | '/') factor )*          product / division
+//   factor  := Name | DELTA
+//            | sel[ pred ](expr) | proj{ i, j, ... }(expr) | ( expr )
+//   pred    := disjunctions/conjunctions of comparisons over #col and
+//              constants, with NOT and IS NULL:
+//                #0 = 5, #1 <> #2, #0 < 3 AND (#1 = 'x' OR #2 IS NULL)
+//
+// Keywords are case-insensitive; `U`, `x` must be standalone tokens.
+
+#ifndef INCDB_ALGEBRA_PARSER_H_
+#define INCDB_ALGEBRA_PARSER_H_
+
+#include <string>
+
+#include "algebra/ast.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Parses an algebra expression.
+Result<RAExprPtr> ParseRA(const std::string& text);
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_PARSER_H_

@@ -1,0 +1,274 @@
+#include "algebra/predicate.h"
+
+#include <algorithm>
+
+namespace incdb {
+
+TruthValue And3(TruthValue a, TruthValue b) {
+  return static_cast<TruthValue>(
+      std::min(static_cast<int>(a), static_cast<int>(b)));
+}
+
+TruthValue Or3(TruthValue a, TruthValue b) {
+  return static_cast<TruthValue>(
+      std::max(static_cast<int>(a), static_cast<int>(b)));
+}
+
+TruthValue Not3(TruthValue a) {
+  return static_cast<TruthValue>(2 - static_cast<int>(a));
+}
+
+const char* TruthValueName(TruthValue t) {
+  switch (t) {
+    case TruthValue::kFalse:
+      return "false";
+    case TruthValue::kUnknown:
+      return "unknown";
+    case TruthValue::kTrue:
+      return "true";
+  }
+  return "?";
+}
+
+const Value& Term::Resolve(const Tuple& t) const {
+  if (kind == Kind::kConst) return constant;
+  INCDB_CHECK_MSG(column < t.arity(), "predicate column out of range");
+  return t[column];
+}
+
+std::string Term::ToString() const {
+  if (kind == Kind::kConst) return constant.ToString();
+  return "#" + std::to_string(column);
+}
+
+const char* CmpOpSymbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool CompareValues(CmpOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+int Predicate::MaxColumn() const {
+  int m = -1;
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      break;
+    case Kind::kCmp:
+      if (lhs_.kind == Term::Kind::kColumn) {
+        m = std::max(m, static_cast<int>(lhs_.column));
+      }
+      if (rhs_.kind == Term::Kind::kColumn) {
+        m = std::max(m, static_cast<int>(rhs_.column));
+      }
+      break;
+    case Kind::kIsNull:
+      if (lhs_.kind == Term::Kind::kColumn) {
+        m = std::max(m, static_cast<int>(lhs_.column));
+      }
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+      m = std::max(left_->MaxColumn(), right_->MaxColumn());
+      break;
+    case Kind::kNot:
+      m = left_->MaxColumn();
+      break;
+  }
+  return m;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kCmp:
+      return lhs_.ToString() + " " + CmpOpSymbol(op_) + " " + rhs_.ToString();
+    case Kind::kIsNull:
+      return lhs_.ToString() + " IS NULL";
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "NOT (" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+PredicatePtr Predicate::True() {
+  return PredicatePtr(new Predicate(Kind::kTrue));
+}
+
+PredicatePtr Predicate::False() {
+  return PredicatePtr(new Predicate(Kind::kFalse));
+}
+
+PredicatePtr Predicate::Cmp(CmpOp op, Term lhs, Term rhs) {
+  auto* p = new Predicate(Kind::kCmp);
+  p->op_ = op;
+  p->lhs_ = std::move(lhs);
+  p->rhs_ = std::move(rhs);
+  return PredicatePtr(p);
+}
+
+PredicatePtr Predicate::Eq(Term lhs, Term rhs) {
+  return Cmp(CmpOp::kEq, std::move(lhs), std::move(rhs));
+}
+
+PredicatePtr Predicate::Ne(Term lhs, Term rhs) {
+  return Cmp(CmpOp::kNe, std::move(lhs), std::move(rhs));
+}
+
+PredicatePtr Predicate::And(PredicatePtr a, PredicatePtr b) {
+  auto* p = new Predicate(Kind::kAnd);
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return PredicatePtr(p);
+}
+
+PredicatePtr Predicate::Or(PredicatePtr a, PredicatePtr b) {
+  auto* p = new Predicate(Kind::kOr);
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return PredicatePtr(p);
+}
+
+PredicatePtr Predicate::Not(PredicatePtr a) {
+  auto* p = new Predicate(Kind::kNot);
+  p->left_ = std::move(a);
+  return PredicatePtr(p);
+}
+
+PredicatePtr Predicate::IsNull(Term t) {
+  auto* p = new Predicate(Kind::kIsNull);
+  p->lhs_ = std::move(t);
+  return PredicatePtr(p);
+}
+
+bool Predicate::EvalNaive(const Tuple& t) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kCmp:
+      return CompareValues(op_, lhs_.Resolve(t), rhs_.Resolve(t));
+    case Kind::kIsNull:
+      return lhs_.Resolve(t).is_null();
+    case Kind::kAnd:
+      return left_->EvalNaive(t) && right_->EvalNaive(t);
+    case Kind::kOr:
+      return left_->EvalNaive(t) || right_->EvalNaive(t);
+    case Kind::kNot:
+      return !left_->EvalNaive(t);
+  }
+  return false;
+}
+
+TruthValue Predicate::Eval3VL(const Tuple& t) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return TruthValue::kTrue;
+    case Kind::kFalse:
+      return TruthValue::kFalse;
+    case Kind::kCmp: {
+      const Value& a = lhs_.Resolve(t);
+      const Value& b = rhs_.Resolve(t);
+      if (a.is_null() || b.is_null()) return TruthValue::kUnknown;
+      return CompareValues(op_, a, b) ? TruthValue::kTrue : TruthValue::kFalse;
+    }
+    case Kind::kIsNull:
+      return lhs_.Resolve(t).is_null() ? TruthValue::kTrue
+                                       : TruthValue::kFalse;
+    case Kind::kAnd:
+      return And3(left_->Eval3VL(t), right_->Eval3VL(t));
+    case Kind::kOr:
+      return Or3(left_->Eval3VL(t), right_->Eval3VL(t));
+    case Kind::kNot:
+      return Not3(left_->Eval3VL(t));
+  }
+  return TruthValue::kUnknown;
+}
+
+bool Predicate::IsPositive() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kCmp:
+      return op_ == CmpOp::kEq;
+    case Kind::kIsNull:
+      return false;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return left_->IsPositive() && right_->IsPositive();
+    case Kind::kNot:
+      return false;
+  }
+  return false;
+}
+
+PredicatePtr Predicate::ShiftColumns(int shift) const {
+  auto shift_term = [&](const Term& t) -> Term {
+    if (t.kind != Term::Kind::kColumn) return t;
+    Term out = t;
+    out.column = static_cast<size_t>(static_cast<int>(t.column) + shift);
+    return out;
+  };
+  switch (kind_) {
+    case Kind::kTrue:
+      return True();
+    case Kind::kFalse:
+      return False();
+    case Kind::kCmp:
+      return Cmp(op_, shift_term(lhs_), shift_term(rhs_));
+    case Kind::kIsNull:
+      return IsNull(shift_term(lhs_));
+    case Kind::kAnd:
+      return And(left_->ShiftColumns(shift), right_->ShiftColumns(shift));
+    case Kind::kOr:
+      return Or(left_->ShiftColumns(shift), right_->ShiftColumns(shift));
+    case Kind::kNot:
+      return Not(left_->ShiftColumns(shift));
+  }
+  return True();
+}
+
+}  // namespace incdb

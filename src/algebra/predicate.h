@@ -1,0 +1,114 @@
+// Selection predicates over tuples, with two evaluation modes:
+//
+//  * naïve   — nulls are treated as ordinary values; equality is syntactic
+//              (⊥_3 = ⊥_3 holds, ⊥_3 = ⊥_4 and ⊥_3 = 5 do not). This is the
+//              evaluation mode of the paper's "naïve evaluation" results.
+//  * 3VL     — SQL's three-valued logic: any comparison touching a null is
+//              UNKNOWN; AND/OR/NOT are Kleene; IS NULL never returns UNKNOWN.
+//
+// Order comparisons (<, <=, >, >=) between a null and anything use the total
+// Value order under naïve evaluation; they are excluded from the positive
+// fragment by the classifier, so no certain-answer guarantee ever depends on
+// ordering nulls.
+
+#ifndef INCDB_ALGEBRA_PREDICATE_H_
+#define INCDB_ALGEBRA_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Kleene three-valued truth value (SQL's UNKNOWN is kUnknown).
+enum class TruthValue { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+TruthValue And3(TruthValue a, TruthValue b);
+TruthValue Or3(TruthValue a, TruthValue b);
+TruthValue Not3(TruthValue a);
+const char* TruthValueName(TruthValue t);
+
+/// A term in a comparison: a column of the input tuple or a constant.
+struct Term {
+  enum class Kind { kColumn, kConst };
+  Kind kind = Kind::kColumn;
+  size_t column = 0;  ///< valid when kind == kColumn
+  Value constant;     ///< valid when kind == kConst
+
+  static Term Column(size_t i) { return Term{Kind::kColumn, i, Value()}; }
+  static Term Const(Value v) {
+    return Term{Kind::kConst, 0, std::move(v)};
+  }
+
+  /// The term's value on `t`.
+  const Value& Resolve(const Tuple& t) const;
+
+  std::string ToString() const;
+};
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CmpOpSymbol(CmpOp op);
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Immutable predicate AST node.
+class Predicate {
+ public:
+  enum class Kind { kTrue, kFalse, kCmp, kAnd, kOr, kNot, kIsNull };
+
+  Kind kind() const { return kind_; }
+  CmpOp op() const { return op_; }
+  const Term& lhs() const { return lhs_; }
+  const Term& rhs() const { return rhs_; }
+  const PredicatePtr& left() const { return left_; }
+  const PredicatePtr& right() const { return right_; }
+
+  /// Largest column index mentioned (for arity validation); -1 if none.
+  int MaxColumn() const;
+
+  std::string ToString() const;
+
+  // Factories.
+  static PredicatePtr True();
+  static PredicatePtr False();
+  static PredicatePtr Cmp(CmpOp op, Term lhs, Term rhs);
+  static PredicatePtr Eq(Term lhs, Term rhs);
+  static PredicatePtr Ne(Term lhs, Term rhs);
+  static PredicatePtr And(PredicatePtr a, PredicatePtr b);
+  static PredicatePtr Or(PredicatePtr a, PredicatePtr b);
+  static PredicatePtr Not(PredicatePtr a);
+  static PredicatePtr IsNull(Term t);
+
+  /// Naïve evaluation: nulls are values; two-valued.
+  bool EvalNaive(const Tuple& t) const;
+
+  /// SQL three-valued evaluation.
+  TruthValue Eval3VL(const Tuple& t) const;
+
+  /// True if the predicate is in the positive fragment: built from TRUE and
+  /// equalities with AND/OR only (the selection conditions of UCQs).
+  bool IsPositive() const;
+
+  /// Rewrites column references by `shift` (used when predicates move across
+  /// products).
+  PredicatePtr ShiftColumns(int shift) const;
+
+ private:
+  Predicate(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  CmpOp op_ = CmpOp::kEq;
+  Term lhs_;
+  Term rhs_;
+  PredicatePtr left_;
+  PredicatePtr right_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_ALGEBRA_PREDICATE_H_

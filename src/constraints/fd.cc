@@ -1,0 +1,181 @@
+#include "constraints/fd.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/database.h"
+#include "util/strings.h"
+
+namespace incdb {
+namespace {
+
+Status ValidateFD(const Relation& r, const FunctionalDependency& fd) {
+  for (size_t c : fd.lhs) {
+    if (c >= r.arity()) {
+      return Status::InvalidArgument("FD lhs column out of range");
+    }
+  }
+  for (size_t c : fd.rhs) {
+    if (c >= r.arity()) {
+      return Status::InvalidArgument("FD rhs column out of range");
+    }
+  }
+  return Status::OK();
+}
+
+// Components equal as values (including identical marked nulls).
+bool CertainlyEqualOn(const Tuple& a, const Tuple& b,
+                      const std::vector<size_t>& cols) {
+  for (size_t c : cols) {
+    if (a[c] != b[c]) return false;
+  }
+  return true;
+}
+
+// Some valuation can make the projections equal: componentwise, either
+// equal already, or at least one side is a null. (Exact for Codd tables;
+// for naïve tables this is the standard unification-free approximation —
+// a shared null on both sides in the same column is fine since it is
+// equal to itself.)
+bool PossiblyEqualOn(const Tuple& a, const Tuple& b,
+                     const std::vector<size_t>& cols) {
+  for (size_t c : cols) {
+    if (a[c].is_null() || b[c].is_null()) continue;
+    if (a[c] != b[c]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FunctionalDependency::ToString() const {
+  std::vector<std::string> l, r;
+  for (size_t c : lhs) l.push_back("#" + std::to_string(c));
+  for (size_t c : rhs) r.push_back("#" + std::to_string(c));
+  return Join(l, ",") + " -> " + Join(r, ",");
+}
+
+Result<bool> SatisfiesFD(const Relation& r, const FunctionalDependency& fd) {
+  INCDB_RETURN_IF_ERROR(ValidateFD(r, fd));
+  const auto& ts = r.tuples();
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      if (CertainlyEqualOn(ts[i], ts[j], fd.lhs) &&
+          !CertainlyEqualOn(ts[i], ts[j], fd.rhs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<bool> WeaklySatisfiesFD(const Relation& r,
+                               const FunctionalDependency& fd) {
+  INCDB_RETURN_IF_ERROR(ValidateFD(r, fd));
+  const auto& ts = r.tuples();
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      // Violation pattern: the pair is certainly X-equal yet certainly
+      // Y-different on constants (no completion can fix it).
+      if (CertainlyEqualOn(ts[i], ts[j], fd.lhs) &&
+          !PossiblyEqualOn(ts[i], ts[j], fd.rhs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<bool> StronglySatisfiesFD(const Relation& r,
+                                 const FunctionalDependency& fd) {
+  INCDB_RETURN_IF_ERROR(ValidateFD(r, fd));
+  const auto& ts = r.tuples();
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      if (PossiblyEqualOn(ts[i], ts[j], fd.lhs) &&
+          !CertainlyEqualOn(ts[i], ts[j], fd.rhs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+Result<bool> WorldQuantifiedFD(const Relation& r,
+                               const FunctionalDependency& fd,
+                               const WorldEnumOptions& opts, bool exists) {
+  INCDB_RETURN_IF_ERROR(ValidateFD(r, fd));
+  Database db;
+  *db.MutableRelation("R", r.arity()) = r;
+  bool result = !exists;  // ∀: assume true; ∃: assume false
+  Status inner = Status::OK();
+  Status st = ForEachWorldCwa(db, opts, [&](const Database& w) {
+    auto sat = SatisfiesFD(w.GetRelation("R"), fd);
+    if (!sat.ok()) {
+      inner = sat.status();
+      return false;
+    }
+    if (exists && *sat) {
+      result = true;
+      return false;
+    }
+    if (!exists && !*sat) {
+      result = false;
+      return false;
+    }
+    return true;
+  });
+  INCDB_RETURN_IF_ERROR(inner);
+  INCDB_RETURN_IF_ERROR(st);
+  return result;
+}
+
+}  // namespace
+
+Result<bool> PossiblySatisfiesFD(const Relation& r,
+                                 const FunctionalDependency& fd,
+                                 const WorldEnumOptions& opts) {
+  return WorldQuantifiedFD(r, fd, opts, /*exists=*/true);
+}
+
+Result<bool> CertainlySatisfiesFD(const Relation& r,
+                                  const FunctionalDependency& fd,
+                                  const WorldEnumOptions& opts) {
+  return WorldQuantifiedFD(r, fd, opts, /*exists=*/false);
+}
+
+std::vector<size_t> AttributeClosure(
+    std::vector<size_t> attrs, const std::vector<FunctionalDependency>& fds) {
+  std::set<size_t> closure(attrs.begin(), attrs.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds) {
+      const bool applies = std::all_of(
+          fd.lhs.begin(), fd.lhs.end(),
+          [&](size_t c) { return closure.count(c) > 0; });
+      if (!applies) continue;
+      for (size_t c : fd.rhs) {
+        if (closure.insert(c).second) changed = true;
+      }
+    }
+  }
+  return std::vector<size_t>(closure.begin(), closure.end());
+}
+
+bool IsSuperkey(const std::vector<size_t>& attrs, size_t arity,
+                const std::vector<FunctionalDependency>& fds) {
+  return AttributeClosure(attrs, fds).size() == arity;
+}
+
+bool ImpliesFD(const std::vector<FunctionalDependency>& fds,
+               const FunctionalDependency& fd) {
+  const std::vector<size_t> closure = AttributeClosure(fd.lhs, fds);
+  const std::set<size_t> closure_set(closure.begin(), closure.end());
+  return std::all_of(fd.rhs.begin(), fd.rhs.end(),
+                     [&](size_t c) { return closure_set.count(c) > 0; });
+}
+
+}  // namespace incdb

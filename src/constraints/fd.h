@@ -1,0 +1,82 @@
+// Functional dependencies over incomplete relations (paper, Section 7,
+// "Handling constraints"; classical treatment: Atzeni & Morfuni 1984,
+// Levene & Loizou 1998).
+//
+// A constraint is a query, and the paper's program says its satisfaction
+// should be defined through the semantics of incompleteness. For an FD
+// X → Y over an incomplete relation D:
+//
+//   * possibly satisfied (weak):   some world of ⟦D⟧_cwa satisfies X → Y;
+//   * certainly satisfied (strong): every world of ⟦D⟧_cwa satisfies it.
+//
+// We provide the classical syntactic checks and the world-semantics checks,
+// plus the enumeration ground truth used by the property tests. The
+// syntactic weak/strong notions coincide with the possible/certain
+// world-semantics on Codd tables; on naïve tables (repeated nulls) the
+// syntactic checks are sound approximations, and the exact notions are the
+// world-based ones.
+
+#ifndef INCDB_CONSTRAINTS_FD_H_
+#define INCDB_CONSTRAINTS_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/possible_worlds.h"
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// A functional dependency X → Y over column positions of a relation.
+struct FunctionalDependency {
+  std::vector<size_t> lhs;  ///< X
+  std::vector<size_t> rhs;  ///< Y
+
+  std::string ToString() const;
+};
+
+/// Standard FD satisfaction on a complete relation: any two tuples agreeing
+/// on X agree on Y.
+Result<bool> SatisfiesFD(const Relation& r, const FunctionalDependency& fd);
+
+/// Syntactic *weak* satisfaction (Atzeni–Morfuni): no two tuples are both
+/// "possibly X-equal" and "certainly Y-different" — i.e. some completion of
+/// each pair is consistent with the FD. Sound for possibility on Codd
+/// tables.
+Result<bool> WeaklySatisfiesFD(const Relation& r,
+                               const FunctionalDependency& fd);
+
+/// Syntactic *strong* satisfaction: tuples that possibly agree on X must
+/// certainly agree on Y (component-wise identical values, including the
+/// same marked nulls). Sound for certainty.
+Result<bool> StronglySatisfiesFD(const Relation& r,
+                                 const FunctionalDependency& fd);
+
+/// World-semantics ground truth: ∃ / ∀ world of ⟦r⟧_cwa satisfying the FD.
+/// Exponential in the number of nulls — for tests and small data.
+Result<bool> PossiblySatisfiesFD(const Relation& r,
+                                 const FunctionalDependency& fd,
+                                 const WorldEnumOptions& opts = {});
+Result<bool> CertainlySatisfiesFD(const Relation& r,
+                                  const FunctionalDependency& fd,
+                                  const WorldEnumOptions& opts = {});
+
+/// Closure of an attribute set under a set of FDs (Armstrong), on arbitrary
+/// column positions. Used for key reasoning in design tasks.
+std::vector<size_t> AttributeClosure(
+    std::vector<size_t> attrs, const std::vector<FunctionalDependency>& fds);
+
+/// True if `attrs` is a superkey of a relation with `arity` columns under
+/// `fds`.
+bool IsSuperkey(const std::vector<size_t>& attrs, size_t arity,
+                const std::vector<FunctionalDependency>& fds);
+
+/// FD implication: does `fds` logically imply `fd` (over complete
+/// relations)? Decided via attribute closure.
+bool ImpliesFD(const std::vector<FunctionalDependency>& fds,
+               const FunctionalDependency& fd);
+
+}  // namespace incdb
+
+#endif  // INCDB_CONSTRAINTS_FD_H_

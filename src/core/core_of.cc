@@ -1,0 +1,46 @@
+#include "core/core_of.h"
+
+#include "core/homomorphism.h"
+
+namespace incdb {
+namespace {
+
+// Tries to find a tuple whose removal keeps the instance hom-equivalent.
+// Returns true and updates *d if one was removed.
+bool RemoveOneRedundantTuple(Database* d) {
+  for (const auto& [name, rel] : d->relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      Database candidate;
+      for (const auto& [name2, rel2] : d->relations()) {
+        Relation* out = candidate.MutableRelation(name2, rel2.arity());
+        for (const Tuple& t2 : rel2.tuples()) {
+          if (name2 == name && t2 == t) continue;
+          out->Add(t2);
+        }
+      }
+      // candidate ⊆ d gives hom candidate → d for free; equivalence needs
+      // d → candidate.
+      if (HasHomomorphism(*d, candidate)) {
+        *d = std::move(candidate);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Database CoreOf(const Database& d) {
+  Database core = d;
+  while (RemoveOneRedundantTuple(&core)) {
+  }
+  return core;
+}
+
+bool IsCore(const Database& d) {
+  Database copy = d;
+  return !RemoveOneRedundantTuple(&copy);
+}
+
+}  // namespace incdb

@@ -1,0 +1,25 @@
+// Cores of naïve databases.
+//
+// The core of D is the smallest sub-instance hom-equivalent to D — the
+// canonical representative of D's ⪯_owa-equivalence class (tableau
+// minimization; cf. the paper's Section 4 duality, where minimizing the
+// database *is* minimizing its canonical conjunctive query).
+
+#ifndef INCDB_CORE_CORE_OF_H_
+#define INCDB_CORE_CORE_OF_H_
+
+#include "core/database.h"
+
+namespace incdb {
+
+/// Computes a core of `d`: a minimal sub-instance C ⊆ d with homomorphisms
+/// both ways (so ⟦C⟧_owa = ⟦d⟧_owa). Unique up to isomorphism. Exponential
+/// in the worst case (homomorphism checks), fine on tableau-sized inputs.
+Database CoreOf(const Database& d);
+
+/// True if no proper sub-instance of `d` is hom-equivalent to it.
+bool IsCore(const Database& d);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_CORE_OF_H_

@@ -1,0 +1,87 @@
+// Database: a named collection of relations (a naïve database instance).
+
+#ifndef INCDB_CORE_DATABASE_H_
+#define INCDB_CORE_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/relation.h"
+#include "core/schema.h"
+
+namespace incdb {
+
+/// An incomplete relational instance over a schema: relation name -> Relation.
+///
+/// Instances need not mention every schema relation; missing relations are
+/// empty. A database with no nulls is *complete* (an element of C in the
+/// paper's ⟨D, C, ⟦·⟧⟩ triples).
+class Database {
+ public:
+  Database() = default;
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  /// The relation named `name`; creates an empty one (arity from schema, or
+  /// `arity_hint` if not declared) on first access via the mutable overload.
+  Relation* MutableRelation(const std::string& name, size_t arity_hint = 0);
+  /// Read access; returns an empty relation of the declared arity if absent.
+  const Relation& GetRelation(const std::string& name) const;
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// Adds one tuple to relation `name` (declares it in the schema if needed).
+  void AddTuple(const std::string& name, Tuple t);
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// Total number of tuples across relations.
+  size_t TupleCount() const;
+
+  /// All nulls occurring in the instance (Null(D)).
+  std::set<NullId> Nulls() const;
+
+  /// All constants occurring in the instance (Const(D)).
+  std::set<Value> Constants() const;
+
+  /// Active domain: Const(D) ∪ Null(D), as Values.
+  std::set<Value> ActiveDomain() const;
+
+  /// True if no relation contains a null (D ∈ C).
+  bool IsComplete() const;
+
+  /// True if every null occurs at most once across the whole instance.
+  bool IsCoddDatabase() const;
+
+  /// The instance restricted to null-free tuples (D_cmpl).
+  Database CompletePart() const;
+
+  /// One NullId strictly greater than any null used in the instance.
+  NullId FreshNullId() const;
+
+  /// Set equality relation-by-relation (relations absent on one side must be
+  /// empty on the other).
+  bool operator==(const Database& o) const;
+  bool operator!=(const Database& o) const { return !(*this == o); }
+
+  /// True if every relation of this instance is a subset of `o`'s.
+  bool IsSubinstanceOf(const Database& o) const;
+
+  /// Multi-line rendering "R = {...}\nS = {...}".
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_DATABASE_H_

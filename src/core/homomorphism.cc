@@ -1,0 +1,173 @@
+#include "core/homomorphism.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/status.h"
+
+namespace incdb {
+
+const Value& NullSubstitution::Lookup(NullId id) const {
+  auto it = map_.find(id);
+  INCDB_CHECK_MSG(it != map_.end(), "null not bound by substitution");
+  return it->second;
+}
+
+Value NullSubstitution::Apply(const Value& v) const {
+  if (!v.is_null()) return v;
+  auto it = map_.find(v.null_id());
+  return it == map_.end() ? v : it->second;
+}
+
+Tuple NullSubstitution::Apply(const Tuple& t) const {
+  std::vector<Value> out;
+  out.reserve(t.arity());
+  for (const Value& v : t.values()) out.push_back(Apply(v));
+  return Tuple(std::move(out));
+}
+
+Relation NullSubstitution::Apply(const Relation& r) const {
+  Relation out(r.arity());
+  for (const Tuple& t : r.tuples()) out.Add(Apply(t));
+  return out;
+}
+
+Database NullSubstitution::Apply(const Database& d) const {
+  Database out(d.schema());
+  for (const auto& [name, rel] : d.relations()) {
+    *out.MutableRelation(name, rel.arity()) = Apply(rel);
+  }
+  return out;
+}
+
+std::string NullSubstitution::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (const auto& [id, v] : map_) {
+    if (!first) s += ", ";
+    first = false;
+    s += "_" + std::to_string(id) + " -> " + v.ToString();
+  }
+  s += "}";
+  return s;
+}
+
+namespace {
+
+class HomSearcher {
+ public:
+  HomSearcher(const Database& from, const Database& to, HomKind kind,
+              const HomSearchOptions& options)
+      : from_(from), to_(to), kind_(kind) {
+    for (const auto& [name, rel] : from_.relations()) {
+      for (const Tuple& t : rel.tuples()) items_.push_back({name, &t});
+    }
+    if (options.most_constrained_first) {
+      // Tuples with more constants first: they prune candidate lists
+      // hardest.
+      std::stable_sort(items_.begin(), items_.end(),
+                       [](const Item& a, const Item& b) {
+                         return ConstCount(*a.tuple) > ConstCount(*b.tuple);
+                       });
+    }
+  }
+
+  std::optional<NullSubstitution> Search() {
+    if (Rec(0)) return h_;
+    return std::nullopt;
+  }
+
+ private:
+  struct Item {
+    std::string rel;
+    const Tuple* tuple;
+  };
+
+  static size_t ConstCount(const Tuple& t) {
+    size_t n = 0;
+    for (const Value& v : t.values()) n += v.is_const();
+    return n;
+  }
+
+  bool Accept() const {
+    switch (kind_) {
+      case HomKind::kPlain:
+        return true;
+      case HomKind::kStrongOnto:
+        return h_.Apply(from_) == to_;
+      case HomKind::kOnto: {
+        // h(adom(from)) must cover adom(to).
+        std::set<Value> image;
+        for (const Value& v : from_.ActiveDomain()) image.insert(h_.Apply(v));
+        for (const Value& v : to_.ActiveDomain()) {
+          if (image.count(v) == 0) return false;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Rec(size_t idx) {
+    if (idx == items_.size()) return Accept();
+    const Item& item = items_[idx];
+    const Relation& target = to_.GetRelation(item.rel);
+    for (const Tuple& cand : target.tuples()) {
+      std::vector<NullId> bound;
+      if (TryBind(*item.tuple, cand, &bound)) {
+        if (Rec(idx + 1)) return true;
+      }
+      for (NullId id : bound) h_.Unbind(id);
+    }
+    return false;
+  }
+
+  bool TryBind(const Tuple& t, const Tuple& cand, std::vector<NullId>* bound) {
+    if (t.arity() != cand.arity()) return false;
+    for (size_t i = 0; i < t.arity(); ++i) {
+      const Value& x = t[i];
+      const Value& y = cand[i];
+      if (x.is_const()) {
+        if (x != y) return false;
+      } else {
+        const NullId id = x.null_id();
+        if (h_.IsBound(id)) {
+          if (h_.Lookup(id) != y) return false;
+        } else {
+          h_.Bind(id, y);
+          bound->push_back(id);
+        }
+      }
+    }
+    return true;
+  }
+
+  const Database& from_;
+  const Database& to_;
+  HomKind kind_;
+  std::vector<Item> items_;
+  NullSubstitution h_;
+};
+
+}  // namespace
+
+std::optional<NullSubstitution> FindHomomorphism(
+    const Database& from, const Database& to, HomKind kind,
+    const HomSearchOptions& options) {
+  HomSearcher searcher(from, to, kind, options);
+  return searcher.Search();
+}
+
+bool HasHomomorphism(const Database& from, const Database& to) {
+  return FindHomomorphism(from, to, HomKind::kPlain).has_value();
+}
+
+bool HasStrongOntoHomomorphism(const Database& from, const Database& to) {
+  return FindHomomorphism(from, to, HomKind::kStrongOnto).has_value();
+}
+
+bool HasOntoHomomorphism(const Database& from, const Database& to) {
+  return FindHomomorphism(from, to, HomKind::kOnto).has_value();
+}
+
+}  // namespace incdb

@@ -1,0 +1,75 @@
+// Homomorphisms between naïve databases, and the search for them.
+//
+// A homomorphism h : D -> D' maps adom(D) to adom(D'), is the identity on
+// constants, and maps every tuple of every relation of D into the same
+// relation of D' (paper, Section 5.2). Variants:
+//   * plain:        h(D) ⊆ D'
+//   * strong onto:  h(D) = D'              (characterizes ⪯_cwa)
+//   * onto:         h(adom(D)) = adom(D')  (characterizes the weak CWA order)
+//
+// The existence problem is NP-complete in general; we use backtracking with a
+// most-constrained-first tuple order and per-relation candidate lists, which
+// is fast on the instance shapes used in the paper (tableaux of queries,
+// chase results, workload databases).
+
+#ifndef INCDB_CORE_HOMOMORPHISM_H_
+#define INCDB_CORE_HOMOMORPHISM_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/database.h"
+
+namespace incdb {
+
+/// Which surjectivity condition a homomorphism must satisfy.
+enum class HomKind {
+  kPlain,       ///< h(D) ⊆ D'
+  kStrongOnto,  ///< h(D) = D'
+  kOnto,        ///< h(adom(D)) = adom(D')
+};
+
+/// A substitution of nulls by values (nulls map to nulls or constants;
+/// constants are implicitly fixed).
+class NullSubstitution {
+ public:
+  void Bind(NullId id, const Value& v) { map_[id] = v; }
+  void Unbind(NullId id) { map_.erase(id); }
+  bool IsBound(NullId id) const { return map_.count(id) > 0; }
+  const Value& Lookup(NullId id) const;
+
+  /// h(x): identity on constants and unbound nulls.
+  Value Apply(const Value& v) const;
+  Tuple Apply(const Tuple& t) const;
+  Relation Apply(const Relation& r) const;
+  Database Apply(const Database& d) const;
+
+  const std::map<NullId, Value>& map() const { return map_; }
+  std::string ToString() const;
+
+ private:
+  std::map<NullId, Value> map_;
+};
+
+/// Tuning knobs for the backtracking search (ablation bench A1 measures
+/// their effect; defaults are what the library ships with).
+struct HomSearchOptions {
+  /// Order source tuples most-constrained-first (more constants first).
+  bool most_constrained_first = true;
+};
+
+/// Searches for a homomorphism from `from` to `to` of the given kind.
+/// Returns the witnessing substitution, or nullopt if none exists.
+std::optional<NullSubstitution> FindHomomorphism(
+    const Database& from, const Database& to, HomKind kind = HomKind::kPlain,
+    const HomSearchOptions& options = {});
+
+/// Convenience: existence tests.
+bool HasHomomorphism(const Database& from, const Database& to);
+bool HasStrongOntoHomomorphism(const Database& from, const Database& to);
+bool HasOntoHomomorphism(const Database& from, const Database& to);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_HOMOMORPHISM_H_

@@ -1,0 +1,34 @@
+// Text serialization for databases — a human-editable dump format used by
+// the shell's save/load commands and handy for test fixtures:
+//
+//   # comment
+//   table Order(o_id, product)
+//   1, 'widget'
+//   2, _0          <- marked null ⊥_0
+//
+//   table Pay(p_id, order_id, amount)
+//   10, _0, 100
+//
+// Values: integers, 'single-quoted strings' ('' escapes a quote), and _k
+// for marked null ⊥_k. Blank lines and `#` comments are ignored. Nulls keep
+// their identifiers, so shared marked nulls round-trip exactly.
+
+#ifndef INCDB_CORE_IO_H_
+#define INCDB_CORE_IO_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Serializes the database (schema + tuples) to the dump format.
+std::string DumpDatabase(const Database& db);
+
+/// Parses a dump back into a database. Errors carry 1-based line numbers.
+Result<Database> LoadDatabase(const std::string& text);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_IO_H_

@@ -1,0 +1,59 @@
+#include "core/ordering.h"
+
+#include "core/possible_worlds.h"
+
+namespace incdb {
+
+bool Precedes(const Database& d, const Database& d2,
+              WorldSemantics semantics) {
+  switch (semantics) {
+    case WorldSemantics::kOpenWorld:
+      return HasHomomorphism(d, d2);
+    case WorldSemantics::kClosedWorld:
+      return HasStrongOntoHomomorphism(d, d2);
+    case WorldSemantics::kWeakClosedWorld:
+      return HasOntoHomomorphism(d, d2);
+  }
+  return false;
+}
+
+bool PrecedesOwa(const Database& d, const Database& d2) {
+  return Precedes(d, d2, WorldSemantics::kOpenWorld);
+}
+
+bool PrecedesCwa(const Database& d, const Database& d2) {
+  return Precedes(d, d2, WorldSemantics::kClosedWorld);
+}
+
+bool PrecedesWcwa(const Database& d, const Database& d2) {
+  return Precedes(d, d2, WorldSemantics::kWeakClosedWorld);
+}
+
+bool InformationEquivalent(const Database& d, const Database& d2,
+                           WorldSemantics semantics) {
+  return Precedes(d, d2, semantics) && Precedes(d2, d, semantics);
+}
+
+bool PrecedesSemantically(const Database& d, const Database& d2,
+                          WorldSemantics semantics,
+                          const std::vector<Value>& domain) {
+  // ⟦d2⟧ ⊆ ⟦d⟧: every world of d2 must be a world of d. We enumerate d2's
+  // worlds over the given domain. For OWA the ⊇-closure makes the world set
+  // upward closed, so it suffices that every *minimal* world v(d2) is in
+  // ⟦d⟧_owa, which IsPossibleWorld decides exactly.
+  WorldEnumOptions opts;
+  opts.fresh_constants = 0;
+  opts.required_constants = domain;
+  bool contained = true;
+  Status st = ForEachWorldCwa(d2, opts, [&](const Database& world) {
+    if (!IsPossibleWorld(d, world, semantics)) {
+      contained = false;
+      return false;
+    }
+    return true;
+  });
+  INCDB_CHECK_MSG(st.ok(), st.ToString());
+  return contained;
+}
+
+}  // namespace incdb

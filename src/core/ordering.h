@@ -1,0 +1,46 @@
+// Information orderings on incomplete databases (paper, Sections 5-6).
+//
+// The ordering x ⪯ y  ⇔  ⟦y⟧ ⊆ ⟦x⟧ ("y is more informative than x") has, for
+// the relational semantics, the homomorphism characterizations of [32, 51]:
+//
+//   D ⪯_owa  D'  ⇔  ∃ homomorphism             h : D -> D'
+//   D ⪯_cwa  D'  ⇔  ∃ strong onto homomorphism h : D -> D'
+//   D ⪯_wcwa D'  ⇔  ∃ onto homomorphism        h : D -> D'
+//
+// `PrecedesSemantically` implements the definition directly by enumerating
+// possible worlds over a finite domain — exponential, used as ground truth in
+// property tests that validate the characterizations.
+
+#ifndef INCDB_CORE_ORDERING_H_
+#define INCDB_CORE_ORDERING_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/homomorphism.h"
+#include "core/valuation.h"
+
+namespace incdb {
+
+/// D ⪯ D' under the given semantics, via the homomorphism characterization.
+bool Precedes(const Database& d, const Database& d2, WorldSemantics semantics);
+
+bool PrecedesOwa(const Database& d, const Database& d2);
+bool PrecedesCwa(const Database& d, const Database& d2);
+bool PrecedesWcwa(const Database& d, const Database& d2);
+
+/// Information equivalence: x ⪯ y and y ⪯ x (then ⟦x⟧ = ⟦y⟧).
+bool InformationEquivalent(const Database& d, const Database& d2,
+                           WorldSemantics semantics);
+
+/// Ground-truth ordering check by the definition ⟦d2⟧ ⊆ ⟦d⟧, with worlds
+/// enumerated over `domain` (for cwa; for owa, world containment is checked
+/// by homomorphism on complete instances, which is exact). Exponential —
+/// test-only.
+bool PrecedesSemantically(const Database& d, const Database& d2,
+                          WorldSemantics semantics,
+                          const std::vector<Value>& domain);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_ORDERING_H_

@@ -1,0 +1,112 @@
+#include "core/possible_worlds.h"
+
+#include <algorithm>
+
+namespace incdb {
+
+std::vector<Value> WorldDomain(const Database& d,
+                               const WorldEnumOptions& opts) {
+  std::set<Value> domain = d.Constants();
+  for (const Value& v : opts.required_constants) {
+    INCDB_CHECK_MSG(v.is_const(), "required constant must be a constant");
+    domain.insert(v);
+  }
+  int fresh = opts.fresh_constants;
+  if (fresh < 0) fresh = static_cast<int>(d.Nulls().size());
+  // Fresh integers strictly above every integer constant in the domain.
+  int64_t base = 0;
+  for (const Value& v : domain) {
+    if (v.is_int()) base = std::max(base, v.as_int());
+  }
+  for (int i = 1; i <= fresh; ++i) domain.insert(Value::Int(base + i));
+  return std::vector<Value>(domain.begin(), domain.end());
+}
+
+uint64_t CountWorldsCwa(const Database& d, const WorldEnumOptions& opts) {
+  const uint64_t domain_size = WorldDomain(d, opts).size();
+  const size_t nulls = d.Nulls().size();
+  uint64_t count = 1;
+  for (size_t i = 0; i < nulls; ++i) {
+    if (count > UINT64_MAX / std::max<uint64_t>(domain_size, 1)) {
+      return UINT64_MAX;
+    }
+    count *= domain_size;
+  }
+  return count;
+}
+
+Status ForEachValuation(const Database& d, const WorldEnumOptions& opts,
+                        const std::function<bool(const Valuation&)>& fn) {
+  const std::vector<Value> domain = WorldDomain(d, opts);
+  const std::set<NullId> null_set = d.Nulls();
+  const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+  if (nulls.empty()) {
+    fn(Valuation());
+    return Status::OK();
+  }
+  if (domain.empty()) {
+    return Status::InvalidArgument("empty world domain with nulls present");
+  }
+  uint64_t emitted = 0;
+  Valuation v;
+  // Iterative odometer over domain^nulls.
+  std::vector<size_t> idx(nulls.size(), 0);
+  for (;;) {
+    for (size_t i = 0; i < nulls.size(); ++i) v.Bind(nulls[i], domain[idx[i]]);
+    if (++emitted > opts.max_worlds) {
+      return Status::ResourceExhausted(
+          "world enumeration exceeded max_worlds=" +
+          std::to_string(opts.max_worlds));
+    }
+    if (!fn(v)) return Status::OK();
+    // Advance odometer.
+    size_t pos = 0;
+    while (pos < idx.size() && ++idx[pos] == domain.size()) {
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == idx.size()) break;
+  }
+  return Status::OK();
+}
+
+Status ForEachWorldCwa(const Database& d, const WorldEnumOptions& opts,
+                       const std::function<bool(const Database&)>& fn) {
+  return ForEachValuation(d, opts, [&](const Valuation& v) {
+    return fn(v.Apply(d));
+  });
+}
+
+Status ForEachWorldOwaBounded(
+    const Database& d, const WorldEnumOptions& opts,
+    const std::vector<std::pair<std::string, Tuple>>& candidate_tuples,
+    const std::function<bool(const Database&)>& fn) {
+  for (const auto& [name, t] : candidate_tuples) {
+    INCDB_CHECK_MSG(!t.HasNull(), "candidate tuples must be complete");
+  }
+  if (candidate_tuples.size() > 24) {
+    return Status::ResourceExhausted("too many candidate tuples (max 24)");
+  }
+  const uint64_t subsets = 1ull << candidate_tuples.size();
+  bool stop = false;
+  Status st = ForEachValuation(d, opts, [&](const Valuation& v) {
+    Database base = v.Apply(d);
+    for (uint64_t mask = 0; mask < subsets; ++mask) {
+      Database world = base;
+      for (size_t i = 0; i < candidate_tuples.size(); ++i) {
+        if (mask & (1ull << i)) {
+          world.AddTuple(candidate_tuples[i].first, candidate_tuples[i].second);
+        }
+      }
+      if (!fn(world)) {
+        stop = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  (void)stop;
+  return st;
+}
+
+}  // namespace incdb

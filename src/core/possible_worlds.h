@@ -1,0 +1,67 @@
+// Enumeration of possible worlds of an incomplete database.
+//
+// Under CWA, ⟦D⟧ = { v(D) } for valuations v of Null(D). The world space is
+// infinite (Const is infinite), but for generic queries it suffices to let
+// nulls range over the active constants plus k fresh constants, where k is
+// the number of nulls: any world is isomorphic, over the constants of D and
+// of the query, to one of the sampled worlds, and generic queries cannot
+// distinguish isomorphic worlds. `WorldDomain` builds that finite domain.
+//
+// Under OWA the worlds also add arbitrary tuples; `ForEachWorldOwaBounded`
+// enumerates v(D) extended with subsets of a caller-supplied candidate tuple
+// pool (validation only — exact OWA certain answers for (U)CQs are computed
+// via the tableau duality in logic/containment.h).
+
+#ifndef INCDB_CORE_POSSIBLE_WORLDS_H_
+#define INCDB_CORE_POSSIBLE_WORLDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/valuation.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Options controlling world enumeration.
+struct WorldEnumOptions {
+  /// Number of fresh constants added beyond the active domain. If negative,
+  /// defaults to the number of distinct nulls in the instance.
+  int fresh_constants = -1;
+  /// Extra constants that must be in the domain (e.g. constants mentioned by
+  /// the query but absent from the instance).
+  std::vector<Value> required_constants;
+  /// Safety valve: abort enumeration after this many worlds.
+  uint64_t max_worlds = 50'000'000;
+};
+
+/// The finite constant domain used to instantiate nulls: Const(D) ∪ required
+/// ∪ {k fresh integer constants}.
+std::vector<Value> WorldDomain(const Database& d, const WorldEnumOptions& opts);
+
+/// Number of CWA worlds |domain|^#nulls (saturating at UINT64_MAX).
+uint64_t CountWorldsCwa(const Database& d, const WorldEnumOptions& opts);
+
+/// Invokes `fn` on every valuation of Null(D) over the domain. Stops early if
+/// `fn` returns false. Returns ResourceExhausted if max_worlds is hit.
+Status ForEachValuation(const Database& d, const WorldEnumOptions& opts,
+                        const std::function<bool(const Valuation&)>& fn);
+
+/// Invokes `fn` on every CWA world v(D). Stops early if `fn` returns false.
+Status ForEachWorldCwa(const Database& d, const WorldEnumOptions& opts,
+                       const std::function<bool(const Database&)>& fn);
+
+/// Invokes `fn` on every v(D) ∪ E where E ranges over subsets of
+/// `candidate_tuples` (pairs of relation name and tuple; tuples must be
+/// complete). Validation-only approximation of ⟦D⟧_owa.
+Status ForEachWorldOwaBounded(
+    const Database& d, const WorldEnumOptions& opts,
+    const std::vector<std::pair<std::string, Tuple>>& candidate_tuples,
+    const std::function<bool(const Database&)>& fn);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_POSSIBLE_WORLDS_H_

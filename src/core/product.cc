@@ -1,0 +1,52 @@
+#include "core/product.h"
+
+#include <map>
+#include <utility>
+
+namespace incdb {
+
+Database ProductDatabase(const Database& d1, const Database& d2) {
+  Database out;
+  // Pairing table: distinct non-diagonal pairs get fresh nulls.
+  std::map<std::pair<Value, Value>, Value> pairing;
+  NullId next_null = 0;
+  auto pair_value = [&](const Value& a, const Value& b) -> Value {
+    if (a == b && a.is_const()) return a;
+    auto it = pairing.find({a, b});
+    if (it != pairing.end()) return it->second;
+    Value fresh = Value::Null(next_null++);
+    pairing.emplace(std::make_pair(a, b), fresh);
+    return fresh;
+  };
+
+  for (const auto& [name, rel1] : d1.relations()) {
+    if (!d2.HasRelation(name)) continue;
+    const Relation& rel2 = d2.GetRelation(name);
+    if (rel1.arity() != rel2.arity()) continue;
+    Relation* target = out.MutableRelation(name, rel1.arity());
+    for (const Tuple& t1 : rel1.tuples()) {
+      for (const Tuple& t2 : rel2.tuples()) {
+        std::vector<Value> vals;
+        vals.reserve(t1.arity());
+        for (size_t i = 0; i < t1.arity(); ++i) {
+          vals.push_back(pair_value(t1[i], t2[i]));
+        }
+        target->Add(Tuple(std::move(vals)));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Database> ProductOf(const std::vector<Database>& dbs) {
+  if (dbs.empty()) {
+    return Status::InvalidArgument("ProductOf requires at least one database");
+  }
+  Database acc = dbs[0];
+  for (size_t i = 1; i < dbs.size(); ++i) {
+    acc = ProductDatabase(acc, dbs[i]);
+  }
+  return acc;
+}
+
+}  // namespace incdb

@@ -1,0 +1,31 @@
+// Direct products of databases: the greatest lower bound under ⪯_owa.
+//
+// In the homomorphism preorder of relational structures, the categorical
+// product D1 × D2 is the glb: it maps homomorphically into both factors (the
+// projections), and any E with homomorphisms into both factors maps into the
+// product. Diagonal pairs (c, c) of a constant are identified with c so the
+// projections are identity on constants, making the product a naïve database
+// again. This realizes the paper's `certainO` (Section 5.3, eq. (7)) for the
+// OWA semantics of query answers.
+
+#ifndef INCDB_CORE_PRODUCT_H_
+#define INCDB_CORE_PRODUCT_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// The direct product D1 × D2. Relations present in only one factor come out
+/// empty (the product of a set with the empty set is empty).
+Database ProductDatabase(const Database& d1, const Database& d2);
+
+/// Iterated product ∏ dbs; requires a nonempty list. With one element,
+/// returns it unchanged.
+Result<Database> ProductOf(const std::vector<Database>& dbs);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_PRODUCT_H_

@@ -1,0 +1,120 @@
+#include "core/relation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/status.h"
+
+namespace incdb {
+
+Relation::Relation(size_t arity, std::vector<Tuple> tuples)
+    : arity_(arity), tuples_(std::move(tuples)), dirty_(true) {
+  for (const Tuple& t : tuples_) {
+    INCDB_CHECK_MSG(t.arity() == arity_, "tuple arity mismatch");
+  }
+}
+
+void Relation::EnsureCanonical() const {
+  if (!dirty_) return;
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+  dirty_ = false;
+}
+
+size_t Relation::size() const {
+  EnsureCanonical();
+  return tuples_.size();
+}
+
+void Relation::Add(Tuple t) {
+  INCDB_CHECK_MSG(t.arity() == arity_, "tuple arity mismatch");
+  tuples_.push_back(std::move(t));
+  dirty_ = true;
+}
+
+void Relation::AddAll(const Relation& other) {
+  INCDB_CHECK_MSG(other.arity() == arity_, "relation arity mismatch");
+  for (const Tuple& t : other.tuples()) tuples_.push_back(t);
+  dirty_ = true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  EnsureCanonical();
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+const std::vector<Tuple>& Relation::tuples() const {
+  EnsureCanonical();
+  return tuples_;
+}
+
+bool Relation::IsComplete() const {
+  for (const Tuple& t : tuples()) {
+    if (t.HasNull()) return false;
+  }
+  return true;
+}
+
+bool Relation::IsCoddTable() const {
+  std::map<NullId, int> counts;
+  for (const Tuple& t : tuples()) {
+    for (const Value& v : t.values()) {
+      if (v.is_null() && ++counts[v.null_id()] > 1) return false;
+    }
+  }
+  return true;
+}
+
+std::set<NullId> Relation::Nulls() const {
+  std::set<NullId> out;
+  for (const Tuple& t : tuples()) {
+    for (const Value& v : t.values()) {
+      if (v.is_null()) out.insert(v.null_id());
+    }
+  }
+  return out;
+}
+
+std::set<Value> Relation::Constants() const {
+  std::set<Value> out;
+  for (const Tuple& t : tuples()) {
+    for (const Value& v : t.values()) {
+      if (v.is_const()) out.insert(v);
+    }
+  }
+  return out;
+}
+
+Relation Relation::CompletePart() const {
+  Relation out(arity_);
+  for (const Tuple& t : tuples()) {
+    if (!t.HasNull()) out.Add(t);
+  }
+  return out;
+}
+
+bool Relation::operator==(const Relation& o) const {
+  if (arity_ != o.arity_) return false;
+  return tuples() == o.tuples();
+}
+
+bool Relation::IsSubsetOf(const Relation& o) const {
+  if (arity_ != o.arity_) return false;
+  const auto& a = tuples();
+  const auto& b = o.tuples();
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::string Relation::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (const Tuple& t : tuples()) {
+    if (!first) s += ", ";
+    first = false;
+    s += t.ToString();
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace incdb

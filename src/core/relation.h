@@ -1,0 +1,81 @@
+// Relation: a finite set of tuples over Const ∪ Null (a naïve table).
+//
+// Storage is a vector kept canonical (sorted, deduplicated) lazily: mutators
+// mark the relation dirty and const accessors canonicalize on demand. This
+// makes set-equality, subset tests and iteration deterministic while keeping
+// bulk loads O(n log n).
+
+#ifndef INCDB_CORE_RELATION_H_
+#define INCDB_CORE_RELATION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace incdb {
+
+/// A set of same-arity tuples; the unit of incomplete data (a naïve table).
+class Relation {
+ public:
+  /// An empty relation of the given arity.
+  explicit Relation(size_t arity = 0) : arity_(arity) {}
+
+  /// Builds a relation from tuples; all must have arity `arity`.
+  Relation(size_t arity, std::vector<Tuple> tuples);
+
+  size_t arity() const { return arity_; }
+
+  /// Number of distinct tuples.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Adds a tuple (set semantics — duplicates are absorbed).
+  void Add(Tuple t);
+
+  /// Adds all tuples of `other` (arities must match).
+  void AddAll(const Relation& other);
+
+  /// Membership test.
+  bool Contains(const Tuple& t) const;
+
+  /// Canonical (sorted, deduplicated) tuple list.
+  const std::vector<Tuple>& tuples() const;
+
+  /// True if no tuple contains a null.
+  bool IsComplete() const;
+
+  /// True if every null occurring in the relation occurs exactly once
+  /// (Codd table; models SQL's unmarked nulls).
+  bool IsCoddTable() const;
+
+  /// Nulls occurring anywhere in the relation.
+  std::set<NullId> Nulls() const;
+
+  /// Constants occurring anywhere in the relation.
+  std::set<Value> Constants() const;
+
+  /// The subset of tuples without nulls (D_cmpl in the paper).
+  Relation CompletePart() const;
+
+  bool operator==(const Relation& o) const;
+  bool operator!=(const Relation& o) const { return !(*this == o); }
+
+  /// True if every tuple of this relation is in `o`.
+  bool IsSubsetOf(const Relation& o) const;
+
+  /// "{(1, 2), (2, _0)}"
+  std::string ToString() const;
+
+ private:
+  void EnsureCanonical() const;
+
+  size_t arity_;
+  mutable std::vector<Tuple> tuples_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_RELATION_H_

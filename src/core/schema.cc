@@ -1,0 +1,91 @@
+#include "core/schema.h"
+
+#include "util/strings.h"
+
+namespace incdb {
+
+Status Schema::AddRelation(const std::string& name, size_t arity) {
+  if (decls_.count(name) > 0) {
+    return Status::InvalidArgument("relation already declared: " + name);
+  }
+  decls_[name] = RelationDecl{name, arity, {}};
+  return Status::OK();
+}
+
+Status Schema::AddRelation(const std::string& name,
+                           std::vector<std::string> attributes) {
+  if (decls_.count(name) > 0) {
+    return Status::InvalidArgument("relation already declared: " + name);
+  }
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    for (size_t j = i + 1; j < attributes.size(); ++j) {
+      if (attributes[i] == attributes[j]) {
+        return Status::InvalidArgument("duplicate attribute '" + attributes[i] +
+                                       "' in relation " + name);
+      }
+    }
+  }
+  const size_t arity = attributes.size();
+  decls_[name] = RelationDecl{name, arity, std::move(attributes)};
+  return Status::OK();
+}
+
+bool Schema::HasRelation(const std::string& name) const {
+  return decls_.count(name) > 0;
+}
+
+Result<size_t> Schema::Arity(const std::string& name) const {
+  auto it = decls_.find(name);
+  if (it == decls_.end()) {
+    return Status::NotFound("relation not declared: " + name);
+  }
+  return it->second.arity;
+}
+
+Result<const RelationDecl*> Schema::Decl(const std::string& name) const {
+  auto it = decls_.find(name);
+  if (it == decls_.end()) {
+    return Status::NotFound("relation not declared: " + name);
+  }
+  return &it->second;
+}
+
+Result<size_t> Schema::AttributeIndex(const std::string& name,
+                                      const std::string& attr) const {
+  auto it = decls_.find(name);
+  if (it == decls_.end()) {
+    return Status::NotFound("relation not declared: " + name);
+  }
+  const auto& attrs = it->second.attributes;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (EqualsIgnoreCase(attrs[i], attr)) return i;
+  }
+  return Status::NotFound("attribute '" + attr + "' not in relation " + name);
+}
+
+std::vector<std::string> Schema::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(decls_.size());
+  for (const auto& [name, decl] : decls_) names.push_back(name);
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [name, decl] : decls_) {
+    std::string s = name + "(";
+    if (decl.attributes.empty()) {
+      for (size_t i = 0; i < decl.arity; ++i) {
+        if (i > 0) s += ", ";
+        s += "#" + std::to_string(i);
+      }
+    } else {
+      s += Join(decl.attributes, ", ");
+    }
+    s += ")";
+    parts.push_back(s);
+  }
+  return Join(parts, "; ");
+}
+
+}  // namespace incdb

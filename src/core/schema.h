@@ -1,0 +1,55 @@
+// Schema: relation names with arities and optional attribute names.
+
+#ifndef INCDB_CORE_SCHEMA_H_
+#define INCDB_CORE_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace incdb {
+
+/// Declaration of one relation symbol.
+struct RelationDecl {
+  std::string name;
+  size_t arity = 0;
+  /// Attribute names; empty, or exactly `arity` entries.
+  std::vector<std::string> attributes;
+};
+
+/// A relational schema: a set of relation symbols with arities.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation with positional attributes.
+  Status AddRelation(const std::string& name, size_t arity);
+  /// Adds a relation with named attributes (arity = attributes.size()).
+  Status AddRelation(const std::string& name,
+                     std::vector<std::string> attributes);
+
+  bool HasRelation(const std::string& name) const;
+  Result<size_t> Arity(const std::string& name) const;
+  Result<const RelationDecl*> Decl(const std::string& name) const;
+
+  /// Index of attribute `attr` in relation `name`.
+  Result<size_t> AttributeIndex(const std::string& name,
+                                const std::string& attr) const;
+
+  /// Relation names in sorted order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t size() const { return decls_.size(); }
+
+  /// "R(a, b); S(x)"
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, RelationDecl> decls_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_SCHEMA_H_

@@ -1,0 +1,210 @@
+#include "core/valuation.h"
+
+#include <functional>
+#include <vector>
+
+namespace incdb {
+
+const char* WorldSemanticsName(WorldSemantics s) {
+  switch (s) {
+    case WorldSemantics::kOpenWorld:
+      return "owa";
+    case WorldSemantics::kClosedWorld:
+      return "cwa";
+    case WorldSemantics::kWeakClosedWorld:
+      return "wcwa";
+  }
+  return "?";
+}
+
+void Valuation::Bind(NullId id, const Value& c) {
+  INCDB_CHECK_MSG(c.is_const(), "valuations map nulls to constants");
+  map_[id] = c;
+}
+
+const Value& Valuation::Lookup(NullId id) const {
+  auto it = map_.find(id);
+  INCDB_CHECK_MSG(it != map_.end(), "null not bound by valuation");
+  return it->second;
+}
+
+Value Valuation::Apply(const Value& v) const {
+  if (!v.is_null()) return v;
+  auto it = map_.find(v.null_id());
+  return it == map_.end() ? v : it->second;
+}
+
+Tuple Valuation::Apply(const Tuple& t) const {
+  std::vector<Value> out;
+  out.reserve(t.arity());
+  for (const Value& v : t.values()) out.push_back(Apply(v));
+  return Tuple(std::move(out));
+}
+
+Relation Valuation::Apply(const Relation& r) const {
+  Relation out(r.arity());
+  for (const Tuple& t : r.tuples()) out.Add(Apply(t));
+  return out;
+}
+
+Database Valuation::Apply(const Database& d) const {
+  Database out(d.schema());
+  for (const auto& [name, rel] : d.relations()) {
+    *out.MutableRelation(name, rel.arity()) = Apply(rel);
+  }
+  return out;
+}
+
+bool Valuation::IsTotalFor(const Database& d) const {
+  for (NullId id : d.Nulls()) {
+    if (!IsBound(id)) return false;
+  }
+  return true;
+}
+
+std::string Valuation::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (const auto& [id, v] : map_) {
+    if (!first) s += ", ";
+    first = false;
+    s += "_" + std::to_string(id) + " -> " + v.ToString();
+  }
+  s += "}";
+  return s;
+}
+
+namespace {
+
+// Backtracking search for a valuation v with v(D) ⊆ world; if
+// `require_equal`, additionally every world tuple must be hit (v(D) = world).
+// Tuple-by-tuple assignment with consistency via the partial valuation.
+class WorldMatcher {
+ public:
+  WorldMatcher(const Database& d, const Database& world, bool require_equal)
+      : d_(d), world_(world), require_equal_(require_equal) {
+    for (const auto& [name, rel] : d_.relations()) {
+      for (const Tuple& t : rel.tuples()) {
+        items_.push_back({name, &t});
+      }
+    }
+  }
+
+  bool Match() {
+    if (!Search(0)) return false;
+    if (!require_equal_) return true;
+    // Check image covers world exactly: v(D) == world.
+    Database image = v_.Apply(d_);
+    return image == world_;
+  }
+
+ private:
+  bool Search(size_t idx) {
+    if (idx == items_.size()) {
+      if (!require_equal_) return true;
+      return v_.Apply(d_) == world_;
+    }
+    const auto& [name, t] = items_[idx];
+    const Relation& target = world_.GetRelation(name);
+    for (const Tuple& cand : target.tuples()) {
+      std::vector<std::pair<NullId, Value>> bound;
+      if (TryBind(*t, cand, &bound)) {
+        if (Search(idx + 1)) return true;
+      }
+      for (const auto& [id, old] : bound) v_.Unbind(id);
+    }
+    return false;
+  }
+
+  bool TryBind(const Tuple& t, const Tuple& cand,
+               std::vector<std::pair<NullId, Value>>* bound) {
+    if (t.arity() != cand.arity()) return false;
+    for (size_t i = 0; i < t.arity(); ++i) {
+      const Value& x = t[i];
+      const Value& y = cand[i];
+      if (x.is_const()) {
+        if (x != y) return false;
+      } else {
+        const NullId id = x.null_id();
+        if (v_.IsBound(id)) {
+          if (v_.Lookup(id) != y) return false;
+        } else {
+          v_.Bind(id, y);
+          bound->push_back({id, y});
+        }
+      }
+    }
+    return true;
+  }
+
+  const Database& d_;
+  const Database& world_;
+  bool require_equal_;
+  std::vector<std::pair<std::string, const Tuple*>> items_;
+  Valuation v_;
+};
+
+}  // namespace
+
+bool IsPossibleWorld(const Database& d, const Database& world,
+                     WorldSemantics semantics) {
+  INCDB_CHECK_MSG(world.IsComplete(), "world must be complete");
+  switch (semantics) {
+    case WorldSemantics::kClosedWorld: {
+      WorldMatcher m(d, world, /*require_equal=*/true);
+      return m.Match();
+    }
+    case WorldSemantics::kOpenWorld: {
+      WorldMatcher m(d, world, /*require_equal=*/false);
+      return m.Match();
+    }
+    case WorldSemantics::kWeakClosedWorld: {
+      // v(D) ⊆ world and adom(world) ⊆ adom(v(D)).
+      // Search over valuations: reuse subset matcher, then check adom.
+      // We enumerate by requiring subset first; the adom condition is checked
+      // against each successful valuation, so we need all matches. For
+      // simplicity we re-run the matcher with an adom filter via callback.
+      // Implemented as: try subset match; on success adom check; if it fails
+      // we conservatively fall through to an exhaustive valuation search over
+      // the world's active domain (exact but exponential in #nulls).
+      WorldMatcher m(d, world, /*require_equal=*/false);
+      if (!m.Match()) return false;
+      // Exhaustive: all nulls range over adom(world).
+      const std::set<NullId> null_set = d.Nulls();
+      const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+      std::vector<Value> domain;
+      for (const Value& v : world.Constants()) domain.push_back(v);
+      if (nulls.empty()) {
+        Database image = Valuation().Apply(d);
+        if (!image.IsSubinstanceOf(world)) return false;
+        auto ia = image.Constants();
+        for (const Value& c : world.Constants()) {
+          if (ia.count(c) == 0) return false;
+        }
+        return true;
+      }
+      std::function<bool(size_t, Valuation&)> rec = [&](size_t i,
+                                                        Valuation& v) -> bool {
+        if (i == nulls.size()) {
+          Database image = v.Apply(d);
+          if (!image.IsSubinstanceOf(world)) return false;
+          auto ia = image.Constants();
+          for (const Value& c : world.Constants()) {
+            if (ia.count(c) == 0) return false;
+          }
+          return true;
+        }
+        for (const Value& c : domain) {
+          v.Bind(nulls[i], c);
+          if (rec(i + 1, v)) return true;
+        }
+        return false;
+      };
+      Valuation v;
+      return rec(0, v);
+    }
+  }
+  return false;
+}
+
+}  // namespace incdb

@@ -1,0 +1,73 @@
+// Valuation: a mapping v : Null -> Const, and the OWA/CWA/WCWA semantics of
+// incomplete databases it induces (paper, Section 2).
+//
+//   ⟦D⟧_cwa  = { v(D)            | v a valuation }
+//   ⟦D⟧_owa  = { D' ⊇ v(D)      | v a valuation }
+//   ⟦D⟧_wcwa = { D' | v(D) ⊆ D' ⊆ adom(v(D))-closure }  (Reiter's weak CWA)
+
+#ifndef INCDB_CORE_VALUATION_H_
+#define INCDB_CORE_VALUATION_H_
+
+#include <map>
+#include <string>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Which possible-world semantics an incomplete database is read under.
+enum class WorldSemantics {
+  kOpenWorld,    ///< ⟦D⟧_owa: substitute nulls, then add arbitrary tuples
+  kClosedWorld,  ///< ⟦D⟧_cwa: substitute nulls only
+  kWeakClosedWorld,  ///< substitute, then add tuples over the active domain
+};
+
+const char* WorldSemanticsName(WorldSemantics s);
+
+/// A (partial) mapping from marked nulls to constants.
+class Valuation {
+ public:
+  Valuation() = default;
+
+  /// Binds ⊥_id to constant `c`. `c` must be a constant.
+  void Bind(NullId id, const Value& c);
+
+  /// Removes the binding for ⊥_id (no-op if unbound).
+  void Unbind(NullId id) { map_.erase(id); }
+
+  bool IsBound(NullId id) const { return map_.count(id) > 0; }
+
+  /// The image of ⊥_id; `id` must be bound.
+  const Value& Lookup(NullId id) const;
+
+  /// v(x): constants map to themselves; bound nulls to their constant;
+  /// unbound nulls stay themselves (partial application).
+  Value Apply(const Value& v) const;
+  Tuple Apply(const Tuple& t) const;
+  Relation Apply(const Relation& r) const;
+  /// v(D): applies the valuation to every relation.
+  Database Apply(const Database& d) const;
+
+  /// True if the valuation binds every null of D (v(D) is then complete).
+  bool IsTotalFor(const Database& d) const;
+
+  size_t size() const { return map_.size(); }
+  const std::map<NullId, Value>& map() const { return map_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<NullId, Value> map_;
+};
+
+/// True iff `world` ∈ ⟦d⟧ under `semantics`, witnessed by some valuation.
+/// `world` must be complete. Exponential in the number of *distinct* nulls
+/// only through constraint propagation; in practice fast (used as ground
+/// truth in tests).
+bool IsPossibleWorld(const Database& d, const Database& world,
+                     WorldSemantics semantics);
+
+}  // namespace incdb
+
+#endif  // INCDB_CORE_VALUATION_H_

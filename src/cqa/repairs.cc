@@ -1,0 +1,253 @@
+#include "cqa/repairs.h"
+
+#include <algorithm>
+
+#include "algebra/eval.h"
+
+namespace incdb {
+namespace {
+
+// Flattened tuple reference and the pairwise conflict graph.
+struct TupleRef {
+  std::string relation;
+  Tuple tuple;
+};
+
+struct ConflictGraph {
+  std::vector<TupleRef> tuples;
+  // Adjacency by index; conflicts are symmetric.
+  std::vector<std::vector<size_t>> adj;
+};
+
+// Two tuples of the same relation conflict if they jointly violate an FD.
+bool Conflicts(const Tuple& a, const Tuple& b,
+               const std::vector<FunctionalDependency>& fds) {
+  for (const FunctionalDependency& fd : fds) {
+    bool lhs_eq = true;
+    for (size_t c : fd.lhs) {
+      if (a[c] != b[c]) {
+        lhs_eq = false;
+        break;
+      }
+    }
+    if (!lhs_eq) continue;
+    for (size_t c : fd.rhs) {
+      if (a[c] != b[c]) return true;
+    }
+  }
+  return false;
+}
+
+Result<ConflictGraph> BuildConflictGraph(const Database& db,
+                                         const FdSet& fds) {
+  ConflictGraph g;
+  for (const auto& [name, rel] : db.relations()) {
+    auto it = fds.find(name);
+    const std::vector<FunctionalDependency>* rel_fds =
+        it == fds.end() ? nullptr : &it->second;
+    if (rel_fds != nullptr) {
+      for (const FunctionalDependency& fd : *rel_fds) {
+        for (size_t c : fd.lhs) {
+          if (c >= rel.arity()) {
+            return Status::InvalidArgument("FD column out of range for " +
+                                           name);
+          }
+        }
+        for (size_t c : fd.rhs) {
+          if (c >= rel.arity()) {
+            return Status::InvalidArgument("FD column out of range for " +
+                                           name);
+          }
+        }
+      }
+    }
+    const size_t first = g.tuples.size();
+    for (const Tuple& t : rel.tuples()) {
+      g.tuples.push_back({name, t});
+    }
+    g.adj.resize(g.tuples.size());
+    if (rel_fds == nullptr) continue;
+    for (size_t i = first; i < g.tuples.size(); ++i) {
+      for (size_t j = i + 1; j < g.tuples.size(); ++j) {
+        if (Conflicts(g.tuples[i].tuple, g.tuples[j].tuple, *rel_fds)) {
+          g.adj[i].push_back(j);
+          g.adj[j].push_back(i);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+// Enumerates maximal independent sets of the conflict graph via
+// Bron–Kerbosch (with pivoting) on the complement: an independent set of G
+// is a clique of Ḡ. We work directly with independence tests.
+class MisEnumerator {
+ public:
+  MisEnumerator(const ConflictGraph& g, size_t max_results)
+      : g_(g), max_results_(max_results) {
+    adj_sets_.resize(g.tuples.size());
+    for (size_t i = 0; i < g.adj.size(); ++i) {
+      adj_sets_[i] = std::set<size_t>(g.adj[i].begin(), g.adj[i].end());
+    }
+  }
+
+  Status Run(const std::function<bool(const std::vector<size_t>&)>& fn) {
+    fn_ = &fn;
+    std::vector<size_t> r;
+    std::vector<size_t> p(g_.tuples.size());
+    for (size_t i = 0; i < p.size(); ++i) p[i] = i;
+    std::vector<size_t> x;
+    stopped_ = false;
+    INCDB_RETURN_IF_ERROR(Rec(&r, p, x));
+    return Status::OK();
+  }
+
+ private:
+  // Non-adjacent in conflict graph = adjacent in complement.
+  bool CompAdjacent(size_t a, size_t b) const {
+    return a != b && adj_sets_[a].count(b) == 0;
+  }
+
+  Status Rec(std::vector<size_t>* r, std::vector<size_t> p,
+             std::vector<size_t> x) {
+    if (stopped_) return Status::OK();
+    if (p.empty() && x.empty()) {
+      if (++emitted_ > max_results_) {
+        return Status::ResourceExhausted("too many repairs to enumerate");
+      }
+      if (!(*fn_)(*r)) stopped_ = true;
+      return Status::OK();
+    }
+    // Pivot: vertex of p ∪ x with most complement-neighbours in p.
+    size_t pivot = SIZE_MAX;
+    size_t best = 0;
+    for (const auto& pool : {p, x}) {
+      for (size_t u : pool) {
+        size_t count = 0;
+        for (size_t v : p) {
+          if (CompAdjacent(u, v)) ++count;
+        }
+        if (pivot == SIZE_MAX || count > best) {
+          pivot = u;
+          best = count;
+        }
+      }
+    }
+    std::vector<size_t> candidates;
+    for (size_t v : p) {
+      if (pivot == SIZE_MAX || !CompAdjacent(pivot, v)) candidates.push_back(v);
+    }
+    for (size_t v : candidates) {
+      r->push_back(v);
+      std::vector<size_t> p2, x2;
+      for (size_t u : p) {
+        if (CompAdjacent(v, u)) p2.push_back(u);
+      }
+      for (size_t u : x) {
+        if (CompAdjacent(v, u)) x2.push_back(u);
+      }
+      INCDB_RETURN_IF_ERROR(Rec(r, std::move(p2), std::move(x2)));
+      r->pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+      if (stopped_) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  const ConflictGraph& g_;
+  size_t max_results_;
+  std::vector<std::set<size_t>> adj_sets_;
+  const std::function<bool(const std::vector<size_t>&)>* fn_ = nullptr;
+  size_t emitted_ = 0;
+  bool stopped_ = false;
+};
+
+Database MaterializeRepair(const Database& db, const ConflictGraph& g,
+                           const std::vector<size_t>& kept) {
+  Database out(db.schema());
+  // Declare all relations so empty ones stay typed.
+  for (const auto& [name, rel] : db.relations()) {
+    out.MutableRelation(name, rel.arity());
+  }
+  for (size_t idx : kept) {
+    out.AddTuple(g.tuples[idx].relation, g.tuples[idx].tuple);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<bool> IsConsistent(const Database& db, const FdSet& fds) {
+  for (const auto& [name, rel_fds] : fds) {
+    for (const FunctionalDependency& fd : rel_fds) {
+      INCDB_ASSIGN_OR_RETURN(bool ok, SatisfiesFD(db.GetRelation(name), fd));
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+Result<size_t> CountConflicts(const Database& db, const FdSet& fds) {
+  INCDB_ASSIGN_OR_RETURN(ConflictGraph g, BuildConflictGraph(db, fds));
+  size_t edges = 0;
+  for (const auto& ns : g.adj) edges += ns.size();
+  return edges / 2;
+}
+
+Status ForEachRepair(const Database& db, const FdSet& fds,
+                     const std::function<bool(const Database&)>& fn,
+                     size_t max_repairs) {
+  INCDB_ASSIGN_OR_RETURN(ConflictGraph g, BuildConflictGraph(db, fds));
+  MisEnumerator mis(g, max_repairs);
+  return mis.Run([&](const std::vector<size_t>& kept) {
+    return fn(MaterializeRepair(db, g, kept));
+  });
+}
+
+Result<std::vector<Database>> AllRepairs(const Database& db, const FdSet& fds,
+                                         size_t max_repairs) {
+  std::vector<Database> out;
+  INCDB_RETURN_IF_ERROR(ForEachRepair(
+      db, fds,
+      [&](const Database& r) {
+        out.push_back(r);
+        return true;
+      },
+      max_repairs));
+  return out;
+}
+
+Result<Relation> ConsistentAnswers(const RAExprPtr& q, const Database& db,
+                                   const FdSet& fds, size_t max_repairs) {
+  INCDB_ASSIGN_OR_RETURN(size_t arity, q->InferArity(db.schema()));
+  Relation acc(arity);
+  bool first = true;
+  Status eval_error = Status::OK();
+  INCDB_RETURN_IF_ERROR(ForEachRepair(
+      db, fds,
+      [&](const Database& repair) {
+        auto ans = EvalNaive(q, repair);
+        if (!ans.ok()) {
+          eval_error = ans.status();
+          return false;
+        }
+        if (first) {
+          acc = *ans;
+          first = false;
+        } else {
+          Relation next(arity);
+          for (const Tuple& t : acc.tuples()) {
+            if (ans->Contains(t)) next.Add(t);
+          }
+          acc = std::move(next);
+        }
+        return !acc.empty() || first;
+      },
+      max_repairs));
+  INCDB_RETURN_IF_ERROR(eval_error);
+  return acc;
+}
+
+}  // namespace incdb

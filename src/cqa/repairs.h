@@ -1,0 +1,59 @@
+// Consistent query answering over inconsistent databases.
+//
+// One of the paper's headline applications (Section 7): "in data
+// integration, data exchange, and consistent query answering ... the
+// standard semantics of query answering is based on certain answers". Here
+// the possible worlds are the *repairs* of an FD-violating database — the
+// ⊆-maximal consistent subinstances — and the consistent answers are the
+// certain answers over them:
+//
+//   consistent(Q, D, Σ) = ⋂ { Q(R) | R a repair of D w.r.t. Σ }
+//
+// FD violations are pairwise conflicts, so repairs are exactly the maximal
+// independent sets of the conflict graph; we enumerate them with
+// Bron–Kerbosch over the complement. Exponential in the worst case (there
+// can be exponentially many repairs), as theory demands.
+
+#ifndef INCDB_CQA_REPAIRS_H_
+#define INCDB_CQA_REPAIRS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/ast.h"
+#include "constraints/fd.h"
+#include "core/database.h"
+
+namespace incdb {
+
+/// FD constraints per relation name.
+using FdSet = std::map<std::string, std::vector<FunctionalDependency>>;
+
+/// True if every relation satisfies its FDs (marked nulls compared
+/// syntactically, i.e. naïve satisfaction).
+Result<bool> IsConsistent(const Database& db, const FdSet& fds);
+
+/// Number of conflicting tuple pairs across all relations.
+Result<size_t> CountConflicts(const Database& db, const FdSet& fds);
+
+/// Invokes `fn` on every repair (⊆-maximal consistent subinstance);
+/// stops early if `fn` returns false. Errors if the enumeration exceeds
+/// `max_repairs`.
+Status ForEachRepair(const Database& db, const FdSet& fds,
+                     const std::function<bool(const Database&)>& fn,
+                     size_t max_repairs = 1'000'000);
+
+/// Materializes all repairs (use for small inputs / tests).
+Result<std::vector<Database>> AllRepairs(const Database& db, const FdSet& fds,
+                                         size_t max_repairs = 100'000);
+
+/// Consistent answers: ⋂ over repairs of the naïve evaluation of `q`.
+Result<Relation> ConsistentAnswers(const RAExprPtr& q, const Database& db,
+                                   const FdSet& fds,
+                                   size_t max_repairs = 100'000);
+
+}  // namespace incdb
+
+#endif  // INCDB_CQA_REPAIRS_H_

@@ -1,0 +1,46 @@
+// The Imieliński–Lipski algebra on conditional tables: a strong
+// representation system for full relational algebra under CWA.
+//
+// For every operator the result's worlds are exactly the operator applied to
+// the input's worlds: ⟦Q(T)⟧_cwa = Q(⟦T⟧_cwa). The price is condition
+// growth — difference multiplies each left row's condition by the negation
+// of every right row (bench E5 measures this).
+//
+// Supported selection predicates: equalities/inequalities under AND/OR/NOT
+// (order comparisons are admitted only when both operands resolve to
+// constants — a condition on nulls with `<` is outside the equality-
+// condition language of c-tables).
+
+#ifndef INCDB_CTABLES_CTABLE_ALGEBRA_H_
+#define INCDB_CTABLES_CTABLE_ALGEBRA_H_
+
+#include "algebra/ast.h"
+#include "ctables/ctable.h"
+
+namespace incdb {
+
+/// Evaluates a relational algebra expression over a c-table database.
+/// Division is expanded to its σπ×− form first. Δ ranges over the active
+/// domain (constants and nulls) of the c-database.
+Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db);
+
+/// Converts a selection predicate applied to a (possibly null-carrying)
+/// tuple into a condition. Fails (kUnsupported) for order comparisons with
+/// unresolved nulls and for IS NULL (which is not world-invariant).
+Result<ConditionPtr> PredicateToCondition(const PredicatePtr& pred,
+                                          const Tuple& t);
+
+// Individual operators, exposed for tests.
+Result<CTable> SelectCT(const PredicatePtr& pred, const CTable& in);
+CTable ProjectCT(const std::vector<size_t>& cols, const CTable& in);
+CTable ProductCT(const CTable& l, const CTable& r);
+Result<CTable> UnionCT(const CTable& l, const CTable& r);
+Result<CTable> DiffCT(const CTable& l, const CTable& r);
+Result<CTable> IntersectCT(const CTable& l, const CTable& r);
+
+/// Condition "t = s" componentwise.
+ConditionPtr TuplesEqualCondition(const Tuple& t, const Tuple& s);
+
+}  // namespace incdb
+
+#endif  // INCDB_CTABLES_CTABLE_ALGEBRA_H_

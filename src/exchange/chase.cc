@@ -1,0 +1,104 @@
+#include "exchange/chase.h"
+
+#include <map>
+
+#include "core/homomorphism.h"
+
+namespace incdb {
+namespace {
+
+// All bindings of a tgd body over `db`, one relation row per binding, with
+// columns in BodyVars() order.
+Result<Relation> BodyMatches(const Tgd& tgd, const Database& db,
+                             const std::vector<VarId>& body_vars) {
+  ConjunctiveQuery q;
+  q.body = tgd.body;
+  for (VarId v : body_vars) q.head.push_back(FoTerm::Var(v));
+  return EvalCQ(q, db);
+}
+
+}  // namespace
+
+Result<ChaseResult> ChaseStTgds(const Database& source,
+                                const SchemaMapping& mapping) {
+  INCDB_RETURN_IF_ERROR(mapping.Validate());
+  ChaseResult result;
+  NullId next_null = source.FreshNullId();
+
+  for (const Tgd& tgd : mapping.tgds) {
+    const std::vector<VarId> body_vars = tgd.BodyVars();
+    const std::vector<VarId> exist_vars = tgd.ExistentialVars();
+    INCDB_ASSIGN_OR_RETURN(Relation matches,
+                           BodyMatches(tgd, source, body_vars));
+    for (const Tuple& binding : matches.tuples()) {
+      ++result.triggers_fired;
+      // Environment: body vars from the binding, existential vars fresh.
+      std::map<VarId, Value> env;
+      for (size_t i = 0; i < body_vars.size(); ++i) {
+        env[body_vars[i]] = binding[i];
+      }
+      for (VarId v : exist_vars) {
+        env[v] = Value::Null(next_null++);
+        ++result.nulls_created;
+      }
+      for (const FoAtom& atom : tgd.head) {
+        std::vector<Value> vals;
+        vals.reserve(atom.terms.size());
+        for (const FoTerm& t : atom.terms) {
+          vals.push_back(t.is_var() ? env.at(t.var) : t.constant);
+        }
+        result.target.AddTuple(atom.relation, Tuple(std::move(vals)));
+      }
+    }
+  }
+  return result;
+}
+
+Result<bool> IsSolution(const Database& source, const SchemaMapping& mapping,
+                        const Database& candidate) {
+  INCDB_RETURN_IF_ERROR(mapping.Validate());
+  for (const Tgd& tgd : mapping.tgds) {
+    const std::vector<VarId> body_vars = tgd.BodyVars();
+    INCDB_ASSIGN_OR_RETURN(Relation matches,
+                           BodyMatches(tgd, source, body_vars));
+    for (const Tuple& binding : matches.tuples()) {
+      // Build the Boolean CQ: head atoms with body vars substituted by the
+      // binding; existential vars stay variables.
+      ConjunctiveQuery q;
+      std::map<VarId, Value> env;
+      for (size_t i = 0; i < body_vars.size(); ++i) {
+        env[body_vars[i]] = binding[i];
+      }
+      for (const FoAtom& atom : tgd.head) {
+        FoAtom inst = atom;
+        for (FoTerm& t : inst.terms) {
+          if (t.is_var()) {
+            auto it = env.find(t.var);
+            if (it != env.end()) t = FoTerm::Const(it->second);
+          }
+        }
+        q.body.push_back(std::move(inst));
+      }
+      INCDB_ASSIGN_OR_RETURN(Relation found, EvalCQ(q, candidate));
+      if (found.empty()) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> IsUniversalFor(const Database& source,
+                            const SchemaMapping& mapping,
+                            const Database& universal,
+                            const Database& other_solution) {
+  INCDB_ASSIGN_OR_RETURN(bool sol, IsSolution(source, mapping, universal));
+  if (!sol) return false;
+  INCDB_ASSIGN_OR_RETURN(bool other_sol,
+                         IsSolution(source, mapping, other_solution));
+  if (!other_sol) {
+    return Status::InvalidArgument(
+        "other_solution is not a solution of the mapping");
+  }
+  return HasHomomorphism(universal, other_solution);
+}
+
+}  // namespace incdb

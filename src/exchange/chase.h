@@ -1,0 +1,43 @@
+// The naïve chase for st-tgd schema mappings.
+//
+// For every tgd and every homomorphism of its body into the source, the head
+// is materialized in the target with fresh marked nulls for the existential
+// variables (one per variable per trigger). The result is the canonical
+// universal solution of the data-exchange setting — every other solution
+// receives a homomorphism from it [Fagin-Kolaitis-Miller-Popa].
+
+#ifndef INCDB_EXCHANGE_CHASE_H_
+#define INCDB_EXCHANGE_CHASE_H_
+
+#include "exchange/mapping.h"
+
+namespace incdb {
+
+/// Output of a chase run.
+struct ChaseResult {
+  Database target;
+  size_t triggers_fired = 0;
+  size_t nulls_created = 0;
+};
+
+/// Runs the naïve chase of `mapping` on `source`. The source may itself
+/// contain nulls (they are treated as values by body matching). Fresh nulls
+/// start above any null of the source.
+Result<ChaseResult> ChaseStTgds(const Database& source,
+                                const SchemaMapping& mapping);
+
+/// True iff `candidate` is a solution: every tgd trigger in `source` has its
+/// head satisfied in `candidate` (existential variables witnessed).
+Result<bool> IsSolution(const Database& source, const SchemaMapping& mapping,
+                        const Database& candidate);
+
+/// True iff `universal` is a solution and maps homomorphically into
+/// `other_solution` (the universality check, one solution at a time).
+Result<bool> IsUniversalFor(const Database& source,
+                            const SchemaMapping& mapping,
+                            const Database& universal,
+                            const Database& other_solution);
+
+}  // namespace incdb
+
+#endif  // INCDB_EXCHANGE_CHASE_H_

@@ -1,0 +1,251 @@
+#include "exchange/general_chase.h"
+
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace incdb {
+namespace {
+
+// All bindings of `body` over `db`, columns in `vars` order.
+Result<Relation> Matches(const std::vector<FoAtom>& body, const Database& db,
+                         const std::vector<VarId>& vars) {
+  ConjunctiveQuery q;
+  q.body = body;
+  for (VarId v : vars) q.head.push_back(FoTerm::Var(v));
+  return EvalCQ(q, db);
+}
+
+std::vector<VarId> VarsOf(const std::vector<FoAtom>& atoms) {
+  std::set<VarId> vars;
+  for (const FoAtom& a : atoms) {
+    for (const FoTerm& t : a.terms) {
+      if (t.is_var()) vars.insert(t.var);
+    }
+  }
+  return std::vector<VarId>(vars.begin(), vars.end());
+}
+
+// Is the tgd head satisfied for the given body binding? (standard chase
+// trigger-activity test)
+Result<bool> HeadSatisfied(const Tgd& tgd, const Database& db,
+                           const std::vector<VarId>& body_vars,
+                           const Tuple& binding) {
+  ConjunctiveQuery q;
+  std::map<VarId, Value> env;
+  for (size_t i = 0; i < body_vars.size(); ++i) {
+    env[body_vars[i]] = binding[i];
+  }
+  for (const FoAtom& atom : tgd.head) {
+    FoAtom inst = atom;
+    for (FoTerm& t : inst.terms) {
+      if (t.is_var()) {
+        auto it = env.find(t.var);
+        if (it != env.end()) t = FoTerm::Const(it->second);
+      }
+    }
+    q.body.push_back(std::move(inst));
+  }
+  INCDB_ASSIGN_OR_RETURN(Relation found, EvalCQ(q, db));
+  return !found.empty();
+}
+
+// Substitutes value `from` by `to` everywhere in the instance.
+Database SubstituteValue(const Database& db, const Value& from,
+                         const Value& to) {
+  Database out(db.schema());
+  for (const auto& [name, rel] : db.relations()) {
+    Relation* target = out.MutableRelation(name, rel.arity());
+    for (const Tuple& t : rel.tuples()) {
+      std::vector<Value> vals;
+      vals.reserve(t.arity());
+      for (const Value& v : t.values()) {
+        vals.push_back(v == from ? to : v);
+      }
+      target->Add(Tuple(std::move(vals)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Egd::ToString() const {
+  std::vector<std::string> bs;
+  for (const FoAtom& a : body) bs.push_back(a.ToString());
+  return Join(bs, ", ") + " -> x" + std::to_string(lhs) + " = x" +
+         std::to_string(rhs);
+}
+
+Result<GeneralChaseResult> Chase(const Database& instance,
+                                 const DependencySet& deps,
+                                 const GeneralChaseOptions& options) {
+  GeneralChaseResult result;
+  result.instance = instance;
+  NullId next_null = instance.FreshNullId();
+  size_t steps = 0;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // --- egd steps first (cheaper, and unification may kill tgd triggers).
+    for (const Egd& egd : deps.egds) {
+      const std::vector<VarId> vars = VarsOf(egd.body);
+      // Map lhs/rhs to binding columns.
+      size_t li = vars.size(), ri = vars.size();
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i] == egd.lhs) li = i;
+        if (vars[i] == egd.rhs) ri = i;
+      }
+      if (li == vars.size() || ri == vars.size()) {
+        return Status::InvalidArgument("egd equates variables not in body: " +
+                                       egd.ToString());
+      }
+      bool fired = true;
+      while (fired) {
+        fired = false;
+        INCDB_ASSIGN_OR_RETURN(Relation m,
+                               Matches(egd.body, result.instance, vars));
+        for (const Tuple& b : m.tuples()) {
+          const Value& a = b[li];
+          const Value& c = b[ri];
+          if (a == c) continue;
+          if (a.is_const() && c.is_const()) {
+            result.failed = true;
+            return result;  // hard violation: no solution exists
+          }
+          if (++steps > options.max_steps) {
+            return Status::ResourceExhausted("chase exceeded max_steps");
+          }
+          ++result.egd_steps;
+          // Prefer substituting a null by the other value.
+          const Value& from = a.is_null() ? a : c;
+          const Value& to = a.is_null() ? c : a;
+          result.instance = SubstituteValue(result.instance, from, to);
+          changed = true;
+          fired = true;
+          break;  // bindings are stale after substitution
+        }
+      }
+    }
+
+    // --- tgd steps (standard chase: fire only unsatisfied triggers).
+    for (const Tgd& tgd : deps.tgds) {
+      const std::vector<VarId> body_vars = tgd.BodyVars();
+      const std::vector<VarId> exist_vars = tgd.ExistentialVars();
+      INCDB_ASSIGN_OR_RETURN(Relation m,
+                             Matches(tgd.body, result.instance, body_vars));
+      for (const Tuple& binding : m.tuples()) {
+        INCDB_ASSIGN_OR_RETURN(
+            bool satisfied,
+            HeadSatisfied(tgd, result.instance, body_vars, binding));
+        if (satisfied) continue;
+        if (++steps > options.max_steps) {
+          return Status::ResourceExhausted("chase exceeded max_steps");
+        }
+        ++result.tgd_steps;
+        std::map<VarId, Value> env;
+        for (size_t i = 0; i < body_vars.size(); ++i) {
+          env[body_vars[i]] = binding[i];
+        }
+        for (VarId v : exist_vars) env[v] = Value::Null(next_null++);
+        for (const FoAtom& atom : tgd.head) {
+          std::vector<Value> vals;
+          vals.reserve(atom.terms.size());
+          for (const FoTerm& t : atom.terms) {
+            vals.push_back(t.is_var() ? env.at(t.var) : t.constant);
+          }
+          result.instance.AddTuple(atom.relation, Tuple(std::move(vals)));
+        }
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds) {
+  // Positions: (relation, column index).
+  using Position = std::pair<std::string, size_t>;
+  std::set<Position> positions;
+  // Edges: regular and special.
+  std::map<Position, std::set<Position>> regular;
+  std::map<Position, std::set<Position>> special;
+
+  auto positions_of = [&](const std::vector<FoAtom>& atoms, VarId v) {
+    std::vector<Position> out;
+    for (const FoAtom& a : atoms) {
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        if (a.terms[i].is_var() && a.terms[i].var == v) {
+          out.push_back({a.relation, i});
+        }
+      }
+    }
+    return out;
+  };
+
+  for (const Tgd& tgd : tgds) {
+    for (const FoAtom& a : tgd.body) {
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        positions.insert({a.relation, i});
+      }
+    }
+    for (const FoAtom& a : tgd.head) {
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        positions.insert({a.relation, i});
+      }
+    }
+    const std::vector<VarId> body_vars = tgd.BodyVars();
+    const std::vector<VarId> exist_vars = tgd.ExistentialVars();
+    const std::set<VarId> exist_set(exist_vars.begin(), exist_vars.end());
+    for (VarId x : body_vars) {
+      const auto from_positions = positions_of(tgd.body, x);
+      // Regular edges: x propagated into the head.
+      for (const Position& p : from_positions) {
+        for (const Position& q : positions_of(tgd.head, x)) {
+          regular[p].insert(q);
+        }
+        // Special edges: from every body position of x to every position of
+        // every existential variable in the head.
+        for (VarId y : exist_vars) {
+          for (const Position& q : positions_of(tgd.head, y)) {
+            special[p].insert(q);
+          }
+        }
+      }
+    }
+    (void)exist_set;
+  }
+
+  // Weakly acyclic iff no cycle containing a special edge. Check: for each
+  // special edge (u, v), v must not reach u through regular ∪ special edges.
+  auto reaches = [&](const Position& from, const Position& to) {
+    std::set<Position> seen;
+    std::vector<Position> stack = {from};
+    while (!stack.empty()) {
+      Position cur = stack.back();
+      stack.pop_back();
+      if (cur == to) return true;
+      if (!seen.insert(cur).second) continue;
+      auto push_all = [&](const std::map<Position, std::set<Position>>& g) {
+        auto it = g.find(cur);
+        if (it == g.end()) return;
+        for (const Position& n : it->second) stack.push_back(n);
+      };
+      push_all(regular);
+      push_all(special);
+    }
+    return false;
+  };
+
+  for (const auto& [u, targets] : special) {
+    for (const Position& v : targets) {
+      if (reaches(v, u) || u == v) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace incdb

@@ -1,0 +1,64 @@
+// The general chase: target tgds and egds over instances with marked nulls.
+//
+// Extends the source-to-target chase (chase.h) to full dependency sets:
+//
+//  * tgds ∀x̄ (φ(x̄) → ∃ȳ ψ(x̄,ȳ)) — the *standard* chase fires a trigger only
+//    if the head is not already witnessed, so weakly acyclic sets terminate;
+//  * egds ∀x̄ (φ(x̄) → x_i = x_j) — triggers unify values: null/constant and
+//    null/null collapse (substituting throughout the instance), while
+//    constant/constant conflicts fail the chase (no solution).
+//
+// Weak acyclicity (Fagin-Kolaitis-Miller-Popa) is checked by
+// `IsWeaklyAcyclic`: the position graph must have no cycle through a
+// special (existential) edge; chasing a weakly acyclic set always
+// terminates. A step cap guards non-terminating sets.
+
+#ifndef INCDB_EXCHANGE_GENERAL_CHASE_H_
+#define INCDB_EXCHANGE_GENERAL_CHASE_H_
+
+#include "exchange/mapping.h"
+
+namespace incdb {
+
+/// An equality-generating dependency: body → lhs_var = rhs_var.
+struct Egd {
+  std::vector<FoAtom> body;
+  VarId lhs = 0;
+  VarId rhs = 0;
+
+  std::string ToString() const;
+};
+
+/// A dependency set for the general chase.
+struct DependencySet {
+  std::vector<Tgd> tgds;
+  std::vector<Egd> egds;
+};
+
+/// Outcome of a general chase run.
+struct GeneralChaseResult {
+  Database instance;
+  size_t tgd_steps = 0;
+  size_t egd_steps = 0;
+  /// True if an egd required equating two distinct constants: the
+  /// dependencies are unsatisfiable over this instance (no solution).
+  bool failed = false;
+};
+
+struct GeneralChaseOptions {
+  /// Abort (kResourceExhausted) after this many chase steps.
+  size_t max_steps = 100'000;
+};
+
+/// Chases `instance` with `deps` until no trigger is active, the chase
+/// fails on an egd, or the step cap is hit.
+Result<GeneralChaseResult> Chase(const Database& instance,
+                                 const DependencySet& deps,
+                                 const GeneralChaseOptions& options = {});
+
+/// Weak acyclicity of the tgd set (egds never threaten termination).
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds);
+
+}  // namespace incdb
+
+#endif  // INCDB_EXCHANGE_GENERAL_CHASE_H_

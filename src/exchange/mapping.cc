@@ -1,0 +1,61 @@
+#include "exchange/mapping.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace incdb {
+
+std::vector<VarId> Tgd::BodyVars() const {
+  std::set<VarId> vars;
+  for (const FoAtom& a : body) {
+    for (const FoTerm& t : a.terms) {
+      if (t.is_var()) vars.insert(t.var);
+    }
+  }
+  return std::vector<VarId>(vars.begin(), vars.end());
+}
+
+std::vector<VarId> Tgd::ExistentialVars() const {
+  std::set<VarId> body_vars;
+  for (const FoAtom& a : body) {
+    for (const FoTerm& t : a.terms) {
+      if (t.is_var()) body_vars.insert(t.var);
+    }
+  }
+  std::set<VarId> exist;
+  for (const FoAtom& a : head) {
+    for (const FoTerm& t : a.terms) {
+      if (t.is_var() && body_vars.count(t.var) == 0) exist.insert(t.var);
+    }
+  }
+  return std::vector<VarId>(exist.begin(), exist.end());
+}
+
+std::string Tgd::ToString() const {
+  std::vector<std::string> bs;
+  for (const FoAtom& a : body) bs.push_back(a.ToString());
+  std::vector<std::string> hs;
+  for (const FoAtom& a : head) hs.push_back(a.ToString());
+  return Join(bs, ", ") + " -> " + Join(hs, ", ");
+}
+
+Status SchemaMapping::Validate() const {
+  for (const Tgd& tgd : tgds) {
+    if (tgd.body.empty()) {
+      return Status::InvalidArgument("tgd with empty body: " + tgd.ToString());
+    }
+    if (tgd.head.empty()) {
+      return Status::InvalidArgument("tgd with empty head: " + tgd.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::string SchemaMapping::ToString() const {
+  std::vector<std::string> parts;
+  for (const Tgd& tgd : tgds) parts.push_back(tgd.ToString());
+  return Join(parts, "\n");
+}
+
+}  // namespace incdb

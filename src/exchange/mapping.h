@@ -1,0 +1,45 @@
+// Schema mappings: source-to-target tuple-generating dependencies (st-tgds),
+// the rules of the paper's data-interoperability motivation (Section 1):
+//
+//   Order(i, p) → Cust(x), Pref(x, p)
+//
+// formally ∀ī,p̄ ( body(ī,p̄) → ∃x̄ head(ī,p̄,x̄) ). Variables appearing only in
+// the head are existential and produce marked nulls when chased.
+
+#ifndef INCDB_EXCHANGE_MAPPING_H_
+#define INCDB_EXCHANGE_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/cq.h"
+
+namespace incdb {
+
+/// One source-to-target tgd.
+struct Tgd {
+  std::vector<FoAtom> body;  ///< over the source schema
+  std::vector<FoAtom> head;  ///< over the target schema
+
+  /// Head variables not occurring in the body (the ∃-variables), sorted.
+  std::vector<VarId> ExistentialVars() const;
+  /// Body variables, sorted.
+  std::vector<VarId> BodyVars() const;
+
+  std::string ToString() const;
+};
+
+/// A schema mapping: a finite set of st-tgds.
+struct SchemaMapping {
+  std::vector<Tgd> tgds;
+
+  /// Structural validation: nonempty bodies/heads, no body-only relations in
+  /// heads sharing names with sources is allowed but flagged elsewhere.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_EXCHANGE_MAPPING_H_

@@ -1,0 +1,135 @@
+#include "logic/containment.h"
+
+#include <map>
+
+namespace incdb {
+namespace {
+
+// Freezes a CQ's tableau: variables become reserved string constants that
+// cannot collide with user data (they carry a \x01 prefix). Returns the
+// frozen database and frozen head tuple.
+void FreezeTableau(const ConjunctiveQuery& q, Database* frozen_db,
+                   Tuple* frozen_head) {
+  std::map<VarId, Value> frz;
+  auto freeze_term = [&](const FoTerm& t) -> Value {
+    if (!t.is_var()) return t.constant;
+    auto it = frz.find(t.var);
+    if (it != frz.end()) return it->second;
+    Value c = Value::Str(std::string("\x01frz") + std::to_string(t.var));
+    frz.emplace(t.var, c);
+    return c;
+  };
+  for (const FoAtom& a : q.body) {
+    std::vector<Value> vals;
+    vals.reserve(a.terms.size());
+    for (const FoTerm& t : a.terms) vals.push_back(freeze_term(t));
+    frozen_db->AddTuple(a.relation, Tuple(std::move(vals)));
+  }
+  std::vector<Value> head_vals;
+  head_vals.reserve(q.head.size());
+  for (const FoTerm& t : q.head) head_vals.push_back(freeze_term(t));
+  *frozen_head = Tuple(std::move(head_vals));
+}
+
+// Is the frozen canonical instance of q1 accepted by q2 with matching head?
+Result<bool> FrozenAccepted(const ConjunctiveQuery& q1,
+                            const ConjunctiveQuery& q2) {
+  Database frozen;
+  Tuple head;
+  FreezeTableau(q1, &frozen, &head);
+  INCDB_ASSIGN_OR_RETURN(Relation answers, EvalCQ(q2, frozen));
+  return answers.Contains(head);
+}
+
+}  // namespace
+
+Result<bool> CQContained(const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2) {
+  if (q1.head.size() != q2.head.size()) {
+    return Status::InvalidArgument("containment requires equal head arities");
+  }
+  return FrozenAccepted(q1, q2);
+}
+
+Result<bool> UCQContained(const UnionOfCQs& q1, const UnionOfCQs& q2) {
+  INCDB_ASSIGN_OR_RETURN(size_t a1, q1.HeadArity());
+  INCDB_ASSIGN_OR_RETURN(size_t a2, q2.HeadArity());
+  if (a1 != a2) {
+    return Status::InvalidArgument("containment requires equal head arities");
+  }
+  for (const ConjunctiveQuery& d1 : q1.disjuncts) {
+    bool contained = false;
+    for (const ConjunctiveQuery& d2 : q2.disjuncts) {
+      INCDB_ASSIGN_OR_RETURN(bool c, FrozenAccepted(d1, d2));
+      if (c) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) return false;
+  }
+  return true;
+}
+
+Result<bool> CertainOwaBoolean(const ConjunctiveQuery& q, const Database& d) {
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument("CertainOwaBoolean requires a Boolean CQ");
+  }
+  // Duality: certain_owa(Q, D) ⇔ Q_D ⊆ Q ⇔ D ⊨ Q naïvely.
+  INCDB_ASSIGN_OR_RETURN(Relation r, EvalCQ(q, d));
+  return !r.empty();
+}
+
+Result<bool> CertainOwaBoolean(const UnionOfCQs& q, const Database& d) {
+  for (const ConjunctiveQuery& cq : q.disjuncts) {
+    INCDB_ASSIGN_OR_RETURN(bool b, CertainOwaBoolean(cq, d));
+    if (b) return true;
+  }
+  return false;
+}
+
+Result<Relation> CertainOwaAnswers(const UnionOfCQs& q, const Database& d) {
+  INCDB_ASSIGN_OR_RETURN(Relation naive, EvalUCQ(q, d));
+  Relation out(naive.arity());
+  for (const Tuple& t : naive.tuples()) {
+    if (!t.HasNull()) out.Add(t);
+  }
+  return out;
+}
+
+Result<ConjunctiveQuery> MinimizeCQ(const ConjunctiveQuery& q) {
+  ConjunctiveQuery cur = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < cur.body.size(); ++i) {
+      if (cur.body.size() == 1) break;  // keep at least one atom
+      ConjunctiveQuery cand = cur;
+      cand.body.erase(cand.body.begin() + static_cast<long>(i));
+      // Removing atoms can only weaken: cur ⊆ cand always. Equivalent iff
+      // cand ⊆ cur. Also reject candidates with unsafe heads.
+      bool safe = true;
+      {
+        std::set<VarId> body_vars;
+        for (const FoAtom& a : cand.body) {
+          for (const FoTerm& t : a.terms) {
+            if (t.is_var()) body_vars.insert(t.var);
+          }
+        }
+        for (const FoTerm& t : cand.head) {
+          if (t.is_var() && body_vars.count(t.var) == 0) safe = false;
+        }
+      }
+      if (!safe) continue;
+      INCDB_ASSIGN_OR_RETURN(bool equiv, CQContained(cand, cur));
+      if (equiv) {
+        cur = std::move(cand);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace incdb

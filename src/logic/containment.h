@@ -1,0 +1,44 @@
+// Query containment and the certain-answer ↔ containment connection
+// (paper, Section 4).
+//
+// Chandra–Merlin: Q1 ⊆ Q2 iff there is a homomorphism from the tableau of Q2
+// into the tableau of Q1 mapping head to head. We reduce head preservation
+// to plain database homomorphism by adding a reserved head relation holding
+// the head tuple on both sides, and by *freezing* Q1's tableau (its
+// variables become fresh constants) so the homomorphism may not move them.
+//
+// Certain answers under OWA then come for free: for a Boolean CQ (or UCQ) Q,
+// certain_owa(Q, D) is true iff Q_D ⊆ Q iff D ⊨ Q naïvely.
+
+#ifndef INCDB_LOGIC_CONTAINMENT_H_
+#define INCDB_LOGIC_CONTAINMENT_H_
+
+#include "logic/cq.h"
+
+namespace incdb {
+
+/// True iff Q1 ⊆ Q2 (over all complete databases). Head arities must match.
+Result<bool> CQContained(const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2);
+
+/// UCQ containment: Q1 ⊆ Q2 iff every disjunct of Q1 is contained in Q2,
+/// and a CQ is contained in a UCQ iff it is contained in some disjunct.
+Result<bool> UCQContained(const UnionOfCQs& q1, const UnionOfCQs& q2);
+
+/// Boolean certain answer under OWA via the duality: certain_owa(Q, D) is
+/// true iff the canonical query of D is contained in Q iff D ⊨ Q naïvely.
+Result<bool> CertainOwaBoolean(const ConjunctiveQuery& q, const Database& d);
+Result<bool> CertainOwaBoolean(const UnionOfCQs& q, const Database& d);
+
+/// Non-Boolean certain answers under OWA for (U)CQs: naïve evaluation with
+/// null-containing tuples dropped — sound and complete for this fragment.
+Result<Relation> CertainOwaAnswers(const UnionOfCQs& q, const Database& d);
+
+/// Minimizes a Boolean CQ by computing its core (removing body atoms whose
+/// removal keeps the query equivalent). Exposed because tableau cores are
+/// the canonical representatives of ⪯_owa-equivalence classes.
+Result<ConjunctiveQuery> MinimizeCQ(const ConjunctiveQuery& q);
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_CONTAINMENT_H_

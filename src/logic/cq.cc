@@ -1,0 +1,202 @@
+#include "logic/cq.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace incdb {
+
+std::vector<VarId> ConjunctiveQuery::Variables() const {
+  std::set<VarId> vars;
+  for (const FoTerm& t : head) {
+    if (t.is_var()) vars.insert(t.var);
+  }
+  for (const FoAtom& a : body) {
+    for (const FoTerm& t : a.terms) {
+      if (t.is_var()) vars.insert(t.var);
+    }
+  }
+  return std::vector<VarId>(vars.begin(), vars.end());
+}
+
+FormulaPtr ConjunctiveQuery::ToFormula() const {
+  std::vector<FormulaPtr> atoms;
+  atoms.reserve(body.size());
+  for (const FoAtom& a : body) atoms.push_back(Formula::Atom(a));
+  FormulaPtr conj = Formula::AndAll(std::move(atoms));
+  // Existentially quantify body-only variables.
+  std::set<VarId> head_vars;
+  for (const FoTerm& t : head) {
+    if (t.is_var()) head_vars.insert(t.var);
+  }
+  std::set<VarId> exist;
+  for (const FoAtom& a : body) {
+    for (const FoTerm& t : a.terms) {
+      if (t.is_var() && head_vars.count(t.var) == 0) exist.insert(t.var);
+    }
+  }
+  return Formula::Exists(std::vector<VarId>(exist.begin(), exist.end()),
+                         conj);
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::vector<std::string> hs;
+  for (const FoTerm& t : head) hs.push_back(t.ToString());
+  std::vector<std::string> bs;
+  for (const FoAtom& a : body) bs.push_back(a.ToString());
+  return "ans(" + Join(hs, ", ") + ") :- " + Join(bs, ", ");
+}
+
+Result<size_t> UnionOfCQs::HeadArity() const {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("empty UCQ has no head arity");
+  }
+  const size_t arity = disjuncts[0].head.size();
+  for (const ConjunctiveQuery& q : disjuncts) {
+    if (q.head.size() != arity) {
+      return Status::InvalidArgument("UCQ members have different head arities");
+    }
+  }
+  return arity;
+}
+
+std::string UnionOfCQs::ToString() const {
+  std::vector<std::string> parts;
+  for (const ConjunctiveQuery& q : disjuncts) parts.push_back(q.ToString());
+  return Join(parts, "  |  ");
+}
+
+ConjunctiveQuery CanonicalCQ(const Database& d) {
+  ConjunctiveQuery q;
+  for (const auto& [name, rel] : d.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      FoAtom a;
+      a.relation = name;
+      for (const Value& v : t.values()) {
+        if (v.is_null()) {
+          a.terms.push_back(FoTerm::Var(static_cast<VarId>(v.null_id())));
+        } else {
+          a.terms.push_back(FoTerm::Const(v));
+        }
+      }
+      q.body.push_back(std::move(a));
+    }
+  }
+  return q;
+}
+
+Database TableauOf(const ConjunctiveQuery& q, Tuple* head_tuple) {
+  Database d;
+  auto term_value = [](const FoTerm& t) -> Value {
+    if (t.is_var()) return Value::Null(static_cast<NullId>(t.var));
+    return t.constant;
+  };
+  for (const FoAtom& a : q.body) {
+    std::vector<Value> vals;
+    vals.reserve(a.terms.size());
+    for (const FoTerm& t : a.terms) vals.push_back(term_value(t));
+    d.AddTuple(a.relation, Tuple(std::move(vals)));
+  }
+  if (head_tuple != nullptr) {
+    std::vector<Value> vals;
+    vals.reserve(q.head.size());
+    for (const FoTerm& t : q.head) vals.push_back(term_value(t));
+    *head_tuple = Tuple(std::move(vals));
+  }
+  return d;
+}
+
+Result<Relation> EvalCQ(const ConjunctiveQuery& q, const Database& db) {
+  // Backtracking join over the body atoms.
+  for (const FoAtom& a : q.body) {
+    if (db.schema().HasRelation(a.relation)) {
+      INCDB_ASSIGN_OR_RETURN(size_t arity, db.schema().Arity(a.relation));
+      if (arity != a.terms.size()) {
+        return Status::InvalidArgument("atom arity mismatch on " + a.relation);
+      }
+    }
+  }
+  // Head variables must appear in the body (safety).
+  {
+    std::set<VarId> body_vars;
+    for (const FoAtom& a : q.body) {
+      for (const FoTerm& t : a.terms) {
+        if (t.is_var()) body_vars.insert(t.var);
+      }
+    }
+    for (const FoTerm& t : q.head) {
+      if (t.is_var() && body_vars.count(t.var) == 0) {
+        return Status::InvalidArgument("unsafe head variable x" +
+                                       std::to_string(t.var));
+      }
+    }
+  }
+
+  Relation out(q.head.size());
+  std::map<VarId, Value> env;
+
+  // Boolean queries short-circuit on the first satisfying assignment —
+  // this is what makes certain_owa checks (Section 4 duality) cheap in the
+  // positive case.
+  bool done = false;
+  std::function<void(size_t)> rec = [&](size_t idx) {
+    if (done) return;
+    if (idx == q.body.size()) {
+      std::vector<Value> vals;
+      vals.reserve(q.head.size());
+      for (const FoTerm& t : q.head) {
+        vals.push_back(t.is_var() ? env.at(t.var) : t.constant);
+      }
+      out.Add(Tuple(std::move(vals)));
+      if (q.head.empty()) done = true;
+      return;
+    }
+    const FoAtom& a = q.body[idx];
+    const Relation& rel = db.GetRelation(a.relation);
+    for (const Tuple& t : rel.tuples()) {
+      if (t.arity() != a.terms.size()) continue;
+      std::vector<VarId> bound;
+      bool ok = true;
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        const FoTerm& term = a.terms[i];
+        if (!term.is_var()) {
+          if (term.constant != t[i]) {
+            ok = false;
+            break;
+          }
+        } else {
+          auto it = env.find(term.var);
+          if (it != env.end()) {
+            if (it->second != t[i]) {
+              ok = false;
+              break;
+            }
+          } else {
+            env[term.var] = t[i];
+            bound.push_back(term.var);
+          }
+        }
+      }
+      if (ok) rec(idx + 1);
+      for (VarId v : bound) env.erase(v);
+      if (done) return;
+    }
+  };
+  rec(0);
+  return out;
+}
+
+Result<Relation> EvalUCQ(const UnionOfCQs& q, const Database& db) {
+  INCDB_ASSIGN_OR_RETURN(size_t arity, q.HeadArity());
+  Relation out(arity);
+  for (const ConjunctiveQuery& cq : q.disjuncts) {
+    INCDB_ASSIGN_OR_RETURN(Relation r, EvalCQ(cq, db));
+    out.AddAll(r);
+  }
+  return out;
+}
+
+}  // namespace incdb

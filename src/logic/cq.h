@@ -1,0 +1,65 @@
+// Conjunctive queries and the query/database duality (paper, Section 4).
+//
+// A CQ is ans(x̄) :- A_1, ..., A_m with body atoms over variables and
+// constants. The *tableau* of a Boolean CQ is the naïve database whose nulls
+// are the query's variables; conversely every naïve database is the tableau
+// of its canonical Boolean CQ — equation (5): Mod_C(Q_D) = ⟦D⟧_owa.
+
+#ifndef INCDB_LOGIC_CQ_H_
+#define INCDB_LOGIC_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "logic/formula.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// A conjunctive query: head variables (possibly repeated) + body atoms.
+struct ConjunctiveQuery {
+  /// Head terms (the answer tuple); variables must occur in the body.
+  std::vector<FoTerm> head;
+  /// Body atoms; conjunction, all non-head variables existential.
+  std::vector<FoAtom> body;
+
+  bool IsBoolean() const { return head.empty(); }
+
+  /// All variables occurring in head or body, sorted.
+  std::vector<VarId> Variables() const;
+
+  /// ∃-positive formula equivalent (head variables free).
+  FormulaPtr ToFormula() const;
+
+  /// "ans(x0) :- R(x0, x1), S(x1)"
+  std::string ToString() const;
+};
+
+/// A union of conjunctive queries; all members must share head arity.
+struct UnionOfCQs {
+  std::vector<ConjunctiveQuery> disjuncts;
+
+  Result<size_t> HeadArity() const;
+  std::string ToString() const;
+};
+
+/// The canonical Boolean CQ of a naïve database: one atom per tuple, nulls
+/// as existential variables (duality direction D ↦ Q_D).
+ConjunctiveQuery CanonicalCQ(const Database& d);
+
+/// The tableau of a CQ: body atoms as a naïve database with variables read
+/// as nulls (duality direction Q ↦ D_Q). Also returns, via `head_tuple`, the
+/// head with variables replaced by the same nulls. Constants stay put.
+Database TableauOf(const ConjunctiveQuery& q, Tuple* head_tuple = nullptr);
+
+/// Evaluates a CQ on a database naïvely (nulls as values): all head-tuple
+/// bindings of homomorphisms from the body into db.
+Result<Relation> EvalCQ(const ConjunctiveQuery& q, const Database& db);
+
+/// Evaluates a UCQ (union of the members' answers).
+Result<Relation> EvalUCQ(const UnionOfCQs& q, const Database& db);
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_CQ_H_

@@ -1,0 +1,70 @@
+#include "logic/diagram.h"
+
+#include <algorithm>
+
+namespace incdb {
+namespace {
+
+FoTerm ValueTerm(const Value& v) {
+  if (v.is_null()) return FoTerm::Var(NullVar(v.null_id()));
+  return FoTerm::Const(v);
+}
+
+std::vector<VarId> NullVarsOf(const Database& d) {
+  std::vector<VarId> vars;
+  for (NullId id : d.Nulls()) vars.push_back(NullVar(id));
+  return vars;
+}
+
+}  // namespace
+
+FormulaPtr PositiveDiagram(const Database& d) {
+  std::vector<FormulaPtr> atoms;
+  for (const auto& [name, rel] : d.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      std::vector<FoTerm> terms;
+      terms.reserve(t.arity());
+      for (const Value& v : t.values()) terms.push_back(ValueTerm(v));
+      atoms.push_back(Formula::Atom(name, std::move(terms)));
+    }
+  }
+  return Formula::AndAll(std::move(atoms));
+}
+
+FormulaPtr DeltaOwa(const Database& d) {
+  return Formula::Exists(NullVarsOf(d), PositiveDiagram(d));
+}
+
+FormulaPtr DeltaCwa(const Database& d) {
+  std::vector<FormulaPtr> parts;
+  parts.push_back(PositiveDiagram(d));
+
+  // Fresh variables for the universal guards, beyond all null variables.
+  VarId next = 0;
+  for (NullId id : d.Nulls()) next = std::max(next, NullVar(id) + 1);
+
+  for (const auto& [name, rel] : d.relations()) {
+    const size_t k = rel.arity();
+    std::vector<FoTerm> guard_terms;
+    std::vector<VarId> ys;
+    for (size_t i = 0; i < k; ++i) {
+      ys.push_back(next);
+      guard_terms.push_back(FoTerm::Var(next));
+      ++next;
+    }
+    // ⋁_{t ∈ R^D} ȳ = t
+    std::vector<FormulaPtr> disjuncts;
+    for (const Tuple& t : rel.tuples()) {
+      std::vector<FormulaPtr> eqs;
+      for (size_t i = 0; i < k; ++i) {
+        eqs.push_back(Formula::Eq(FoTerm::Var(ys[i]), ValueTerm(t[i])));
+      }
+      disjuncts.push_back(Formula::AndAll(std::move(eqs)));
+    }
+    parts.push_back(Formula::GuardedForall(
+        FoAtom{name, guard_terms}, Formula::OrAll(std::move(disjuncts))));
+  }
+  return Formula::Exists(NullVarsOf(d), Formula::AndAll(std::move(parts)));
+}
+
+}  // namespace incdb

@@ -1,0 +1,39 @@
+// Diagram formulas: the logical-theory view of incomplete databases
+// (paper, Sections 4 and 5.2).
+//
+// For an incomplete database D with Null(D) = {⊥_1, ..., ⊥_n}:
+//
+//   PosDiag(D)   — conjunction of all atoms of D with ⊥_i read as variable
+//                  x_i (free).
+//   δ_D^owa      — ∃ x̄ PosDiag(D); then Mod_C(δ_D^owa) = ⟦D⟧_owa.
+//   δ_D^cwa      — ∃ x̄ ( PosDiag(D) ∧ ⋀_R ∀ȳ (R(ȳ) → ⋁_{t∈R^D} ȳ = t) );
+//                  then Mod_C(δ_D^cwa) = ⟦D⟧_cwa. The closure conjunct uses
+//                  guarded universals only, so δ_D^cwa ∈ Pos∀G.
+
+#ifndef INCDB_LOGIC_DIAGRAM_H_
+#define INCDB_LOGIC_DIAGRAM_H_
+
+#include <map>
+
+#include "core/database.h"
+#include "logic/formula.h"
+
+namespace incdb {
+
+/// Mapping from the nulls of a database to the variables of its diagram.
+/// Null ⊥_i maps to variable with the same numeric id.
+inline VarId NullVar(NullId id) { return static_cast<VarId>(id); }
+
+/// The positive diagram: conjunction of atoms, nulls as free variables.
+/// Empty database yields True().
+FormulaPtr PositiveDiagram(const Database& d);
+
+/// δ_D for the OWA semantics.
+FormulaPtr DeltaOwa(const Database& d);
+
+/// δ_D for the CWA semantics (a Pos∀G sentence).
+FormulaPtr DeltaCwa(const Database& d);
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_DIAGRAM_H_

@@ -1,0 +1,272 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace incdb {
+
+bool FoTerm::operator==(const FoTerm& o) const {
+  if (kind != o.kind) return false;
+  return kind == Kind::kVar ? var == o.var : constant == o.constant;
+}
+
+std::string FoTerm::ToString() const {
+  if (kind == Kind::kVar) return "x" + std::to_string(var);
+  return constant.ToString();
+}
+
+std::string FoAtom::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(terms.size());
+  for (const FoTerm& t : terms) parts.push_back(t.ToString());
+  return relation + "(" + Join(parts, ", ") + ")";
+}
+
+namespace {
+
+void CollectFreeVars(const Formula& f, std::set<VarId>* bound,
+                     std::set<VarId>* free) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return;
+    case Formula::Kind::kAtom:
+      for (const FoTerm& t : f.atom().terms) {
+        if (t.is_var() && bound->count(t.var) == 0) free->insert(t.var);
+      }
+      return;
+    case Formula::Kind::kEq:
+      if (f.lhs().is_var() && bound->count(f.lhs().var) == 0) {
+        free->insert(f.lhs().var);
+      }
+      if (f.rhs().is_var() && bound->count(f.rhs().var) == 0) {
+        free->insert(f.rhs().var);
+      }
+      return;
+    case Formula::Kind::kNot:
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      for (const FormulaPtr& c : f.children()) {
+        CollectFreeVars(*c, bound, free);
+      }
+      return;
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      std::vector<VarId> added;
+      for (VarId v : f.vars()) {
+        if (bound->insert(v).second) added.push_back(v);
+      }
+      CollectFreeVars(*f.children()[0], bound, free);
+      for (VarId v : added) bound->erase(v);
+      return;
+    }
+    case Formula::Kind::kGuardedForall: {
+      std::vector<VarId> added;
+      for (const FoTerm& t : f.atom().terms) {
+        if (t.is_var() && bound->insert(t.var).second) added.push_back(t.var);
+      }
+      CollectFreeVars(*f.children()[0], bound, free);
+      for (VarId v : added) bound->erase(v);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<VarId> Formula::FreeVars() const {
+  std::set<VarId> bound;
+  std::set<VarId> free;
+  CollectFreeVars(*this, &bound, &free);
+  return std::vector<VarId>(free.begin(), free.end());
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom:
+      return atom_.ToString();
+    case Kind::kEq:
+      return lhs_.ToString() + " = " + rhs_.ToString();
+    case Kind::kNot:
+      return "~(" + children_[0]->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + children_[0]->ToString() + " & " +
+             children_[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children_[0]->ToString() + " | " +
+             children_[1]->ToString() + ")";
+    case Kind::kExists: {
+      std::vector<std::string> vs;
+      for (VarId v : vars_) vs.push_back("x" + std::to_string(v));
+      return "E " + Join(vs, ",") + ". " + children_[0]->ToString();
+    }
+    case Kind::kForall: {
+      std::vector<std::string> vs;
+      for (VarId v : vars_) vs.push_back("x" + std::to_string(v));
+      return "A " + Join(vs, ",") + ". " + children_[0]->ToString();
+    }
+    case Kind::kGuardedForall:
+      return "A " + atom_.ToString() + " -> " + children_[0]->ToString();
+  }
+  return "?";
+}
+
+bool Formula::IsExistentialPositive() const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+    case Kind::kEq:
+      return true;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return children_[0]->IsExistentialPositive() &&
+             children_[1]->IsExistentialPositive();
+    case Kind::kExists:
+      return children_[0]->IsExistentialPositive();
+    case Kind::kNot:
+    case Kind::kForall:
+    case Kind::kGuardedForall:
+      return false;
+  }
+  return false;
+}
+
+bool Formula::IsPositiveFO() const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+    case Kind::kEq:
+      return true;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return children_[0]->IsPositiveFO() && children_[1]->IsPositiveFO();
+    case Kind::kExists:
+    case Kind::kForall:
+      return children_[0]->IsPositiveFO();
+    case Kind::kGuardedForall:
+      // A guarded ∀ uses an implication whose antecedent is an atom; the
+      // class Pos∀G extends positive FO, so this node is not *plain*
+      // positive.
+      return false;
+    case Kind::kNot:
+      return false;
+  }
+  return false;
+}
+
+bool Formula::IsPosForallG() const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+    case Kind::kEq:
+      return true;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return children_[0]->IsPosForallG() && children_[1]->IsPosForallG();
+    case Kind::kExists:
+    case Kind::kForall:
+      return children_[0]->IsPosForallG();
+    case Kind::kGuardedForall: {
+      // Guard variables must be distinct.
+      std::set<VarId> seen;
+      for (const FoTerm& t : atom_.terms) {
+        if (!t.is_var()) return false;
+        if (!seen.insert(t.var).second) return false;
+      }
+      return children_[0]->IsPosForallG();
+    }
+    case Kind::kNot:
+      return false;
+  }
+  return false;
+}
+
+FormulaPtr Formula::True() { return FormulaPtr(new Formula(Kind::kTrue)); }
+FormulaPtr Formula::False() { return FormulaPtr(new Formula(Kind::kFalse)); }
+
+FormulaPtr Formula::Atom(FoAtom a) {
+  auto* f = new Formula(Kind::kAtom);
+  f->atom_ = std::move(a);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Atom(std::string relation, std::vector<FoTerm> terms) {
+  return Atom(FoAtom{std::move(relation), std::move(terms)});
+}
+
+FormulaPtr Formula::Eq(FoTerm l, FoTerm r) {
+  auto* f = new Formula(Kind::kEq);
+  f->lhs_ = std::move(l);
+  f->rhs_ = std::move(r);
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Not(FormulaPtr a) {
+  auto* f = new Formula(Kind::kNot);
+  f->children_ = {std::move(a)};
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
+  auto* f = new Formula(Kind::kAnd);
+  f->children_ = {std::move(a), std::move(b)};
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
+  auto* f = new Formula(Kind::kOr);
+  f->children_ = {std::move(a), std::move(b)};
+  return FormulaPtr(f);
+}
+
+FormulaPtr Formula::AndAll(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return True();
+  FormulaPtr acc = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) acc = And(acc, fs[i]);
+  return acc;
+}
+
+FormulaPtr Formula::OrAll(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return False();
+  FormulaPtr acc = fs[0];
+  for (size_t i = 1; i < fs.size(); ++i) acc = Or(acc, fs[i]);
+  return acc;
+}
+
+FormulaPtr Formula::Exists(std::vector<VarId> vars, FormulaPtr f) {
+  if (vars.empty()) return f;
+  auto* out = new Formula(Kind::kExists);
+  out->vars_ = std::move(vars);
+  out->children_ = {std::move(f)};
+  return FormulaPtr(out);
+}
+
+FormulaPtr Formula::Forall(std::vector<VarId> vars, FormulaPtr f) {
+  if (vars.empty()) return f;
+  auto* out = new Formula(Kind::kForall);
+  out->vars_ = std::move(vars);
+  out->children_ = {std::move(f)};
+  return FormulaPtr(out);
+}
+
+FormulaPtr Formula::GuardedForall(FoAtom guard, FormulaPtr f) {
+  auto* out = new Formula(Kind::kGuardedForall);
+  out->atom_ = std::move(guard);
+  out->children_ = {std::move(f)};
+  return FormulaPtr(out);
+}
+
+FormulaPtr Formula::Implies(FormulaPtr a, FormulaPtr b) {
+  return Or(Not(std::move(a)), std::move(b));
+}
+
+}  // namespace incdb

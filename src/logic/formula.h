@@ -1,0 +1,122 @@
+// First-order formulas over a relational vocabulary.
+//
+// The library uses FO formulas for the paper's logical-theory view of
+// incompleteness (Section 4): an incomplete database *is* a formula (its
+// positive diagram under OWA, its diagram-plus-closure under CWA), certain
+// answers are implication, and fragments (existential positive = UCQ,
+// positive, Pos∀G) determine when naïve evaluation is correct.
+//
+// Universally guarded quantification ∀x̄ (R(x̄) → φ) gets its own node kind so
+// the Pos∀G classifier is purely syntactic, exactly as in the paper.
+
+#ifndef INCDB_LOGIC_FORMULA_H_
+#define INCDB_LOGIC_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace incdb {
+
+/// Logical variable identifier.
+using VarId = uint32_t;
+
+/// A term: a variable or a constant.
+struct FoTerm {
+  enum class Kind { kVar, kConst };
+  Kind kind = Kind::kVar;
+  VarId var = 0;
+  Value constant;
+
+  static FoTerm Var(VarId v) { return FoTerm{Kind::kVar, v, Value()}; }
+  static FoTerm Const(Value c) {
+    return FoTerm{Kind::kConst, 0, std::move(c)};
+  }
+
+  bool is_var() const { return kind == Kind::kVar; }
+  bool operator==(const FoTerm& o) const;
+  std::string ToString() const;
+};
+
+/// A relational atom R(t1, ..., tk).
+struct FoAtom {
+  std::string relation;
+  std::vector<FoTerm> terms;
+
+  std::string ToString() const;
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Immutable FO formula node.
+class Formula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAtom,           ///< R(t̄)
+    kEq,             ///< t1 = t2
+    kNot,
+    kAnd,
+    kOr,
+    kExists,         ///< ∃ vars . φ
+    kForall,         ///< ∀ vars . φ  (unguarded)
+    kGuardedForall,  ///< ∀ x̄ (R(x̄) → φ)   with x̄ distinct variables
+  };
+
+  Kind kind() const { return kind_; }
+  const FoAtom& atom() const { return atom_; }
+  const FoTerm& lhs() const { return lhs_; }
+  const FoTerm& rhs() const { return rhs_; }
+  const std::vector<VarId>& vars() const { return vars_; }
+  const std::vector<FormulaPtr>& children() const { return children_; }
+
+  std::string ToString() const;
+
+  /// Free variables of the formula, sorted.
+  std::vector<VarId> FreeVars() const;
+
+  // --- Fragment membership (syntactic) ---
+  /// ∃, ∧, ∨ over atoms and equalities: existential positive (UCQ power).
+  bool IsExistentialPositive() const;
+  /// Adds ∀ (unguarded) to the above: positive FO.
+  bool IsPositiveFO() const;
+  /// Positive FO where every ∀ is relation-guarded: the Pos∀G class.
+  bool IsPosForallG() const;
+
+  // --- Factories ---
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr Atom(FoAtom a);
+  static FormulaPtr Atom(std::string relation, std::vector<FoTerm> terms);
+  static FormulaPtr Eq(FoTerm l, FoTerm r);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  /// n-ary helpers; empty input yields True()/False() respectively.
+  static FormulaPtr AndAll(std::vector<FormulaPtr> fs);
+  static FormulaPtr OrAll(std::vector<FormulaPtr> fs);
+  static FormulaPtr Exists(std::vector<VarId> vars, FormulaPtr f);
+  static FormulaPtr Forall(std::vector<VarId> vars, FormulaPtr f);
+  static FormulaPtr GuardedForall(FoAtom guard, FormulaPtr f);
+  /// Sugar: a → b as ¬a ∨ b (leaves Pos∀G if used via GuardedForall only).
+  static FormulaPtr Implies(FormulaPtr a, FormulaPtr b);
+
+ private:
+  explicit Formula(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  FoAtom atom_;
+  FoTerm lhs_;
+  FoTerm rhs_;
+  std::vector<VarId> vars_;
+  std::vector<FormulaPtr> children_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_FORMULA_H_

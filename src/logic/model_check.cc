@@ -1,0 +1,230 @@
+#include "logic/model_check.h"
+
+#include <functional>
+#include <vector>
+
+namespace incdb {
+namespace {
+
+// Collects constants appearing inside a formula.
+void CollectConstants(const Formula& f, std::set<Value>* out) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return;
+    case Formula::Kind::kAtom:
+      for (const FoTerm& t : f.atom().terms) {
+        if (!t.is_var()) out->insert(t.constant);
+      }
+      return;
+    case Formula::Kind::kEq:
+      if (!f.lhs().is_var()) out->insert(f.lhs().constant);
+      if (!f.rhs().is_var()) out->insert(f.rhs().constant);
+      return;
+    case Formula::Kind::kGuardedForall:
+      for (const FoTerm& t : f.atom().terms) {
+        if (!t.is_var()) out->insert(t.constant);
+      }
+      CollectConstants(*f.children()[0], out);
+      return;
+    default:
+      for (const FormulaPtr& c : f.children()) CollectConstants(*c, out);
+      return;
+  }
+}
+
+class Checker {
+ public:
+  Checker(const Database& db, const FormulaPtr& root) : db_(db) {
+    auto adom = db.ActiveDomain();
+    std::set<Value> consts;
+    CollectConstants(*root, &consts);
+    adom.insert(consts.begin(), consts.end());
+    domain_.assign(adom.begin(), adom.end());
+  }
+
+  Result<bool> Eval(const Formula& f, VarEnv* env) {
+    switch (f.kind()) {
+      case Formula::Kind::kTrue:
+        return true;
+      case Formula::Kind::kFalse:
+        return false;
+      case Formula::Kind::kAtom: {
+        INCDB_ASSIGN_OR_RETURN(Tuple t, Resolve(f.atom(), *env));
+        return db_.GetRelation(f.atom().relation).Contains(t);
+      }
+      case Formula::Kind::kEq: {
+        INCDB_ASSIGN_OR_RETURN(Value a, ResolveTerm(f.lhs(), *env));
+        INCDB_ASSIGN_OR_RETURN(Value b, ResolveTerm(f.rhs(), *env));
+        return a == b;
+      }
+      case Formula::Kind::kNot: {
+        INCDB_ASSIGN_OR_RETURN(bool v, Eval(*f.children()[0], env));
+        return !v;
+      }
+      case Formula::Kind::kAnd: {
+        INCDB_ASSIGN_OR_RETURN(bool a, Eval(*f.children()[0], env));
+        if (!a) return false;
+        return Eval(*f.children()[1], env);
+      }
+      case Formula::Kind::kOr: {
+        INCDB_ASSIGN_OR_RETURN(bool a, Eval(*f.children()[0], env));
+        if (a) return true;
+        return Eval(*f.children()[1], env);
+      }
+      case Formula::Kind::kExists:
+        return Quantify(f, env, /*exists=*/true);
+      case Formula::Kind::kForall:
+        return Quantify(f, env, /*exists=*/false);
+      case Formula::Kind::kGuardedForall: {
+        // ∀ x̄ (R(x̄) → φ): iterate over the tuples of R only.
+        const Relation& rel = db_.GetRelation(f.atom().relation);
+        if (rel.arity() != f.atom().terms.size() && !rel.empty()) {
+          return Status::InvalidArgument("guard arity mismatch on " +
+                                         f.atom().relation);
+        }
+        for (const Tuple& t : rel.tuples()) {
+          // Bind guard terms; constant terms in the guard filter tuples.
+          std::vector<std::pair<VarId, bool>> bound;  // (var, had_old)
+          std::vector<std::pair<VarId, Value>> old;
+          bool match = true;
+          for (size_t i = 0; i < f.atom().terms.size(); ++i) {
+            const FoTerm& gt = f.atom().terms[i];
+            if (!gt.is_var()) {
+              if (gt.constant != t[i]) {
+                match = false;
+                break;
+              }
+              continue;
+            }
+            auto it = env->find(gt.var);
+            if (it != env->end()) old.push_back({gt.var, it->second});
+            (*env)[gt.var] = t[i];
+            bound.push_back({gt.var, it != env->end()});
+          }
+          bool ok = true;
+          if (match) {
+            auto r = Eval(*f.children()[0], env);
+            if (!r.ok()) return r;
+            ok = *r;
+          }
+          // Restore environment.
+          for (const auto& [v, had_old] : bound) {
+            if (!had_old) env->erase(v);
+          }
+          for (const auto& [v, val] : old) (*env)[v] = val;
+          if (match && !ok) return false;
+        }
+        return true;
+      }
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+ private:
+  Result<bool> Quantify(const Formula& f, VarEnv* env, bool exists) {
+    const std::vector<VarId>& vars = f.vars();
+    std::function<Result<bool>(size_t)> rec =
+        [&](size_t i) -> Result<bool> {
+      if (i == vars.size()) return Eval(*f.children()[0], env);
+      const VarId v = vars[i];
+      auto it = env->find(v);
+      const bool had = it != env->end();
+      const Value old = had ? it->second : Value();
+      for (const Value& d : domain_) {
+        (*env)[v] = d;
+        INCDB_ASSIGN_OR_RETURN(bool r, rec(i + 1));
+        if (exists && r) {
+          RestoreVar(env, v, had, old);
+          return true;
+        }
+        if (!exists && !r) {
+          RestoreVar(env, v, had, old);
+          return false;
+        }
+      }
+      RestoreVar(env, v, had, old);
+      return !exists;
+    };
+    return rec(0);
+  }
+
+  static void RestoreVar(VarEnv* env, VarId v, bool had, const Value& old) {
+    if (had) {
+      (*env)[v] = old;
+    } else {
+      env->erase(v);
+    }
+  }
+
+  Result<Value> ResolveTerm(const FoTerm& t, const VarEnv& env) {
+    if (!t.is_var()) return t.constant;
+    auto it = env.find(t.var);
+    if (it == env.end()) {
+      return Status::InvalidArgument("unbound variable x" +
+                                     std::to_string(t.var));
+    }
+    return it->second;
+  }
+
+  Result<Tuple> Resolve(const FoAtom& a, const VarEnv& env) {
+    std::vector<Value> vals;
+    vals.reserve(a.terms.size());
+    for (const FoTerm& t : a.terms) {
+      INCDB_ASSIGN_OR_RETURN(Value v, ResolveTerm(t, env));
+      vals.push_back(std::move(v));
+    }
+    return Tuple(std::move(vals));
+  }
+
+  const Database& db_;
+  std::vector<Value> domain_;
+};
+
+}  // namespace
+
+Result<bool> Satisfies(const Database& db, const FormulaPtr& formula,
+                       const VarEnv& env) {
+  Checker checker(db, formula);
+  VarEnv mutable_env = env;
+  return checker.Eval(*formula, &mutable_env);
+}
+
+Result<Relation> Answers(const Database& db, const FormulaPtr& formula) {
+  const std::vector<VarId> free = formula->FreeVars();
+  Relation out(free.size());
+  std::vector<Value> domain;
+  {
+    auto adom = db.ActiveDomain();
+    domain.assign(adom.begin(), adom.end());
+  }
+  Checker checker(db, formula);
+  std::vector<size_t> idx(free.size(), 0);
+  if (free.empty()) {
+    VarEnv env;
+    INCDB_ASSIGN_OR_RETURN(bool v, checker.Eval(*formula, &env));
+    if (v) out.Add(Tuple{});
+    return out;
+  }
+  if (domain.empty()) return out;
+  for (;;) {
+    VarEnv env;
+    std::vector<Value> vals;
+    vals.reserve(free.size());
+    for (size_t i = 0; i < free.size(); ++i) {
+      env[free[i]] = domain[idx[i]];
+      vals.push_back(domain[idx[i]]);
+    }
+    INCDB_ASSIGN_OR_RETURN(bool v, checker.Eval(*formula, &env));
+    if (v) out.Add(Tuple(std::move(vals)));
+    size_t pos = 0;
+    while (pos < idx.size() && ++idx[pos] == domain.size()) {
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == idx.size()) break;
+  }
+  return out;
+}
+
+}  // namespace incdb

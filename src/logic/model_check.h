@@ -1,0 +1,36 @@
+// Active-domain model checking of FO formulas on naïve databases.
+//
+// Quantifiers range over the active domain of the database plus the
+// constants mentioned in the formula. On a complete database this is
+// standard FO evaluation; on a database with nulls it is the naïve
+// interpretation (nulls are just elements), which is what the duality
+// results of Section 4 need: certain_owa(Q, D) for Boolean CQ Q is exactly
+// D ⊨ Q under this naïve reading.
+
+#ifndef INCDB_LOGIC_MODEL_CHECK_H_
+#define INCDB_LOGIC_MODEL_CHECK_H_
+
+#include <map>
+
+#include "core/database.h"
+#include "logic/formula.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Variable environment for model checking.
+using VarEnv = std::map<VarId, Value>;
+
+/// True iff db ⊨ φ[env] with active-domain quantifier semantics. The formula
+/// must be a sentence modulo `env` (free variables must be bound by `env`).
+Result<bool> Satisfies(const Database& db, const FormulaPtr& formula,
+                       const VarEnv& env = {});
+
+/// All assignments of `free_vars` (the formula's free variables, sorted) over
+/// the active domain that satisfy the formula, as a relation with one column
+/// per free variable in ascending VarId order.
+Result<Relation> Answers(const Database& db, const FormulaPtr& formula);
+
+}  // namespace incdb
+
+#endif  // INCDB_LOGIC_MODEL_CHECK_H_

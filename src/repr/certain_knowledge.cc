@@ -1,0 +1,48 @@
+#include "repr/certain_knowledge.h"
+
+namespace incdb {
+
+FormulaPtr CertainKnowledgeOf(const Database& d, WorldSemantics semantics) {
+  switch (semantics) {
+    case WorldSemantics::kOpenWorld:
+      return DeltaOwa(d);
+    case WorldSemantics::kClosedWorld:
+      return DeltaCwa(d);
+    case WorldSemantics::kWeakClosedWorld:
+      // Positive-FO diagram: OWA diagram is the sound common core; the exact
+      // wcwa diagram adds a domain-closure conjunct which we approximate by
+      // the owa form (documented limitation).
+      return DeltaOwa(d);
+  }
+  return DeltaOwa(d);
+}
+
+FormulaPtr CertainKnowledgeOfAnswer(const Relation& naive_answer,
+                                    WorldSemantics semantics,
+                                    const std::string& rel_name) {
+  Database d;
+  *d.MutableRelation(rel_name, naive_answer.arity()) = naive_answer;
+  return CertainKnowledgeOf(d, semantics);
+}
+
+Result<bool> HoldsInAll(const FormulaPtr& formula,
+                        const std::vector<Database>& worlds) {
+  for (const Database& w : worlds) {
+    INCDB_ASSIGN_OR_RETURN(bool sat, Satisfies(w, formula));
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Result<bool> StrongerOn(const FormulaPtr& phi, const FormulaPtr& psi,
+                        const std::vector<Database>& candidates) {
+  for (const Database& c : candidates) {
+    INCDB_ASSIGN_OR_RETURN(bool sat_phi, Satisfies(c, phi));
+    if (!sat_phi) continue;
+    INCDB_ASSIGN_OR_RETURN(bool sat_psi, Satisfies(c, psi));
+    if (!sat_psi) return false;
+  }
+  return true;
+}
+
+}  // namespace incdb

@@ -1,0 +1,42 @@
+// certainK: certainty represented as knowledge (paper, Section 5.3, eqs.
+// (6) and (8)).
+//
+// certainK(X) is a formula with Mod(certainK X) = Mod(Th(X)). For the
+// relational representation systems of Section 5.2 the certain knowledge of
+// a semantics set ⟦x⟧ is the diagram formula δ_x, and the certain knowledge
+// of a query answer Q(⟦D⟧) is δ_{Q(D)} (eq. (10)) — computable by naïve
+// evaluation for the right fragments.
+
+#ifndef INCDB_REPR_CERTAIN_KNOWLEDGE_H_
+#define INCDB_REPR_CERTAIN_KNOWLEDGE_H_
+
+#include <vector>
+
+#include "core/valuation.h"
+#include "logic/diagram.h"
+#include "logic/model_check.h"
+
+namespace incdb {
+
+/// certainK of ⟦d⟧ under the given semantics: δ_d^owa or δ_d^cwa.
+FormulaPtr CertainKnowledgeOf(const Database& d, WorldSemantics semantics);
+
+/// certainK of the answer space Q(⟦D⟧) represented by the naïve answer
+/// relation: builds δ over a single-relation database named `rel_name`.
+FormulaPtr CertainKnowledgeOfAnswer(const Relation& naive_answer,
+                                    WorldSemantics semantics,
+                                    const std::string& rel_name = "Ans");
+
+/// Checks Mod(φ) ⊇ X on an explicit finite sample of complete objects:
+/// every member of `worlds` must satisfy φ.
+Result<bool> HoldsInAll(const FormulaPtr& formula,
+                        const std::vector<Database>& worlds);
+
+/// Checks that φ is at least as strong as ψ on a finite candidate universe:
+/// every candidate satisfying φ satisfies ψ.
+Result<bool> StrongerOn(const FormulaPtr& phi, const FormulaPtr& psi,
+                        const std::vector<Database>& candidates);
+
+}  // namespace incdb
+
+#endif  // INCDB_REPR_CERTAIN_KNOWLEDGE_H_

@@ -1,0 +1,45 @@
+#include "repr/certain_object.h"
+
+namespace incdb {
+
+Result<Database> CertainObjectOwa(const std::vector<Database>& dbs) {
+  return ProductOf(dbs);
+}
+
+Result<Relation> CertainObjectOwaRelations(const std::vector<Relation>& rels,
+                                           const std::string& rel_name) {
+  if (rels.empty()) {
+    return Status::InvalidArgument("CertainObjectOwaRelations needs input");
+  }
+  std::vector<Database> dbs;
+  dbs.reserve(rels.size());
+  for (const Relation& r : rels) {
+    Database d;
+    *d.MutableRelation(rel_name, r.arity()) = r;
+    dbs.push_back(std::move(d));
+  }
+  INCDB_ASSIGN_OR_RETURN(Database prod, ProductOf(dbs));
+  return prod.GetRelation(rel_name);
+}
+
+bool IsGreatestLowerBound(const Database& candidate,
+                          const std::vector<Database>& xs,
+                          const std::vector<Database>& lower_bounds,
+                          WorldSemantics semantics) {
+  for (const Database& x : xs) {
+    if (!Precedes(candidate, x, semantics)) return false;
+  }
+  for (const Database& y : lower_bounds) {
+    bool is_lb = true;
+    for (const Database& x : xs) {
+      if (!Precedes(y, x, semantics)) {
+        is_lb = false;
+        break;
+      }
+    }
+    if (is_lb && !Precedes(y, candidate, semantics)) return false;
+  }
+  return true;
+}
+
+}  // namespace incdb

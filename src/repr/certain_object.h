@@ -1,0 +1,42 @@
+// certainO: certainty represented as an object (paper, Section 5.3, eq. (7)).
+//
+// certainO(X) = ⋀ X, the greatest lower bound of a set of objects in the
+// information ordering. Under ⪯_owa the glb of finitely many databases is
+// their direct product (core/product.h); this module packages that for sets
+// of query answers and provides the verification predicates used to check
+// glb-hood under any of the orderings.
+
+#ifndef INCDB_REPR_CERTAIN_OBJECT_H_
+#define INCDB_REPR_CERTAIN_OBJECT_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/ordering.h"
+#include "core/product.h"
+
+namespace incdb {
+
+/// The glb under ⪯_owa of a nonempty set of databases (direct product).
+Result<Database> CertainObjectOwa(const std::vector<Database>& dbs);
+
+/// Convenience for single-relation answers: wraps relations into databases
+/// over a one-relation schema named `rel_name`, products them, and returns
+/// the result's relation.
+Result<Relation> CertainObjectOwaRelations(const std::vector<Relation>& rels,
+                                           const std::string& rel_name = "Ans");
+
+/// Verifies that `candidate` is a glb of `xs` under `semantics`:
+/// (a) candidate ⪯ x for every x ∈ xs, and
+/// (b) every provided `lower_bounds` element y with y ⪯ all xs satisfies
+///     y ⪯ candidate.
+/// (b) is necessarily sampled — glb-hood over all objects is not decidable
+/// by enumeration; callers supply the lower bounds they care about.
+bool IsGreatestLowerBound(const Database& candidate,
+                          const std::vector<Database>& xs,
+                          const std::vector<Database>& lower_bounds,
+                          WorldSemantics semantics);
+
+}  // namespace incdb
+
+#endif  // INCDB_REPR_CERTAIN_OBJECT_H_

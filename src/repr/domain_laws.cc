@@ -1,0 +1,60 @@
+#include "repr/domain_laws.h"
+
+#include "logic/diagram.h"
+
+namespace incdb {
+
+bool LawCompleteDenotesItself(const Database& c, WorldSemantics semantics) {
+  INCDB_CHECK_MSG(c.IsComplete(), "law requires a complete database");
+  return IsPossibleWorld(c, c, semantics);
+}
+
+Result<bool> LawWorldsAreMoreInformative(const Database& x,
+                                         WorldSemantics semantics,
+                                         const WorldEnumOptions& opts) {
+  bool holds = true;
+  Status st = ForEachWorldCwa(x, opts, [&](const Database& world) {
+    // Every CWA world is in ⟦x⟧ under all three semantics (owa and wcwa are
+    // supersets of cwa worlds).
+    if (!Precedes(x, world, semantics)) {
+      holds = false;
+      return false;
+    }
+    return true;
+  });
+  INCDB_RETURN_IF_ERROR(st);
+  return holds;
+}
+
+Result<bool> LawDiagramDefinesSemantics(
+    const Database& x, WorldSemantics semantics,
+    const std::vector<Database>& candidates) {
+  const FormulaPtr delta = semantics == WorldSemantics::kClosedWorld
+                               ? DeltaCwa(x)
+                               : DeltaOwa(x);
+  for (const Database& c : candidates) {
+    if (!c.IsComplete()) {
+      return Status::InvalidArgument("candidates must be complete databases");
+    }
+    INCDB_ASSIGN_OR_RETURN(bool sat, Satisfies(c, delta));
+    const bool in_sem = IsPossibleWorld(x, c, semantics);
+    if (sat != in_sem) return false;
+  }
+  return true;
+}
+
+Result<bool> LawUpwardClosure(const Database& x, const Database& y,
+                              WorldSemantics semantics) {
+  const FormulaPtr delta = semantics == WorldSemantics::kClosedWorld
+                               ? DeltaCwa(x)
+                               : DeltaOwa(x);
+  const bool precedes = Precedes(x, y, semantics);
+  INCDB_ASSIGN_OR_RETURN(bool sat, Satisfies(y, delta));
+  // x ⪯ y ⇒ y ⊨ δ_x. (The converse holds for complete y; for incomplete y
+  // the naïve reading of δ_x is exactly homomorphism existence for the OWA
+  // diagram.)
+  if (precedes && !sat) return false;
+  return true;
+}
+
+}  // namespace incdb

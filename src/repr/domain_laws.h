@@ -1,0 +1,40 @@
+// Executable checks for the axioms of the paper's abstract representation
+// systems ⟨D, C, ⟦·⟧, Iso⟩ (Section 5.1), instantiated to the relational
+// domains. Property tests sweep these over random instances.
+
+#ifndef INCDB_REPR_DOMAIN_LAWS_H_
+#define INCDB_REPR_DOMAIN_LAWS_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/ordering.h"
+#include "core/possible_worlds.h"
+#include "logic/model_check.h"
+
+namespace incdb {
+
+/// Axiom 1: a complete object denotes at least itself — c ∈ ⟦c⟧.
+/// `c` must be complete.
+bool LawCompleteDenotesItself(const Database& c, WorldSemantics semantics);
+
+/// Axiom 2: if c ∈ ⟦x⟧ (c complete), then x ⪯ c.
+/// Checked for every CWA world of `x` over the default finite domain.
+Result<bool> LawWorldsAreMoreInformative(const Database& x,
+                                         WorldSemantics semantics,
+                                         const WorldEnumOptions& opts = {});
+
+/// Representation-system condition: Mod_C(δ_x) = ⟦x⟧, verified on an
+/// explicit finite candidate set of complete databases.
+Result<bool> LawDiagramDefinesSemantics(
+    const Database& x, WorldSemantics semantics,
+    const std::vector<Database>& candidates);
+
+/// Ordering/diagram compatibility: x ⪯ y implies y ⊨ δ_x (Mod(δ_x) = ↑x),
+/// checked for a given pair.
+Result<bool> LawUpwardClosure(const Database& x, const Database& y,
+                              WorldSemantics semantics);
+
+}  // namespace incdb
+
+#endif  // INCDB_REPR_DOMAIN_LAWS_H_

@@ -1,0 +1,127 @@
+#include "sql/aggregate_bounds.h"
+
+#include <algorithm>
+
+namespace incdb {
+
+std::string AggInterval::ToString() const {
+  std::string s = "[";
+  s += lo ? std::to_string(*lo) : "-inf";
+  s += ", ";
+  s += hi ? std::to_string(*hi) : "+inf";
+  s += "]";
+  return s;
+}
+
+Result<AggInterval> CertainAggregateInterval(const std::vector<Value>& column,
+                                             AggFunc func,
+                                             const NullDomain& domain) {
+  const int64_t n = static_cast<int64_t>(column.size());
+  int64_t null_count = 0;
+  std::vector<int64_t> consts;
+  for (const Value& v : column) {
+    if (v.is_null()) {
+      ++null_count;
+      continue;
+    }
+    if (!v.is_int() && func != AggFunc::kCount &&
+        func != AggFunc::kCountStar) {
+      return Status::InvalidArgument(
+          "aggregate bounds require integer values; got " + v.ToString());
+    }
+    if (v.is_int()) consts.push_back(v.as_int());
+  }
+
+  // The extremes of SUM/MIN/MAX/AVG over worlds are attained with every
+  // null at its domain boundary (each aggregate is monotone in each null's
+  // value), so repeated marked nulls need no special treatment.
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      // In every world the column is total: both COUNTs equal the row
+      // count exactly.
+      return AggInterval{n, n};
+    case AggFunc::kSum: {
+      if (n == 0) {
+        return Status::InvalidArgument(
+            "SUM over an empty column is NULL in SQL; no integer interval");
+      }
+      int64_t base = 0;
+      for (int64_t c : consts) base += c;
+      AggInterval out;
+      if (null_count == 0) {
+        out.lo = out.hi = base;
+        return out;
+      }
+      if (domain.value_lo) out.lo = base + null_count * *domain.value_lo;
+      if (domain.value_hi) out.hi = base + null_count * *domain.value_hi;
+      return out;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (n == 0) {
+        return Status::InvalidArgument(
+            "MIN/MAX over an empty column is NULL in SQL; no interval");
+      }
+      const bool is_min = func == AggFunc::kMin;
+      std::optional<int64_t> best_const;
+      for (int64_t c : consts) {
+        if (!best_const || (is_min ? c < *best_const : c > *best_const)) {
+          best_const = c;
+        }
+      }
+      AggInterval out;
+      if (null_count == 0) {
+        out.lo = out.hi = *best_const;
+        return out;
+      }
+      if (is_min) {
+        // Worst case: some null below everything; best case: all nulls at
+        // their upper bound (the min is then capped by the constants).
+        if (domain.value_lo) {
+          out.lo = best_const ? std::min(*best_const, *domain.value_lo)
+                              : *domain.value_lo;
+        }
+        if (best_const) {
+          out.hi = domain.value_hi ? std::min(*best_const, *domain.value_hi)
+                                   : *best_const;
+        } else if (domain.value_hi) {
+          out.hi = *domain.value_hi;
+        }
+      } else {
+        if (domain.value_hi) {
+          out.hi = best_const ? std::max(*best_const, *domain.value_hi)
+                              : *domain.value_hi;
+        }
+        if (best_const) {
+          out.lo = domain.value_lo ? std::max(*best_const, *domain.value_lo)
+                                   : *best_const;
+        } else if (domain.value_lo) {
+          out.lo = *domain.value_lo;
+        }
+      }
+      return out;
+    }
+    case AggFunc::kAvg: {
+      if (n == 0) {
+        return Status::InvalidArgument(
+            "AVG over an empty column is NULL in SQL; no interval");
+      }
+      int64_t base = 0;
+      for (int64_t c : consts) base += c;
+      AggInterval out;
+      if (null_count == 0) {
+        out.lo = out.hi = base / n;
+        return out;
+      }
+      if (domain.value_lo) out.lo = (base + null_count * *domain.value_lo) / n;
+      if (domain.value_hi) out.hi = (base + null_count * *domain.value_hi) / n;
+      return out;
+    }
+    case AggFunc::kNone:
+      return Status::InvalidArgument("kNone is not an aggregate");
+  }
+  return Status::Internal("unknown aggregate function");
+}
+
+}  // namespace incdb

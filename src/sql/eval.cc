@@ -1,0 +1,470 @@
+#include "sql/eval.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "sql/parser.h"
+
+namespace incdb {
+namespace {
+
+// A row in scope: alias + relation decl + tuple.
+struct ScopeEntry {
+  std::string alias;
+  const RelationDecl* decl;
+  const Tuple* tuple;
+};
+
+// Stack of rows visible to the condition being evaluated; inner-most last.
+using Scope = std::vector<ScopeEntry>;
+
+class Evaluator {
+ public:
+  Evaluator(const Database& db, SqlEvalMode mode) : db_(db), mode_(mode) {}
+
+  Result<Relation> Query(const SqlQuery& q, const Scope& outer) {
+    Relation out(0);
+    bool first = true;
+    for (const SqlSelect& sel : q.selects) {
+      INCDB_ASSIGN_OR_RETURN(Relation r, Select(sel, outer));
+      if (first) {
+        out = std::move(r);
+        first = false;
+      } else {
+        if (r.arity() != out.arity()) {
+          return Status::InvalidArgument(
+              "UNION members have different column counts");
+        }
+        out.AddAll(r);
+      }
+    }
+    return out;
+  }
+
+ private:
+  Result<Relation> Select(const SqlSelect& sel, const Scope& outer) {
+    if (sel.HasAggregates() || !sel.group_by.empty()) {
+      return SelectAggregate(sel, outer);
+    }
+    // Resolve FROM tables.
+    std::vector<const RelationDecl*> decls;
+    std::vector<const Relation*> rels;
+    for (const SqlTableRef& ref : sel.from) {
+      INCDB_ASSIGN_OR_RETURN(const RelationDecl* decl,
+                             db_.schema().Decl(ref.table));
+      if (decl->attributes.empty() && decl->arity > 0) {
+        return Status::InvalidArgument(
+            "relation " + ref.table +
+            " has no attribute names; SQL access requires named attributes");
+      }
+      decls.push_back(decl);
+      rels.push_back(&db_.GetRelation(ref.table));
+    }
+
+    // Output arity.
+    size_t arity = 0;
+    if (sel.select_star) {
+      for (const RelationDecl* d : decls) arity += d->arity;
+    } else {
+      arity = sel.items.size();
+    }
+    Relation out(arity);
+
+    // Nested-loop over the FROM product.
+    Scope scope = outer;
+    const size_t base = scope.size();
+    scope.resize(base + sel.from.size());
+
+    // kSqlMaybe keeps rows whose top-level condition is UNKNOWN; the other
+    // modes (and all subqueries) keep TRUE rows. A maybe-query without a
+    // WHERE clause keeps nothing (no row is in doubt).
+    const bool maybe_here =
+        mode_ == SqlEvalMode::kSqlMaybe && !in_subquery_;
+    const TruthValue wanted =
+        maybe_here ? TruthValue::kUnknown : TruthValue::kTrue;
+    std::function<Status(size_t)> rec = [&](size_t idx) -> Status {
+      if (idx == sel.from.size()) {
+        if (sel.where != nullptr) {
+          INCDB_ASSIGN_OR_RETURN(TruthValue tv, Cond(*sel.where, scope));
+          if (tv != wanted) return Status::OK();
+        } else if (maybe_here) {
+          return Status::OK();
+        }
+        // Emit the row.
+        std::vector<Value> vals;
+        vals.reserve(arity);
+        if (sel.select_star) {
+          for (size_t i = base; i < scope.size(); ++i) {
+            for (const Value& v : scope[i].tuple->values()) vals.push_back(v);
+          }
+        } else {
+          for (const SqlSelectItem& item : sel.items) {
+            INCDB_ASSIGN_OR_RETURN(Value v, Operand(item.operand, scope));
+            vals.push_back(std::move(v));
+          }
+        }
+        out.Add(Tuple(std::move(vals)));
+        return Status::OK();
+      }
+      for (const Tuple& t : rels[idx]->tuples()) {
+        scope[base + idx] =
+            ScopeEntry{sel.from[idx].alias, decls[idx], &t};
+        INCDB_RETURN_IF_ERROR(rec(idx + 1));
+      }
+      return Status::OK();
+    };
+    INCDB_RETURN_IF_ERROR(rec(0));
+    return out;
+  }
+
+  // --- Aggregation ---
+  //
+  // SQL semantics: GROUP BY treats every NULL as the same group; aggregates
+  // other than COUNT(*) ignore NULL inputs; aggregates over an empty group
+  // yield NULL (COUNT yields 0). In naïve mode marked nulls keep their
+  // identity in grouping and in MIN/MAX/COUNT; SUM/AVG over an unresolved
+  // null is refused (kUnsupported) rather than silently wrong.
+
+  Result<Relation> SelectAggregate(const SqlSelect& sel, const Scope& outer) {
+    if (sel.select_star) {
+      return Status::InvalidArgument("SELECT * cannot be combined with "
+                                     "aggregates or GROUP BY");
+    }
+    // Every non-aggregate item must be a grouping column.
+    for (const SqlSelectItem& item : sel.items) {
+      if (item.is_aggregate()) continue;
+      if (item.operand.kind != SqlOperand::Kind::kColumn) continue;
+      bool grouped = false;
+      for (const SqlOperand& g : sel.group_by) {
+        if (EqualsIgnoreCaseAlias(g.column, item.operand.column) &&
+            EqualsIgnoreCaseAlias(g.table, item.operand.table)) {
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column " + item.operand.ToString() +
+            " must appear in GROUP BY or inside an aggregate");
+      }
+    }
+
+    // Materialize the surviving FROM×WHERE rows as (group key, item inputs).
+    struct RowData {
+      std::vector<Value> key;
+      std::vector<Value> inputs;  // one slot per select item
+    };
+    std::vector<RowData> rows;
+    INCDB_RETURN_IF_ERROR(CollectRows(sel, outer, &rows));
+
+    // Group. SQL: one group for all nulls (they are indistinguishable);
+    // naïve mode: marked nulls group by identity.
+    auto canonical_key = [&](const std::vector<Value>& key) {
+      std::vector<Value> out = key;
+      if (mode_ == SqlEvalMode::kSql3VL) {
+        for (Value& v : out) {
+          if (v.is_null()) v = Value::Null(0);
+        }
+      }
+      return out;
+    };
+    std::map<std::vector<Value>, std::vector<const RowData*>> groups;
+    if (sel.group_by.empty()) {
+      groups[{}] = {};  // global aggregate: one group, possibly empty
+    }
+    for (const RowData& row : rows) {
+      groups[canonical_key(row.key)].push_back(&row);
+    }
+
+    Relation out(sel.items.size());
+    for (const auto& [key, members] : groups) {
+      std::vector<Value> vals;
+      vals.reserve(sel.items.size());
+      for (size_t i = 0; i < sel.items.size(); ++i) {
+        const SqlSelectItem& item = sel.items[i];
+        if (!item.is_aggregate()) {
+          // Representative value (canonicalized with the key).
+          if (members.empty()) {
+            vals.push_back(Value::Null(0));
+            continue;
+          }
+          Value v = members[0]->inputs[i];
+          if (mode_ == SqlEvalMode::kSql3VL && v.is_null()) {
+            v = Value::Null(0);
+          }
+          vals.push_back(std::move(v));
+          continue;
+        }
+        INCDB_ASSIGN_OR_RETURN(Value v, ComputeAggregate(item, members, i));
+        vals.push_back(std::move(v));
+      }
+      out.Add(Tuple(std::move(vals)));
+    }
+    return out;
+  }
+
+  template <typename RowPtrList>
+  Result<Value> ComputeAggregate(const SqlSelectItem& item,
+                                 const RowPtrList& members, size_t slot) {
+    if (item.agg == AggFunc::kCountStar) {
+      return Value::Int(static_cast<int64_t>(members.size()));
+    }
+    // Collect non-null inputs; SQL ignores nulls in all other aggregates.
+    std::vector<Value> inputs;
+    for (const auto* row : members) {
+      const Value& v = row->inputs[slot];
+      if (v.is_null()) {
+        if (mode_ == SqlEvalMode::kNaive &&
+            (item.agg == AggFunc::kSum || item.agg == AggFunc::kAvg ||
+             item.agg == AggFunc::kMin || item.agg == AggFunc::kMax)) {
+          return Status::Unsupported(
+              "cannot aggregate over an unresolved marked null in naive "
+              "mode: " +
+              item.ToString());
+        }
+        continue;
+      }
+      inputs.push_back(v);
+    }
+    switch (item.agg) {
+      case AggFunc::kCount:
+        return Value::Int(static_cast<int64_t>(inputs.size()));
+      case AggFunc::kSum:
+      case AggFunc::kAvg: {
+        if (inputs.empty()) return Value::Null(0);
+        int64_t sum = 0;
+        for (const Value& v : inputs) {
+          if (!v.is_int()) {
+            return Status::InvalidArgument(
+                std::string(AggFuncName(item.agg)) +
+                " requires integer inputs");
+          }
+          sum += v.as_int();
+        }
+        if (item.agg == AggFunc::kSum) return Value::Int(sum);
+        return Value::Int(sum / static_cast<int64_t>(inputs.size()));
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        if (inputs.empty()) return Value::Null(0);
+        Value best = inputs[0];
+        for (const Value& v : inputs) {
+          if (item.agg == AggFunc::kMin ? v < best : best < v) best = v;
+        }
+        return best;
+      }
+      default:
+        return Status::Internal("unexpected aggregate function");
+    }
+  }
+
+  // Runs the FROM×WHERE loop collecting group keys and item inputs.
+  template <typename RowVec>
+  Status CollectRows(const SqlSelect& sel, const Scope& outer, RowVec* rows) {
+    std::vector<const RelationDecl*> decls;
+    std::vector<const Relation*> rels;
+    for (const SqlTableRef& ref : sel.from) {
+      INCDB_ASSIGN_OR_RETURN(const RelationDecl* decl,
+                             db_.schema().Decl(ref.table));
+      decls.push_back(decl);
+      rels.push_back(&db_.GetRelation(ref.table));
+    }
+    Scope scope = outer;
+    const size_t base = scope.size();
+    scope.resize(base + sel.from.size());
+
+    std::function<Status(size_t)> rec = [&](size_t idx) -> Status {
+      if (idx == sel.from.size()) {
+        if (sel.where != nullptr) {
+          INCDB_ASSIGN_OR_RETURN(TruthValue tv, Cond(*sel.where, scope));
+          if (tv != TruthValue::kTrue) return Status::OK();
+        }
+        typename RowVec::value_type row;
+        for (const SqlOperand& g : sel.group_by) {
+          INCDB_ASSIGN_OR_RETURN(Value v, Operand(g, scope));
+          row.key.push_back(std::move(v));
+        }
+        for (const SqlSelectItem& item : sel.items) {
+          if (item.agg == AggFunc::kCountStar) {
+            row.inputs.push_back(Value::Int(0));  // placeholder
+          } else {
+            INCDB_ASSIGN_OR_RETURN(Value v, Operand(item.operand, scope));
+            row.inputs.push_back(std::move(v));
+          }
+        }
+        rows->push_back(std::move(row));
+        return Status::OK();
+      }
+      for (const Tuple& t : rels[idx]->tuples()) {
+        scope[base + idx] = ScopeEntry{sel.from[idx].alias, decls[idx], &t};
+        INCDB_RETURN_IF_ERROR(rec(idx + 1));
+      }
+      return Status::OK();
+    };
+    return rec(0);
+  }
+
+  Result<Value> Operand(const SqlOperand& o, const Scope& scope) {
+    if (o.kind == SqlOperand::Kind::kLiteral) return o.literal;
+    // Resolve column: inner-most scope entry first; alias qualifier wins.
+    for (auto it = scope.rbegin(); it != scope.rend(); ++it) {
+      if (!o.table.empty() && !EqualsIgnoreCaseAlias(it->alias, o.table)) {
+        continue;
+      }
+      const auto& attrs = it->decl->attributes;
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (EqualsIgnoreCaseAlias(attrs[i], o.column)) {
+          return (*it->tuple)[i];
+        }
+      }
+      if (!o.table.empty()) {
+        return Status::NotFound("column " + o.column + " not in table " +
+                                o.table);
+      }
+    }
+    return Status::NotFound("unresolved column " + o.ToString());
+  }
+
+  static bool EqualsIgnoreCaseAlias(const std::string& a,
+                                    const std::string& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Result<TruthValue> Compare(SqlCmpOp op, const Value& a, const Value& b) {
+    if (mode_ != SqlEvalMode::kNaive && (a.is_null() || b.is_null())) {
+      return TruthValue::kUnknown;
+    }
+    bool r = false;
+    switch (op) {
+      case SqlCmpOp::kEq:
+        r = a == b;
+        break;
+      case SqlCmpOp::kNe:
+        r = a != b;
+        break;
+      case SqlCmpOp::kLt:
+        r = a < b;
+        break;
+      case SqlCmpOp::kLe:
+        r = a <= b;
+        break;
+      case SqlCmpOp::kGt:
+        r = a > b;
+        break;
+      case SqlCmpOp::kGe:
+        r = a >= b;
+        break;
+    }
+    return r ? TruthValue::kTrue : TruthValue::kFalse;
+  }
+
+  Result<TruthValue> Cond(const SqlCondition& c, const Scope& scope) {
+    switch (c.kind) {
+      case SqlCondition::Kind::kTrue:
+        return TruthValue::kTrue;
+      case SqlCondition::Kind::kCmp: {
+        INCDB_ASSIGN_OR_RETURN(Value a, Operand(c.lhs, scope));
+        INCDB_ASSIGN_OR_RETURN(Value b, Operand(c.rhs, scope));
+        return Compare(c.op, a, b);
+      }
+      case SqlCondition::Kind::kAnd: {
+        INCDB_ASSIGN_OR_RETURN(TruthValue a, Cond(*c.left, scope));
+        if (a == TruthValue::kFalse) return TruthValue::kFalse;
+        INCDB_ASSIGN_OR_RETURN(TruthValue b, Cond(*c.right, scope));
+        return And3(a, b);
+      }
+      case SqlCondition::Kind::kOr: {
+        INCDB_ASSIGN_OR_RETURN(TruthValue a, Cond(*c.left, scope));
+        if (a == TruthValue::kTrue) return TruthValue::kTrue;
+        INCDB_ASSIGN_OR_RETURN(TruthValue b, Cond(*c.right, scope));
+        return Or3(a, b);
+      }
+      case SqlCondition::Kind::kNot: {
+        INCDB_ASSIGN_OR_RETURN(TruthValue a, Cond(*c.left, scope));
+        return Not3(a);
+      }
+      case SqlCondition::Kind::kIn: {
+        INCDB_ASSIGN_OR_RETURN(Value x, Operand(c.lhs, scope));
+        INCDB_ASSIGN_OR_RETURN(Relation sub, Subquery(*c.subquery, scope));
+        if (sub.arity() != 1) {
+          return Status::InvalidArgument(
+              "IN subquery must return one column");
+        }
+        // x IN S: TRUE if some s compares TRUE; else UNKNOWN if some
+        // comparison is UNKNOWN; else FALSE. NOT IN is the 3VL negation.
+        TruthValue acc = TruthValue::kFalse;
+        for (const Tuple& s : sub.tuples()) {
+          INCDB_ASSIGN_OR_RETURN(TruthValue eq, Compare(SqlCmpOp::kEq, x, s[0]));
+          acc = Or3(acc, eq);
+          if (acc == TruthValue::kTrue) break;
+        }
+        return c.negated ? Not3(acc) : acc;
+      }
+      case SqlCondition::Kind::kExists: {
+        INCDB_ASSIGN_OR_RETURN(Relation sub, Subquery(*c.subquery, scope));
+        return sub.empty() ? TruthValue::kFalse : TruthValue::kTrue;
+      }
+      case SqlCondition::Kind::kIsNull: {
+        INCDB_ASSIGN_OR_RETURN(Value x, Operand(c.lhs, scope));
+        const bool is_null = x.is_null();
+        return (is_null != c.negated) ? TruthValue::kTrue : TruthValue::kFalse;
+      }
+    }
+    return Status::Internal("unknown SQL condition kind");
+  }
+
+  // Subquery evaluation with memoization of uncorrelated subqueries: a
+  // subquery that evaluates successfully against the empty scope cannot
+  // depend on outer rows, so its result is computed once per top-level
+  // query instead of once per candidate row.
+  Result<Relation> Subquery(const SqlQuery& q, const Scope& scope) {
+    // Subqueries always use the TRUE filter, even in MAYBE mode.
+    const bool saved = in_subquery_;
+    in_subquery_ = true;
+    auto restore = [&](Result<Relation> r) {
+      in_subquery_ = saved;
+      return r;
+    };
+    auto it = uncorrelated_cache_.find(&q);
+    if (it != uncorrelated_cache_.end()) return restore(it->second);
+    if (correlated_.count(&q) == 0) {
+      auto without_outer = Query(q, Scope{});
+      if (without_outer.ok()) {
+        uncorrelated_cache_.emplace(&q, *without_outer);
+        return restore(*std::move(without_outer));
+      }
+      correlated_.insert(&q);
+    }
+    return restore(Query(q, scope));
+  }
+
+  const Database& db_;
+  SqlEvalMode mode_;
+  bool in_subquery_ = false;
+  std::map<const SqlQuery*, Relation> uncorrelated_cache_;
+  std::set<const SqlQuery*> correlated_;
+};
+
+}  // namespace
+
+Result<Relation> EvalSql(const SqlQuery& q, const Database& db,
+                         SqlEvalMode mode) {
+  Evaluator ev(db, mode);
+  return ev.Query(q, Scope{});
+}
+
+Result<Relation> EvalSql(const std::string& sql, const Database& db,
+                         SqlEvalMode mode) {
+  INCDB_ASSIGN_OR_RETURN(SqlQuery q, ParseSql(sql));
+  return EvalSql(q, db, mode);
+}
+
+}  // namespace incdb

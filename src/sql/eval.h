@@ -1,0 +1,42 @@
+// SQL evaluation over naïve databases, in two modes:
+//
+//  * kSql3VL — the SQL standard's three-valued logic: comparisons with NULL
+//    are UNKNOWN; WHERE keeps TRUE rows only; x [NOT] IN (S) follows the
+//    standard's quantified-comparison rules (one UNKNOWN poisons NOT IN);
+//    EXISTS is two-valued. This reproduces the anomalies of the paper's
+//    introduction on any SQL engine.
+//  * kNaive — marked nulls are ordinary values; comparisons are syntactic.
+//    This is the paper's naïve evaluation, the building block of correct
+//    certain answers for positive queries.
+//
+// Set semantics throughout (every SELECT is DISTINCT). Correlated subqueries
+// are supported: inner queries see the outer row's columns.
+
+#ifndef INCDB_SQL_EVAL_H_
+#define INCDB_SQL_EVAL_H_
+
+#include "algebra/predicate.h"  // TruthValue
+#include "core/database.h"
+#include "sql/ast.h"
+
+namespace incdb {
+
+enum class SqlEvalMode {
+  kSql3VL,    ///< WHERE keeps TRUE rows (the SQL standard)
+  kNaive,     ///< marked nulls as values, two-valued
+  kSqlMaybe,  ///< WHERE keeps UNKNOWN rows — Codd's MAYBE operator (1979):
+              ///< together with kSql3VL it covers the possible answers
+};
+
+/// Evaluates a query; output columns follow the SELECT list (or the
+/// concatenation of FROM-table columns for SELECT *).
+Result<Relation> EvalSql(const SqlQuery& q, const Database& db,
+                         SqlEvalMode mode);
+
+/// Convenience: parse-and-evaluate.
+Result<Relation> EvalSql(const std::string& sql, const Database& db,
+                         SqlEvalMode mode);
+
+}  // namespace incdb
+
+#endif  // INCDB_SQL_EVAL_H_

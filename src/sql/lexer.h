@@ -1,0 +1,21 @@
+// SQL lexer.
+
+#ifndef INCDB_SQL_LEXER_H_
+#define INCDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Tokenizes a SQL string. Keywords are case-insensitive and surfaced
+/// upper-cased; identifiers keep their original spelling. String literals
+/// use single quotes with '' as the escape for a quote.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace incdb
+
+#endif  // INCDB_SQL_LEXER_H_

@@ -1,0 +1,37 @@
+// Certain-answer rewriting for SQL: the paper's "small, easily
+// implementable change" (Sections 6 and 7).
+//
+// For positive queries (=, AND, OR, IN, EXISTS — no NOT, NOT IN, <>, order
+// comparisons or IS NULL), certain answers equal the naïvely evaluated
+// answer with null-carrying rows removed — equation (4). Operationally this
+// is the original query with IS NOT NULL filters appended on the selected
+// columns, evaluated with marked-null (naïve) equality.
+
+#ifndef INCDB_SQL_REWRITE_H_
+#define INCDB_SQL_REWRITE_H_
+
+#include "sql/ast.h"
+#include "sql/eval.h"
+
+namespace incdb {
+
+/// True if every SELECT block uses only positive conditions and no
+/// negation-like constructs; such queries are UCQ-expressible and naïve
+/// evaluation computes their certain answers under OWA and CWA.
+bool IsPositiveSqlQuery(const SqlQuery& q);
+
+/// Appends `item IS NOT NULL` for every selected column to each SELECT
+/// block's WHERE clause. Requires explicit select lists (no SELECT *).
+Result<SqlQuery> RewriteWithNotNullFilters(const SqlQuery& q);
+
+/// Certain answers for a positive SQL query: naïve evaluation + null-row
+/// filtering. kUnsupported for non-positive queries unless `force` is set
+/// (forced results carry no guarantee — used to measure the gap).
+Result<Relation> EvalSqlCertain(const SqlQuery& q, const Database& db,
+                                bool force = false);
+Result<Relation> EvalSqlCertain(const std::string& sql, const Database& db,
+                                bool force = false);
+
+}  // namespace incdb
+
+#endif  // INCDB_SQL_REWRITE_H_

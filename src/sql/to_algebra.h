@@ -1,0 +1,35 @@
+// SQL → relational algebra translation.
+//
+// Bridges the two query layers: a translated query can be classified with
+// algebra/classify.h (positive / RA_cwa / full RA), evaluated by the naïve
+// evaluator, or shipped to the c-table engine for exact answer spaces.
+//
+// Supported: SELECT (no aggregates) over FROM products, WHERE conditions
+// built from comparisons with AND/OR/NOT and IS [NOT] NULL, plus
+// *uncorrelated* [NOT] IN / EXISTS subqueries appearing as top-level
+// conjuncts (they become semi-/anti-joins). UNION of such blocks.
+//
+// The translation realizes the *naïve / marked-null* interpretation: its
+// EvalNaive result matches EvalSql(..., kNaive) exactly (property-tested).
+// SQL's 3VL quirks (NOT IN poisoning) are not reproduced by the algebra —
+// that is the point: the algebra is the semantics you can reason about.
+
+#ifndef INCDB_SQL_TO_ALGEBRA_H_
+#define INCDB_SQL_TO_ALGEBRA_H_
+
+#include "algebra/ast.h"
+#include "algebra/classify.h"
+#include "sql/ast.h"
+
+namespace incdb {
+
+/// Translates a parsed SQL query over `schema` to a relational algebra
+/// expression. kUnsupported for constructs outside the fragment above.
+Result<RAExprPtr> SqlToAlgebra(const SqlQuery& q, const Schema& schema);
+
+/// Convenience: parse + translate + classify.
+Result<QueryClass> ClassifySql(const std::string& sql, const Schema& schema);
+
+}  // namespace incdb
+
+#endif  // INCDB_SQL_TO_ALGEBRA_H_

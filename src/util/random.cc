@@ -1,0 +1,89 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace incdb {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  s0_ = SplitMix64(&s);
+  s1_ = SplitMix64(&s);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Rng::Next() {
+  // xorshift128+
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  INCDB_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return r % bound;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  INCDB_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  INCDB_CHECK(n > 0);
+  if (s <= 0.0) return Uniform(n);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = acc;
+    }
+    for (uint64_t i = 0; i < n; ++i) zipf_cdf_[i] /= acc;
+  }
+  const double u = UniformDouble();
+  // Binary search for the first CDF entry >= u.
+  size_t lo = 0;
+  size_t hi = zipf_cdf_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace incdb

@@ -1,0 +1,62 @@
+// Deterministic PRNG used by workload generators and property tests.
+//
+// A fixed, engine-stable generator (splitmix64 seeded xorshift128+) so that
+// benchmark workloads and property-test cases are reproducible across
+// standard-library implementations (std::mt19937 streams are stable too, but
+// std::uniform_int_distribution is not; we implement our own mapping).
+
+#ifndef INCDB_UTIL_RANDOM_H_
+#define INCDB_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace incdb {
+
+/// Deterministic 64-bit PRNG with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 is uniform).
+  /// Uses inverse-CDF over precomputed weights; intended for n <= ~1e6.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  // Zipf cache: weights for the last (n, s) pair.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_UTIL_RANDOM_H_

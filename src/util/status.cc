@@ -1,0 +1,44 @@
+#include "util/status.h"
+
+namespace incdb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+namespace internal {
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::cerr << "incdb: CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) std::cerr << " (" << message << ")";
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace incdb

@@ -1,0 +1,158 @@
+// Status / Result<T>: error handling primitives for incdb.
+//
+// Fallible public APIs (parsers, evaluators that can reject ill-typed input)
+// return Status or Result<T>; internal invariant violations use INCDB_CHECK.
+// No exceptions cross library boundaries.
+
+#ifndef INCDB_UTIL_STATUS_H_
+#define INCDB_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace incdb {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed ill-formed input (bad arity, bad AST)
+  kParseError,        ///< SQL / formula text failed to parse
+  kUnsupported,       ///< operation outside the supported fragment
+  kResourceExhausted, ///< enumeration bound exceeded
+  kNotFound,          ///< named relation / attribute missing
+  kInternal,          ///< library bug
+};
+
+/// Human-readable name of a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::cerr << "incdb: Result accessed without value: "
+                << status_.ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            const std::string& message);
+}  // namespace internal
+
+}  // namespace incdb
+
+/// Aborts with a diagnostic if `cond` is false. For internal invariants only.
+#define INCDB_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::incdb::internal::CheckFail(__FILE__, __LINE__, #cond, "");     \
+    }                                                                  \
+  } while (0)
+
+#define INCDB_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::incdb::internal::CheckFail(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                  \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define INCDB_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::incdb::Status _incdb_status = (expr);      \
+    if (!_incdb_status.ok()) return _incdb_status; \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on success binds it, else returns status.
+#define INCDB_ASSIGN_OR_RETURN(lhs, expr)                   \
+  INCDB_ASSIGN_OR_RETURN_IMPL_(                             \
+      INCDB_STATUS_CONCAT_(_incdb_result, __LINE__), lhs, expr)
+#define INCDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define INCDB_STATUS_CONCAT_(a, b) INCDB_STATUS_CONCAT_INNER_(a, b)
+#define INCDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // INCDB_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+// Small string utilities shared across incdb modules.
+
+#ifndef INCDB_UTIL_STRINGS_H_
+#define INCDB_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace incdb {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(const std::string& s);
+std::string ToUpper(const std::string& s);
+
+/// True if `s` equals `t` ignoring ASCII case.
+bool EqualsIgnoreCase(const std::string& s, const std::string& t);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+}  // namespace incdb
+
+#endif  // INCDB_UTIL_STRINGS_H_

@@ -1,0 +1,82 @@
+#include "views/views.h"
+
+#include <map>
+#include <set>
+
+#include "logic/containment.h"
+
+namespace incdb {
+
+Result<Database> CanonicalInstanceFromViews(
+    const std::vector<MaterializedView>& views) {
+  Database out;
+  NullId next_null = 0;
+  for (const MaterializedView& view : views) {
+    const size_t head_arity = view.definition.head.size();
+    if (view.extent.arity() != head_arity) {
+      return Status::InvalidArgument(
+          "extent arity mismatch for view " + view.name + ": definition head "
+          "has " + std::to_string(head_arity) + " columns");
+    }
+    // Head variables (by var id) -> head position.
+    std::map<VarId, size_t> head_pos;
+    for (size_t i = 0; i < head_arity; ++i) {
+      const FoTerm& t = view.definition.head[i];
+      if (!t.is_var()) {
+        return Status::Unsupported(
+            "constant head terms in view definitions are not supported");
+      }
+      head_pos.emplace(t.var, i);
+    }
+    for (const Tuple& vt : view.extent.tuples()) {
+      // Fresh nulls for the existential (projected-away) variables, one set
+      // per view tuple.
+      std::map<VarId, Value> env;
+      for (const FoAtom& atom : view.definition.body) {
+        for (const FoTerm& t : atom.terms) {
+          if (!t.is_var()) continue;
+          if (env.count(t.var) > 0) continue;
+          auto hp = head_pos.find(t.var);
+          if (hp != head_pos.end()) {
+            env[t.var] = vt[hp->second];
+          } else {
+            env[t.var] = Value::Null(next_null++);
+          }
+        }
+      }
+      for (const FoAtom& atom : view.definition.body) {
+        std::vector<Value> vals;
+        vals.reserve(atom.terms.size());
+        for (const FoTerm& t : atom.terms) {
+          vals.push_back(t.is_var() ? env.at(t.var) : t.constant);
+        }
+        out.AddTuple(atom.relation, Tuple(std::move(vals)));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Relation> CertainAnswersUsingViews(
+    const UnionOfCQs& q, const std::vector<MaterializedView>& views) {
+  INCDB_ASSIGN_OR_RETURN(Database canonical,
+                         CanonicalInstanceFromViews(views));
+  return CertainOwaAnswers(q, canonical);
+}
+
+Result<bool> ViewsReproduceExtents(
+    const std::vector<MaterializedView>& views) {
+  INCDB_ASSIGN_OR_RETURN(Database canonical,
+                         CanonicalInstanceFromViews(views));
+  for (const MaterializedView& view : views) {
+    INCDB_ASSIGN_OR_RETURN(Relation recomputed,
+                           EvalCQ(view.definition, canonical));
+    // Every extent tuple must reappear (the nulls may add more).
+    for (const Tuple& t : view.extent.tuples()) {
+      if (!recomputed.Contains(t)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace incdb

@@ -1,0 +1,51 @@
+// Certain answers using materialized views (paper, Section 1 and the
+// applications of Section 7; classical references: answering queries using
+// views [1, 39]).
+//
+// Given CQ-defined views V_i and their materialized extents, the *inverse
+// rules* construction builds a canonical incomplete database: each view
+// tuple re-generates its definition's body with fresh marked nulls for the
+// non-head (projected-away) variables. The canonical instance represents
+// under OWA exactly the databases consistent with the view extents (sound
+// views), so certain answers to a UCQ are its naïve evaluation over the
+// canonical instance with null rows dropped — the same machinery as
+// everywhere else in this library, which is precisely the paper's point.
+
+#ifndef INCDB_VIEWS_VIEWS_H_
+#define INCDB_VIEWS_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "logic/cq.h"
+
+namespace incdb {
+
+/// A materialized view: name, CQ definition, and extent.
+struct MaterializedView {
+  std::string name;
+  /// Definition over the base schema; head arity must equal the extent's.
+  ConjunctiveQuery definition;
+  Relation extent{0};
+};
+
+/// The canonical incomplete database of the view extents (inverse rules):
+/// one body instantiation per view tuple, fresh nulls per projected-away
+/// variable per tuple.
+Result<Database> CanonicalInstanceFromViews(
+    const std::vector<MaterializedView>& views);
+
+/// Certain answers (OWA, sound views) of a UCQ over the base schema, given
+/// only the view extents.
+Result<Relation> CertainAnswersUsingViews(
+    const UnionOfCQs& q, const std::vector<MaterializedView>& views);
+
+/// Consistency check: does the canonical instance reproduce at least the
+/// given extents when the views are re-applied? (Sound views always do;
+/// exposed for testing exactness.)
+Result<bool> ViewsReproduceExtents(const std::vector<MaterializedView>& views);
+
+}  // namespace incdb
+
+#endif  // INCDB_VIEWS_VIEWS_H_

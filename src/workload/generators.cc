@@ -1,0 +1,147 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/status.h"
+
+namespace incdb {
+
+OrdersPaymentsWorkload MakeOrdersPayments(const OrdersPaymentsConfig& config) {
+  Rng rng(config.seed);
+  OrdersPaymentsWorkload w;
+
+  Schema schema;
+  INCDB_CHECK(schema.AddRelation("Order", {"o_id", "product"}).ok());
+  INCDB_CHECK(schema.AddRelation("Pay", {"p_id", "order_id", "amount"}).ok());
+  w.ground_truth = Database(schema);
+  w.db = Database(schema);
+
+  std::set<int64_t> paid;
+  NullId next_null = 0;
+  int64_t next_pid = 1;
+  for (size_t i = 0; i < config.n_orders; ++i) {
+    const int64_t oid = static_cast<int64_t>(i) + 1;
+    const Value product = Value::Int(rng.UniformInt(1, 200));
+    w.ground_truth.AddTuple("Order", Tuple{Value::Int(oid), product});
+    w.db.AddTuple("Order", Tuple{Value::Int(oid), product});
+    if (rng.Bernoulli(config.pay_fraction)) {
+      paid.insert(oid);
+      const Value pid = Value::Int(next_pid++);
+      const Value amount = Value::Int(rng.UniformInt(10, 5000));
+      w.ground_truth.AddTuple("Pay", Tuple{pid, Value::Int(oid), amount});
+      // In the visible instance the order-id may be lost.
+      const Value visible_oid = rng.Bernoulli(config.null_density)
+                                    ? Value::Null(next_null++)
+                                    : Value::Int(oid);
+      w.db.AddTuple("Pay", Tuple{pid, visible_oid, amount});
+    }
+  }
+  for (size_t i = 0; i < config.n_orders; ++i) {
+    const int64_t oid = static_cast<int64_t>(i) + 1;
+    if (paid.count(oid) == 0) w.truly_unpaid.push_back(oid);
+  }
+  return w;
+}
+
+Database MakeRandomDatabase(const RandomDbConfig& config) {
+  Rng rng(config.seed);
+  Database db;
+  NullId next_null = 0;
+  std::vector<NullId> existing_nulls;
+  for (size_t r = 0; r < config.arities.size(); ++r) {
+    const std::string name = "R" + std::to_string(r);
+    Relation* rel = db.MutableRelation(name, config.arities[r]);
+    for (size_t row = 0; row < config.rows_per_relation; ++row) {
+      std::vector<Value> vals;
+      vals.reserve(config.arities[r]);
+      for (size_t c = 0; c < config.arities[r]; ++c) {
+        if (rng.Bernoulli(config.null_density)) {
+          if (!existing_nulls.empty() && rng.Bernoulli(config.null_reuse)) {
+            vals.push_back(Value::Null(
+                existing_nulls[rng.Uniform(existing_nulls.size())]));
+          } else {
+            existing_nulls.push_back(next_null);
+            vals.push_back(Value::Null(next_null++));
+          }
+        } else {
+          vals.push_back(Value::Int(rng.UniformInt(0, config.domain_size - 1)));
+        }
+      }
+      rel->Add(Tuple(std::move(vals)));
+    }
+  }
+  return db;
+}
+
+Database MakeDivisionWorkload(const DivisionConfig& config) {
+  Rng rng(config.seed);
+  Schema schema;
+  INCDB_CHECK(schema.AddRelation("Assign", {"employee", "project"}).ok());
+  INCDB_CHECK(schema.AddRelation("Proj", {"project"}).ok());
+  Database db(schema);
+  for (size_t p = 0; p < config.n_projects; ++p) {
+    db.AddTuple("Proj", Tuple{Value::Int(static_cast<int64_t>(p))});
+  }
+  for (size_t e = 0; e < config.n_employees; ++e) {
+    const Value emp = Value::Int(static_cast<int64_t>(e));
+    if (rng.Bernoulli(config.coverage)) {
+      for (size_t p = 0; p < config.n_projects; ++p) {
+        db.AddTuple("Assign", Tuple{emp, Value::Int(static_cast<int64_t>(p))});
+      }
+    } else {
+      for (size_t p = 0; p < config.n_projects; ++p) {
+        if (rng.Bernoulli(config.assign_density)) {
+          db.AddTuple("Assign",
+                      Tuple{emp, Value::Int(static_cast<int64_t>(p))});
+        }
+      }
+    }
+  }
+  return db;
+}
+
+ConjunctiveQuery ChainCQ(size_t length, const std::string& relation) {
+  ConjunctiveQuery q;
+  for (size_t i = 0; i < length; ++i) {
+    q.body.push_back(FoAtom{
+        relation,
+        {FoTerm::Var(static_cast<VarId>(i)),
+         FoTerm::Var(static_cast<VarId>(i + 1))}});
+  }
+  return q;
+}
+
+ConjunctiveQuery StarCQ(size_t rays, const std::string& relation) {
+  ConjunctiveQuery q;
+  for (size_t i = 1; i <= rays; ++i) {
+    q.body.push_back(FoAtom{
+        relation,
+        {FoTerm::Var(0), FoTerm::Var(static_cast<VarId>(i))}});
+  }
+  return q;
+}
+
+Database MakePathDatabase(size_t n, const std::string& relation) {
+  Database db;
+  Relation* rel = db.MutableRelation(relation, 2);
+  for (size_t i = 0; i < n; ++i) {
+    rel->Add(Tuple{Value::Int(static_cast<int64_t>(i)),
+                   Value::Int(static_cast<int64_t>(i + 1))});
+  }
+  return db;
+}
+
+Database MakeRandomGraph(size_t n, size_t m, uint64_t seed,
+                         const std::string& relation) {
+  Rng rng(seed);
+  Database db;
+  Relation* rel = db.MutableRelation(relation, 2);
+  for (size_t i = 0; i < m; ++i) {
+    rel->Add(Tuple{Value::Int(static_cast<int64_t>(rng.Uniform(n))),
+                   Value::Int(static_cast<int64_t>(rng.Uniform(n)))});
+  }
+  return db;
+}
+
+}  // namespace incdb

@@ -1,0 +1,87 @@
+// Workload generators for tests, examples, and the bench harness.
+//
+// The orders/payments generator follows the paper's introduction example:
+// Order(o_id, product), Pay(p_id, order_id, amount). Incompleteness is
+// injected by replacing payment order-ids with fresh marked nulls, and the
+// complete pre-injection world is kept as ground truth so experiments can
+// measure what an evaluation scheme misses or fabricates.
+
+#ifndef INCDB_WORKLOAD_GENERATORS_H_
+#define INCDB_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "logic/cq.h"
+#include "util/random.h"
+
+namespace incdb {
+
+/// Configuration of the orders/payments workload.
+struct OrdersPaymentsConfig {
+  size_t n_orders = 1000;
+  /// Fraction of orders that received a payment in the true world.
+  double pay_fraction = 0.8;
+  /// Probability that a payment's order_id is replaced by a fresh null.
+  double null_density = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Generated workload with ground truth.
+struct OrdersPaymentsWorkload {
+  Database db;            ///< incomplete instance (nulls in Pay.order_id)
+  Database ground_truth;  ///< the complete world the nulls hide
+  /// Order ids with no payment in the true world (the correct answer to the
+  /// introduction's "unpaid orders" query).
+  std::vector<int64_t> truly_unpaid;
+};
+
+OrdersPaymentsWorkload MakeOrdersPayments(const OrdersPaymentsConfig& config);
+
+/// Configuration for random naïve databases.
+struct RandomDbConfig {
+  /// Arity of each generated relation; names are R0, R1, ....
+  std::vector<size_t> arities = {2, 2};
+  size_t rows_per_relation = 16;
+  /// Constants are drawn uniformly from [0, domain_size).
+  int64_t domain_size = 8;
+  /// Per-cell probability of a null.
+  double null_density = 0.2;
+  /// Probability that a null cell reuses an existing marked null.
+  double null_reuse = 0.3;
+  uint64_t seed = 1;
+};
+
+Database MakeRandomDatabase(const RandomDbConfig& config);
+
+/// Division workload (bench E4): Emp(project, employee) and Proj(project).
+/// Emp ÷ ... inverted: the classical query "employees assigned to every
+/// project" is Assign(e, p) ÷ Proj(p). `coverage` controls the fraction of
+/// employees assigned to all projects.
+struct DivisionConfig {
+  size_t n_employees = 1000;
+  size_t n_projects = 10;
+  double coverage = 0.2;  ///< fraction of employees covering every project
+  double assign_density = 0.5;
+  uint64_t seed = 7;
+};
+
+Database MakeDivisionWorkload(const DivisionConfig& config);
+
+/// Boolean chain CQ: ∃x0..xk R(x0,x1) ∧ ... ∧ R(x_{k-1}, x_k).
+ConjunctiveQuery ChainCQ(size_t length, const std::string& relation = "R");
+
+/// Boolean star CQ: ∃c, x1..xk R(c, x1) ∧ ... ∧ R(c, xk).
+ConjunctiveQuery StarCQ(size_t rays, const std::string& relation = "R");
+
+/// A directed path of `n` edges in binary relation `relation`.
+Database MakePathDatabase(size_t n, const std::string& relation = "R");
+
+/// A random binary-relation graph with `n` nodes and `m` edges.
+Database MakeRandomGraph(size_t n, size_t m, uint64_t seed,
+                         const std::string& relation = "R");
+
+}  // namespace incdb
+
+#endif  // INCDB_WORKLOAD_GENERATORS_H_

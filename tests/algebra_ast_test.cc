@@ -1,0 +1,100 @@
+#include "algebra/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+
+namespace incdb {
+namespace {
+
+Schema TwoRelSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddRelation("R", 2).ok());
+  EXPECT_TRUE(s.AddRelation("S", 1).ok());
+  return s;
+}
+
+TEST(RAExprTest, ArityInference) {
+  Schema s = TwoRelSchema();
+  auto r = RAExpr::Scan("R");
+  EXPECT_EQ(*r->InferArity(s), 2u);
+  EXPECT_EQ(*RAExpr::Project({0}, r)->InferArity(s), 1u);
+  EXPECT_EQ(*RAExpr::Product(r, RAExpr::Scan("S"))->InferArity(s), 3u);
+  EXPECT_EQ(*RAExpr::Delta()->InferArity(s), 2u);
+  EXPECT_EQ(*RAExpr::Divide(r, RAExpr::Scan("S"))->InferArity(s), 1u);
+}
+
+TEST(RAExprTest, ArityErrors) {
+  Schema s = TwoRelSchema();
+  auto r = RAExpr::Scan("R");
+  EXPECT_FALSE(RAExpr::Scan("T")->InferArity(s).ok());
+  EXPECT_FALSE(RAExpr::Project({5}, r)->InferArity(s).ok());
+  EXPECT_FALSE(RAExpr::Union(r, RAExpr::Scan("S"))->InferArity(s).ok());
+  // Division requires 0 < arity(divisor) < arity(dividend).
+  EXPECT_FALSE(RAExpr::Divide(RAExpr::Scan("S"), r)->InferArity(s).ok());
+  // Selection predicate beyond arity.
+  auto bad_sel = RAExpr::Select(
+      Predicate::Eq(Term::Column(7), Term::Column(0)), r);
+  EXPECT_FALSE(bad_sel->InferArity(s).ok());
+}
+
+TEST(RAExprTest, DivisionExpansionIsEquivalent) {
+  // R ÷ S vs its σπ×− expansion, on a complete instance.
+  Database db;
+  // R(a,b): employee a assigned to project b.
+  for (int64_t b : {1, 2, 3}) {
+    db.AddTuple("R", Tuple{Value::Int(10), Value::Int(b)});
+  }
+  db.AddTuple("R", Tuple{Value::Int(20), Value::Int(1)});
+  db.AddTuple("R", Tuple{Value::Int(20), Value::Int(3)});
+  db.AddTuple("S", Tuple{Value::Int(1)});
+  db.AddTuple("S", Tuple{Value::Int(3)});
+
+  auto divide = RAExpr::Divide(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  auto expanded = RAExpr::ExpandDivision(divide, db.schema());
+
+  auto direct = EvalNaive(divide, db);
+  auto via_expansion = EvalNaive(expanded, db);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_expansion.ok());
+  EXPECT_EQ(*direct, *via_expansion);
+  // Both 10 and 20 cover {1,3}.
+  EXPECT_EQ(direct->size(), 2u);
+}
+
+TEST(RAExprTest, ExpansionLeavesDivisionFreeTree) {
+  Schema s = TwoRelSchema();
+  auto q = RAExpr::Union(
+      RAExpr::Divide(RAExpr::Scan("R"), RAExpr::Scan("S")),
+      RAExpr::Project({0}, RAExpr::Scan("R")));
+  auto expanded = RAExpr::ExpandDivision(q, s);
+  // Walk the tree: no kDivide nodes remain.
+  std::function<bool(const RAExprPtr&)> no_div =
+      [&](const RAExprPtr& e) -> bool {
+    if (e == nullptr) return true;
+    if (e->kind() == RAExpr::Kind::kDivide) return false;
+    return no_div(e->left()) && no_div(e->right());
+  };
+  EXPECT_TRUE(no_div(expanded));
+  EXPECT_EQ(*expanded->InferArity(s), 1u);
+}
+
+TEST(RAExprTest, ConstRelLiteral) {
+  Relation lit(1);
+  lit.Add(Tuple{Value::Int(9)});
+  Database db;  // empty, no schema
+  auto q = RAExpr::ConstRel(lit);
+  auto r = EvalNaive(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(RAExprTest, ToStringRoundTripReadable) {
+  auto q = RAExpr::Diff(
+      RAExpr::Project({0}, RAExpr::Scan("R")),
+      RAExpr::Scan("S"));
+  EXPECT_EQ(q->ToString(), "(proj{0}(R) - S)");
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,108 @@
+// certainK: knowledge-based certainty (eqs. (6), (8), (10)).
+
+#include <gtest/gtest.h>
+
+#include "core/possible_worlds.h"
+#include "repr/certain_knowledge.h"
+
+namespace incdb {
+namespace {
+
+TEST(CertainKnowledgeTest, DeltaHoldsInAllWorlds) {
+  // certainK(⟦x⟧) = δ_x: δ must hold in every world of x.
+  Database x;
+  x.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  x.AddTuple("S", Tuple{Value::Null(0)});
+
+  for (auto sem :
+       {WorldSemantics::kOpenWorld, WorldSemantics::kClosedWorld}) {
+    FormulaPtr k = CertainKnowledgeOf(x, sem);
+    std::vector<Database> worlds;
+    WorldEnumOptions opts;
+    opts.fresh_constants = 2;
+    Status st = ForEachWorldCwa(x, opts, [&](const Database& w) {
+      worlds.push_back(w);
+      return true;
+    });
+    ASSERT_TRUE(st.ok());
+    auto all = HoldsInAll(k, worlds);
+    ASSERT_TRUE(all.ok());
+    EXPECT_TRUE(*all) << WorldSemanticsName(sem);
+  }
+}
+
+TEST(CertainKnowledgeTest, DeltaOwaWeakerThanDeltaCwa) {
+  // Every CWA world is an OWA world, so δ_cwa ⊨ δ_owa on any candidate set.
+  Database x;
+  x.AddTuple("R", Tuple{Value::Null(0)});
+
+  std::vector<Database> candidates;
+  for (int64_t a = 1; a <= 2; ++a) {
+    for (int64_t b = 1; b <= 2; ++b) {
+      Database c;
+      c.AddTuple("R", Tuple{Value::Int(a)});
+      if (b != a) c.AddTuple("R", Tuple{Value::Int(b)});
+      candidates.push_back(std::move(c));
+    }
+  }
+  auto stronger = StrongerOn(CertainKnowledgeOf(x, WorldSemantics::kClosedWorld),
+                             CertainKnowledgeOf(x, WorldSemantics::kOpenWorld),
+                             candidates);
+  ASSERT_TRUE(stronger.ok());
+  EXPECT_TRUE(*stronger);
+  // The converse fails: a two-tuple world satisfies δ_owa but not δ_cwa.
+  auto converse = StrongerOn(CertainKnowledgeOf(x, WorldSemantics::kOpenWorld),
+                             CertainKnowledgeOf(x, WorldSemantics::kClosedWorld),
+                             candidates);
+  ASSERT_TRUE(converse.ok());
+  EXPECT_FALSE(*converse);
+}
+
+TEST(CertainKnowledgeTest, AnswerKnowledgeViaNaiveEvaluation) {
+  // certainK(Q, D) = δ_{Q(D)} (eq. (10)): knowledge extracted from the naïve
+  // answer holds in Q(world) for every world.
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  d.AddTuple("R", Tuple{Value::Null(0), Value::Int(2)});
+
+  // Q = π_{0,1}(R) (identity). Naïve answer = R itself.
+  Relation naive = d.GetRelation("R");
+  FormulaPtr k =
+      CertainKnowledgeOfAnswer(naive, WorldSemantics::kOpenWorld, "Ans");
+
+  WorldEnumOptions opts;
+  opts.fresh_constants = 1;
+  std::vector<Database> answer_worlds;
+  Status st = ForEachWorldCwa(d, opts, [&](const Database& w) {
+    Database adb;
+    *adb.MutableRelation("Ans", 2) = w.GetRelation("R");
+    answer_worlds.push_back(std::move(adb));
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+  auto all = HoldsInAll(k, answer_worlds);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(*all);
+}
+
+TEST(CertainKnowledgeTest, KnowledgeIsInformative) {
+  // δ_{Q(D)} distinguishes answers from non-answers: a world missing the
+  // forced pattern falsifies it.
+  Relation naive(1);
+  naive.Add(Tuple{Value::Int(1)});
+  naive.Add(Tuple{Value::Null(0)});
+  FormulaPtr k =
+      CertainKnowledgeOfAnswer(naive, WorldSemantics::kOpenWorld, "Ans");
+
+  Database good;
+  good.AddTuple("Ans", Tuple{Value::Int(1)});
+  good.AddTuple("Ans", Tuple{Value::Int(7)});
+  EXPECT_TRUE(*Satisfies(good, k));
+
+  Database bad;  // missing the constant 1
+  bad.AddTuple("Ans", Tuple{Value::Int(7)});
+  EXPECT_FALSE(*Satisfies(bad, k));
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,123 @@
+// certainO as glb (eq. (7)), the Section 6 critique of intersection-based
+// answers, and certainO(Q, x) = Q(x) for monotone generic queries (eq. (9)).
+
+#include <gtest/gtest.h>
+
+#include "algebra/certain.h"
+#include "algebra/eval.h"
+#include "core/possible_worlds.h"
+#include "repr/certain_object.h"
+
+namespace incdb {
+namespace {
+
+TEST(CertainObjectTest, ProductOfAnswerRelations) {
+  // Q(⟦D⟧) for D = {R(1,2),R(2,⊥)} restricted to ⊥ ∈ {3,4}:
+  Relation w1(2), w2(2);
+  w1.Add(Tuple{Value::Int(1), Value::Int(2)});
+  w1.Add(Tuple{Value::Int(2), Value::Int(3)});
+  w2.Add(Tuple{Value::Int(1), Value::Int(2)});
+  w2.Add(Tuple{Value::Int(2), Value::Int(4)});
+
+  auto glb = CertainObjectOwaRelations({w1, w2});
+  ASSERT_TRUE(glb.ok());
+  // The glb keeps (1,2) and a tuple (2,⊥) — strictly more informative than
+  // the bare intersection {(1,2)}.
+  EXPECT_TRUE(glb->Contains(Tuple{Value::Int(1), Value::Int(2)}));
+  bool has_partial = false;
+  for (const Tuple& t : glb->tuples()) {
+    if (t[0] == Value::Int(2) && t[1].is_null()) has_partial = true;
+  }
+  EXPECT_TRUE(has_partial) << glb->ToString();
+}
+
+TEST(CertainObjectTest, GlbVerificationPredicate) {
+  Database x1;
+  x1.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  x1.AddTuple("R", Tuple{Value::Int(2), Value::Int(3)});
+  Database x2;
+  x2.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  x2.AddTuple("R", Tuple{Value::Int(2), Value::Int(4)});
+
+  auto glb = CertainObjectOwa({x1, x2});
+  ASSERT_TRUE(glb.ok());
+
+  Database naive_answer;
+  naive_answer.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  naive_answer.AddTuple("R", Tuple{Value::Int(2), Value::Null(0)});
+  Database intersection;
+  intersection.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+
+  EXPECT_TRUE(IsGreatestLowerBound(*glb, {x1, x2},
+                                   {naive_answer, intersection},
+                                   WorldSemantics::kOpenWorld));
+  // The intersection is a lower bound but NOT greatest: naive_answer is a
+  // lower bound that does not precede it.
+  EXPECT_FALSE(IsGreatestLowerBound(intersection, {x1, x2}, {naive_answer},
+                                    WorldSemantics::kOpenWorld));
+}
+
+TEST(CertainObjectTest, NaiveAnswerIsGlbOfAnswerSpaceOwa) {
+  // certainO(Q, D) = Q(D) (eq. (9)) for a monotone query: validate that
+  // Q(D) is a glb of { Q(D') : D' ∈ worlds(D) } on a small instance.
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  d.AddTuple("R", Tuple{Value::Null(0), Value::Int(2)});
+  auto q = RAExpr::Project({0}, RAExpr::Scan("R"));  // monotone UCQ
+
+  auto naive = EvalNaive(q, d);
+  ASSERT_TRUE(naive.ok());
+  Database naive_db;
+  *naive_db.MutableRelation("Ans", naive->arity()) = *naive;
+
+  // Collect the answer objects over all CWA worlds (OWA minimal worlds).
+  std::vector<Database> answers;
+  WorldEnumOptions opts;
+  opts.fresh_constants = 2;
+  Status st = ForEachWorldCwa(d, opts, [&](const Database& w) {
+    auto a = EvalComplete(q, w);
+    EXPECT_TRUE(a.ok());
+    Database adb;
+    *adb.MutableRelation("Ans", a->arity()) = *a;
+    answers.push_back(std::move(adb));
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+
+  // Q(D) is below every answer...
+  for (const Database& a : answers) {
+    EXPECT_TRUE(PrecedesOwa(naive_db, a));
+  }
+  // ...and above the product glb (hence equivalent to it).
+  auto glb = CertainObjectOwa(answers);
+  ASSERT_TRUE(glb.ok());
+  EXPECT_TRUE(PrecedesOwa(*glb, naive_db));
+}
+
+TEST(CertainObjectTest, Section6CwaNaiveAnswerIsLowerBound) {
+  // Under CWA the naïve answer Q(D) = D (identity query) precedes every
+  // world answer; the intersection {(1,2)} does not (Section 6).
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  d.AddTuple("R", Tuple{Value::Int(2), Value::Null(0)});
+
+  WorldEnumOptions opts;
+  opts.fresh_constants = 1;
+  Database inter;
+  inter.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+
+  bool naive_always_lb = true;
+  bool inter_ever_lb_cwa = false;
+  Status st = ForEachWorldCwa(d, opts, [&](const Database& w) {
+    if (!PrecedesCwa(d, w)) naive_always_lb = false;
+    if (PrecedesCwa(inter, w)) inter_ever_lb_cwa = true;
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(naive_always_lb);
+  EXPECT_FALSE(inter_ever_lb_cwa)
+      << "{(1,2)} should not be ⪯_cwa below any two-tuple world";
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,107 @@
+#include "logic/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace incdb {
+namespace {
+
+TEST(ContainmentTest, LongerChainContainedInShorter) {
+  // A length-3 path implies a length-2 path: Chain3 ⊆ Chain2.
+  EXPECT_TRUE(*CQContained(ChainCQ(3), ChainCQ(2)));
+  EXPECT_FALSE(*CQContained(ChainCQ(2), ChainCQ(3)));
+}
+
+TEST(ContainmentTest, SelfContainment) {
+  EXPECT_TRUE(*CQContained(ChainCQ(2), ChainCQ(2)));
+}
+
+TEST(ContainmentTest, StarsAndChains) {
+  // Star with 2 rays: ∃c,x1,x2 R(c,x1) ∧ R(c,x2) — equivalent to a single
+  // edge (fold x1 = x2), so Star2 ⊆ Chain1 and Chain1 ⊆ Star2.
+  EXPECT_TRUE(*CQContained(StarCQ(2), ChainCQ(1)));
+  EXPECT_TRUE(*CQContained(ChainCQ(1), StarCQ(2)));
+  // But a chain of 2 is not contained in... chain2 says ∃ composable edges;
+  // star2 holds in any nonempty R. So Chain2 ⊆ Star2, not conversely.
+  EXPECT_TRUE(*CQContained(ChainCQ(2), StarCQ(2)));
+  EXPECT_FALSE(*CQContained(StarCQ(2), ChainCQ(2)));
+}
+
+TEST(ContainmentTest, ConstantsBlockFolding) {
+  // Q1 = ∃x R(1, x); Q2 = ∃x R(2, x). Incomparable.
+  ConjunctiveQuery q1;
+  q1.body = {FoAtom{"R", {FoTerm::Const(Value::Int(1)), FoTerm::Var(0)}}};
+  ConjunctiveQuery q2;
+  q2.body = {FoAtom{"R", {FoTerm::Const(Value::Int(2)), FoTerm::Var(0)}}};
+  EXPECT_FALSE(*CQContained(q1, q2));
+  EXPECT_FALSE(*CQContained(q2, q1));
+  // ∃x,y R(x,y) contains both.
+  ConjunctiveQuery any;
+  any.body = {FoAtom{"R", {FoTerm::Var(0), FoTerm::Var(1)}}};
+  EXPECT_TRUE(*CQContained(q1, any));
+  EXPECT_TRUE(*CQContained(q2, any));
+}
+
+TEST(ContainmentTest, HeadVariablesMustBePreserved) {
+  // ans(x) :- R(x,y)  vs  ans(y) :- R(x,y): the first returns sources, the
+  // second targets. Not contained in either direction (over all instances).
+  ConjunctiveQuery src;
+  src.head = {FoTerm::Var(0)};
+  src.body = {FoAtom{"R", {FoTerm::Var(0), FoTerm::Var(1)}}};
+  ConjunctiveQuery dst;
+  dst.head = {FoTerm::Var(1)};
+  dst.body = {FoAtom{"R", {FoTerm::Var(0), FoTerm::Var(1)}}};
+  EXPECT_FALSE(*CQContained(src, dst));
+  EXPECT_FALSE(*CQContained(dst, src));
+}
+
+TEST(ContainmentTest, HeadArityMismatchRejected) {
+  ConjunctiveQuery boolean = ChainCQ(1);
+  ConjunctiveQuery unary;
+  unary.head = {FoTerm::Var(0)};
+  unary.body = {FoAtom{"R", {FoTerm::Var(0), FoTerm::Var(1)}}};
+  EXPECT_FALSE(CQContained(boolean, unary).ok());
+}
+
+TEST(ContainmentTest, UCQContainment) {
+  // Chain2 ∪ Chain3 ⊆ Chain1 ∪ Chain2 (each disjunct contained in Chain2...
+  // Chain2 ⊆ Chain2, Chain3 ⊆ Chain2). Converse fails (Chain1 ⊄ Chain2+).
+  UnionOfCQs a;
+  a.disjuncts = {ChainCQ(2), ChainCQ(3)};
+  UnionOfCQs b;
+  b.disjuncts = {ChainCQ(1), ChainCQ(2)};
+  EXPECT_TRUE(*UCQContained(a, b));
+  EXPECT_FALSE(*UCQContained(b, a));
+}
+
+TEST(ContainmentTest, MinimizeCollapsesRedundantAtoms) {
+  // Star2 minimizes to a single atom.
+  auto core = MinimizeCQ(StarCQ(2));
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->body.size(), 1u);
+  // The core is equivalent to the original.
+  EXPECT_TRUE(*CQContained(*core, StarCQ(2)));
+  EXPECT_TRUE(*CQContained(StarCQ(2), *core));
+}
+
+TEST(ContainmentTest, MinimizeKeepsNonRedundantChains) {
+  auto core = MinimizeCQ(ChainCQ(3));
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->body.size(), 3u);
+}
+
+TEST(ContainmentTest, MinimizePreservesHeadSafety) {
+  // ans(x) :- R(x,y), R(x,z): minimizes to one atom but keeps x.
+  ConjunctiveQuery q;
+  q.head = {FoTerm::Var(0)};
+  q.body = {FoAtom{"R", {FoTerm::Var(0), FoTerm::Var(1)}},
+            FoAtom{"R", {FoTerm::Var(0), FoTerm::Var(2)}}};
+  auto core = MinimizeCQ(q);
+  ASSERT_TRUE(core.ok());
+  EXPECT_EQ(core->body.size(), 1u);
+  EXPECT_EQ(core->head.size(), 1u);
+}
+
+}  // namespace
+}  // namespace incdb

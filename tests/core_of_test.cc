@@ -1,0 +1,88 @@
+#include "core/core_of.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ordering.h"
+#include "workload/generators.h"
+
+namespace incdb {
+namespace {
+
+TEST(CoreTest, CompleteDatabaseIsItsOwnCoreUnlessFoldable) {
+  // Constants can't move, so a complete database is always a core.
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  d.AddTuple("R", Tuple{Value::Int(2), Value::Int(3)});
+  EXPECT_TRUE(IsCore(d));
+  EXPECT_EQ(CoreOf(d), d);
+}
+
+TEST(CoreTest, GenericTupleFoldsIntoSpecificOne) {
+  // {R(⊥0,⊥1), R(1,2)}: the all-null tuple folds onto (1,2).
+  Database d;
+  d.AddTuple("R", Tuple{Value::Null(0), Value::Null(1)});
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  Database core = CoreOf(d);
+  EXPECT_EQ(core.TupleCount(), 1u);
+  EXPECT_TRUE(core.GetRelation("R").Contains(
+      Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_TRUE(IsCore(core));
+  EXPECT_TRUE(InformationEquivalent(d, core, WorldSemantics::kOpenWorld));
+}
+
+TEST(CoreTest, SharedNullBlocksFolding) {
+  // {R(⊥0, 1), S(⊥0)}: ⊥0 is constrained by both atoms; with nothing to
+  // fold onto, the instance is a core.
+  Database d;
+  d.AddTuple("R", Tuple{Value::Null(0), Value::Int(1)});
+  d.AddTuple("S", Tuple{Value::Null(0)});
+  EXPECT_TRUE(IsCore(d));
+}
+
+TEST(CoreTest, NullChainFoldsOntoLoop) {
+  // Null path of length 3 plus a constant self-loop: everything folds onto
+  // the loop.
+  Database d;
+  d.AddTuple("E", Tuple{Value::Null(0), Value::Null(1)});
+  d.AddTuple("E", Tuple{Value::Null(1), Value::Null(2)});
+  d.AddTuple("E", Tuple{Value::Int(7), Value::Int(7)});
+  Database core = CoreOf(d);
+  EXPECT_EQ(core.TupleCount(), 1u);
+  EXPECT_TRUE(core.GetRelation("E").Contains(
+      Tuple{Value::Int(7), Value::Int(7)}));
+}
+
+TEST(CoreTest, StarQueryMinimization) {
+  // The tableau of Star(3) has core of one atom (tableau minimization =
+  // CQ minimization, Section 4 duality).
+  Database star = TableauOf(StarCQ(3));
+  EXPECT_EQ(star.TupleCount(), 3u);
+  Database core = CoreOf(star);
+  EXPECT_EQ(core.TupleCount(), 1u);
+}
+
+TEST(CoreTest, ChainTableauIsAlreadyCore) {
+  Database chain = TableauOf(ChainCQ(3));
+  EXPECT_TRUE(IsCore(chain));
+}
+
+TEST(CoreTest, CoreIsEquivalentAndMinimal) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    RandomDbConfig cfg;
+    cfg.arities = {2};
+    cfg.rows_per_relation = 4;
+    cfg.domain_size = 2;
+    cfg.null_density = 0.5;
+    cfg.null_reuse = 0.3;
+    cfg.seed = seed;
+    Database d = MakeRandomDatabase(cfg);
+    Database core = CoreOf(d);
+    EXPECT_TRUE(InformationEquivalent(d, core, WorldSemantics::kOpenWorld))
+        << d.ToString();
+    EXPECT_TRUE(IsCore(core)) << core.ToString();
+    EXPECT_LE(core.TupleCount(), d.TupleCount());
+  }
+}
+
+}  // namespace
+}  // namespace incdb

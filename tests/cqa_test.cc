@@ -1,0 +1,151 @@
+// Consistent query answering: repairs as possible worlds, consistent
+// answers as certain answers over them (paper, Section 7, Applications).
+
+#include "cqa/repairs.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace incdb {
+namespace {
+
+// Emp(id, salary) with a key violation: two salaries for id 1.
+Database InconsistentDb() {
+  Database db;
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(100)});
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(200)});
+  db.AddTuple("Emp", Tuple{Value::Int(2), Value::Int(80)});
+  return db;
+}
+
+FdSet KeyFd() { return {{"Emp", {FunctionalDependency{{0}, {1}}}}}; }
+
+TEST(CqaTest, ConsistencyCheck) {
+  EXPECT_FALSE(*IsConsistent(InconsistentDb(), KeyFd()));
+  Database ok;
+  ok.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(100)});
+  EXPECT_TRUE(*IsConsistent(ok, KeyFd()));
+  EXPECT_EQ(*CountConflicts(InconsistentDb(), KeyFd()), 1u);
+}
+
+TEST(CqaTest, RepairsOfSingleConflict) {
+  auto repairs = AllRepairs(InconsistentDb(), KeyFd());
+  ASSERT_TRUE(repairs.ok()) << repairs.status().ToString();
+  ASSERT_EQ(repairs->size(), 2u);
+  for (const Database& r : *repairs) {
+    // Each repair keeps (2,80) and exactly one of the id-1 tuples.
+    EXPECT_TRUE(*IsConsistent(r, KeyFd()));
+    EXPECT_EQ(r.GetRelation("Emp").size(), 2u);
+    EXPECT_TRUE(r.GetRelation("Emp").Contains(
+        Tuple{Value::Int(2), Value::Int(80)}));
+  }
+}
+
+TEST(CqaTest, ConsistentDatabaseHasOneRepair) {
+  Database db;
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(100)});
+  db.AddTuple("Emp", Tuple{Value::Int(2), Value::Int(80)});
+  auto repairs = AllRepairs(db, KeyFd());
+  ASSERT_TRUE(repairs.ok());
+  ASSERT_EQ(repairs->size(), 1u);
+  EXPECT_EQ((*repairs)[0], db);
+}
+
+TEST(CqaTest, ConsistentAnswersIntersectRepairs) {
+  // ids of all employees: both repairs keep ids {1, 2} — consistent.
+  auto ids = RAExpr::Project({0}, RAExpr::Scan("Emp"));
+  auto ans = ConsistentAnswers(ids, InconsistentDb(), KeyFd());
+  ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+  EXPECT_EQ(ans->size(), 2u);
+
+  // Full tuples: only (2,80) survives in every repair.
+  auto all = RAExpr::Scan("Emp");
+  auto certain = ConsistentAnswers(all, InconsistentDb(), KeyFd());
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(certain->size(), 1u);
+  EXPECT_TRUE(certain->Contains(Tuple{Value::Int(2), Value::Int(80)}));
+}
+
+TEST(CqaTest, ExponentialRepairCount) {
+  // k independent conflicts → 2^k repairs.
+  Database db;
+  for (int64_t i = 0; i < 5; ++i) {
+    db.AddTuple("Emp", Tuple{Value::Int(i), Value::Int(100)});
+    db.AddTuple("Emp", Tuple{Value::Int(i), Value::Int(200)});
+  }
+  auto repairs = AllRepairs(db, KeyFd());
+  ASSERT_TRUE(repairs.ok());
+  EXPECT_EQ(repairs->size(), 32u);
+  EXPECT_EQ(*CountConflicts(db, KeyFd()), 5u);
+}
+
+TEST(CqaTest, MaxRepairsGuard) {
+  Database db;
+  for (int64_t i = 0; i < 12; ++i) {
+    db.AddTuple("Emp", Tuple{Value::Int(i), Value::Int(100)});
+    db.AddTuple("Emp", Tuple{Value::Int(i), Value::Int(200)});
+  }
+  auto repairs = AllRepairs(db, KeyFd(), /*max_repairs=*/100);
+  EXPECT_EQ(repairs.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CqaTest, MultiTupleConflictChains) {
+  // Three mutually conflicting tuples (same key, three salaries): repairs
+  // keep exactly one of them.
+  Database db;
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(100)});
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(200)});
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Int(300)});
+  auto repairs = AllRepairs(db, KeyFd());
+  ASSERT_TRUE(repairs.ok());
+  EXPECT_EQ(repairs->size(), 3u);
+  for (const Database& r : *repairs) {
+    EXPECT_EQ(r.GetRelation("Emp").size(), 1u);
+  }
+}
+
+TEST(CqaTest, RelationsWithoutFdsAreKeptWhole) {
+  Database db = InconsistentDb();
+  db.AddTuple("Dept", Tuple{Value::Str("eng")});
+  auto repairs = AllRepairs(db, KeyFd());
+  ASSERT_TRUE(repairs.ok());
+  for (const Database& r : *repairs) {
+    EXPECT_EQ(r.GetRelation("Dept").size(), 1u);
+  }
+}
+
+// Property: repairs are consistent, ⊆-maximal, and every consistent
+// subinstance extends to some repair.
+class CqaPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CqaPropertySweep, RepairLaws) {
+  Rng rng(GetParam());
+  Database db;
+  for (int i = 0; i < 6; ++i) {
+    db.AddTuple("Emp", Tuple{Value::Int(rng.UniformInt(0, 2)),
+                             Value::Int(rng.UniformInt(0, 2))});
+  }
+  FdSet fds = KeyFd();
+  auto repairs = AllRepairs(db, fds);
+  ASSERT_TRUE(repairs.ok());
+  ASSERT_FALSE(repairs->empty());
+  for (const Database& r : *repairs) {
+    EXPECT_TRUE(*IsConsistent(r, fds)) << r.ToString();
+    EXPECT_TRUE(r.IsSubinstanceOf(db));
+    // Maximality: adding back any removed tuple breaks consistency.
+    for (const Tuple& t : db.GetRelation("Emp").tuples()) {
+      if (r.GetRelation("Emp").Contains(t)) continue;
+      Database extended = r;
+      extended.AddTuple("Emp", t);
+      EXPECT_FALSE(*IsConsistent(extended, fds))
+          << "repair not maximal: " << r.ToString() << " + " << t.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CqaPropertySweep,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,165 @@
+// The Imieliński–Lipski algebra, including the paper's Section 2 example:
+// the c-table answer to R − S for R = {1, 2}, S = {⊥}.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "ctables/ctable_algebra.h"
+
+namespace incdb {
+namespace {
+
+CDatabase PaperDiffDb() {
+  CDatabase db;
+  CTable* r = db.MutableTable("R", 1);
+  r->AddRow(Tuple{Value::Int(1)}, Condition::True());
+  r->AddRow(Tuple{Value::Int(2)}, Condition::True());
+  CTable* s = db.MutableTable("S", 1);
+  s->AddRow(Tuple{Value::Null(0)}, Condition::True());
+  return db;
+}
+
+TEST(CTableAlgebraTest, PaperDifferenceExample) {
+  CDatabase db = PaperDiffDb();
+  auto q = RAExpr::Diff(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  auto ct = EvalOnCTables(q, db);
+  ASSERT_TRUE(ct.ok()) << ct.status().ToString();
+
+  // Expected worlds: {1,2} (⊥ ∉ {1,2}), {2} (⊥ = 1), {1} (⊥ = 2).
+  std::set<std::string> worlds;
+  std::vector<Value> domain = {Value::Int(1), Value::Int(2), Value::Int(3)};
+  CDatabase ans;
+  *ans.MutableTable("Ans", 1) = *ct;
+  Status st = ans.ForEachWorld(domain, [&](const Database& w) {
+    worlds.insert(w.GetRelation("Ans").ToString());
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(worlds,
+            (std::set<std::string>{"{(1), (2)}", "{(2)}", "{(1)}"}));
+}
+
+// Strong representation property ⟦Q(T)⟧ = Q(⟦T⟧) checked by enumeration.
+void CheckStrongRepresentation(const RAExprPtr& q, const CDatabase& db,
+                               const std::vector<Value>& domain) {
+  auto ct = EvalOnCTables(q, db);
+  ASSERT_TRUE(ct.ok()) << ct.status().ToString();
+
+  // Left side: worlds of the answer c-table, enumerated over the *input's*
+  // nulls (conditions may mention them) — collect answer relations.
+  std::set<std::vector<Tuple>> lhs;
+  {
+    CDatabase ans = db;  // carry input tables so shared nulls stay linked
+    *ans.MutableTable("__ans", ct->arity()) = *ct;
+    Status st = ans.ForEachWorld(domain, [&](const Database& w) {
+      lhs.insert(w.GetRelation("__ans").tuples());
+      return true;
+    });
+    ASSERT_TRUE(st.ok());
+  }
+  // Right side: evaluate Q in each world of the input.
+  std::set<std::vector<Tuple>> rhs;
+  {
+    Status st = db.ForEachWorld(domain, [&](const Database& w) {
+      auto r = EvalNaive(q, w);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      rhs.insert(r->tuples());
+      return true;
+    });
+    ASSERT_TRUE(st.ok());
+  }
+  EXPECT_EQ(lhs, rhs) << "strong representation violated for "
+                      << q->ToString();
+}
+
+TEST(CTableAlgebraTest, StrongRepresentationForDifference) {
+  CheckStrongRepresentation(
+      RAExpr::Diff(RAExpr::Scan("R"), RAExpr::Scan("S")), PaperDiffDb(),
+      {Value::Int(1), Value::Int(2), Value::Int(3)});
+}
+
+TEST(CTableAlgebraTest, StrongRepresentationForSelectProjectJoin) {
+  CDatabase db;
+  CTable* r = db.MutableTable("R", 2);
+  r->AddRow(Tuple{Value::Int(1), Value::Null(0)}, Condition::True());
+  r->AddRow(Tuple{Value::Null(1), Value::Int(2)}, Condition::True());
+  CTable* s = db.MutableTable("S", 1);
+  s->AddRow(Tuple{Value::Null(0)}, Condition::True());
+
+  // π_0(σ_{#1 = #2}(R × S))
+  auto q = RAExpr::Project(
+      {0}, RAExpr::Select(Predicate::Eq(Term::Column(1), Term::Column(2)),
+                          RAExpr::Product(RAExpr::Scan("R"),
+                                          RAExpr::Scan("S"))));
+  CheckStrongRepresentation(q, db,
+                            {Value::Int(1), Value::Int(2), Value::Int(3)});
+}
+
+TEST(CTableAlgebraTest, StrongRepresentationForUnionIntersect) {
+  CDatabase db;
+  CTable* r = db.MutableTable("R", 1);
+  r->AddRow(Tuple{Value::Null(0)}, Condition::True());
+  r->AddRow(Tuple{Value::Int(1)}, Condition::True());
+  CTable* s = db.MutableTable("S", 1);
+  s->AddRow(Tuple{Value::Null(1)}, Condition::True());
+
+  CheckStrongRepresentation(
+      RAExpr::Union(RAExpr::Scan("R"), RAExpr::Scan("S")), db,
+      {Value::Int(1), Value::Int(2)});
+  CheckStrongRepresentation(
+      RAExpr::Intersect(RAExpr::Scan("R"), RAExpr::Scan("S")), db,
+      {Value::Int(1), Value::Int(2)});
+}
+
+TEST(CTableAlgebraTest, StrongRepresentationForDivision) {
+  CDatabase db;
+  CTable* r = db.MutableTable("Assign", 2);
+  r->AddRow(Tuple{Value::Int(10), Value::Int(1)}, Condition::True());
+  r->AddRow(Tuple{Value::Int(10), Value::Null(0)}, Condition::True());
+  CTable* s = db.MutableTable("Proj", 1);
+  s->AddRow(Tuple{Value::Int(1)}, Condition::True());
+  s->AddRow(Tuple{Value::Int(2)}, Condition::True());
+
+  CheckStrongRepresentation(
+      RAExpr::Divide(RAExpr::Scan("Assign"), RAExpr::Scan("Proj")), db,
+      {Value::Int(1), Value::Int(2), Value::Int(3)});
+}
+
+TEST(CTableAlgebraTest, SelectionBuildsConditions) {
+  CTable r(1);
+  r.AddRow(Tuple{Value::Null(0)}, Condition::True());
+  auto sel = SelectCT(
+      Predicate::Eq(Term::Column(0), Term::Const(Value::Int(5))), r);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->rows().size(), 1u);
+  EXPECT_EQ(sel->rows()[0].condition->ToString(), "_0 = 5");
+}
+
+TEST(CTableAlgebraTest, OrderPredicatesOnNullsUnsupported) {
+  CTable r(1);
+  r.AddRow(Tuple{Value::Null(0)}, Condition::True());
+  auto sel = SelectCT(
+      Predicate::Cmp(CmpOp::kLt, Term::Column(0), Term::Const(Value::Int(5))),
+      r);
+  EXPECT_EQ(sel.status().code(), StatusCode::kUnsupported);
+  // ...but order comparisons on constants fold fine.
+  CTable c(1);
+  c.AddRow(Tuple{Value::Int(3)}, Condition::True());
+  auto ok = SelectCT(
+      Predicate::Cmp(CmpOp::kLt, Term::Column(0), Term::Const(Value::Int(5))),
+      c);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->rows().size(), 1u);
+}
+
+TEST(CTableAlgebraTest, TuplesEqualConditionComponentwise) {
+  auto c = TuplesEqualCondition(Tuple{Value::Int(1), Value::Null(0)},
+                                Tuple{Value::Int(1), Value::Int(5)});
+  // First component folds to true; remains ⊥0 = 5.
+  EXPECT_EQ(c->ToString(), "_0 = 5");
+  auto f = TuplesEqualCondition(Tuple{Value::Int(1)}, Tuple{Value::Int(2)});
+  EXPECT_TRUE(f->IsFalse());
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,114 @@
+// Randomized strong-representation property for the c-table algebra:
+// ⟦Q(T)⟧_cwa = Q(⟦T⟧_cwa) for random tables and a pool of full-RA queries.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "ctables/ctable_algebra.h"
+#include "util/random.h"
+
+namespace incdb {
+namespace {
+
+CDatabase RandomCDatabase(uint64_t seed) {
+  Rng rng(seed);
+  CDatabase db;
+  NullId next = 0;
+  auto random_value = [&]() -> Value {
+    if (rng.Bernoulli(0.35)) {
+      if (next > 0 && rng.Bernoulli(0.5)) {
+        return Value::Null(static_cast<NullId>(rng.Uniform(next)));
+      }
+      return Value::Null(next++);
+    }
+    return Value::Int(rng.UniformInt(0, 2));
+  };
+  for (const char* name : {"R", "S"}) {
+    CTable* t = db.MutableTable(name, 1);
+    const size_t rows = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < rows; ++i) {
+      ConditionPtr cond = Condition::True();
+      if (rng.Bernoulli(0.3)) {
+        cond = Condition::Eq(random_value(), random_value());
+      }
+      t->AddRow(Tuple{random_value()}, cond);
+    }
+  }
+  return db;
+}
+
+std::vector<RAExprPtr> QueryPool() {
+  auto r = RAExpr::Scan("R");
+  auto s = RAExpr::Scan("S");
+  std::vector<RAExprPtr> qs;
+  qs.push_back(RAExpr::Diff(r, s));
+  qs.push_back(RAExpr::Union(r, s));
+  qs.push_back(RAExpr::Intersect(r, s));
+  qs.push_back(RAExpr::Diff(RAExpr::Union(r, s), RAExpr::Intersect(r, s)));
+  qs.push_back(RAExpr::Select(
+      Predicate::Ne(Term::Column(0), Term::Const(Value::Int(0))), r));
+  qs.push_back(RAExpr::Project(
+      {0}, RAExpr::Select(Predicate::Eq(Term::Column(0), Term::Column(1)),
+                          RAExpr::Product(r, s))));
+  return qs;
+}
+
+class CTablePropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CTablePropertySweep, StrongRepresentation) {
+  CDatabase db = RandomCDatabase(GetParam());
+  std::vector<Value> domain = {Value::Int(0), Value::Int(1), Value::Int(2),
+                               Value::Int(3)};
+  for (const RAExprPtr& q : QueryPool()) {
+    auto ct = EvalOnCTables(q, db);
+    ASSERT_TRUE(ct.ok()) << ct.status().ToString();
+
+    std::set<std::vector<Tuple>> lhs;
+    CDatabase ans = db;
+    *ans.MutableTable("__ans", ct->arity()) = *ct;
+    Status st1 = ans.ForEachWorld(domain, [&](const Database& w) {
+      lhs.insert(w.GetRelation("__ans").tuples());
+      return true;
+    });
+    ASSERT_TRUE(st1.ok());
+
+    std::set<std::vector<Tuple>> rhs;
+    Status st2 = db.ForEachWorld(domain, [&](const Database& w) {
+      auto res = EvalNaive(q, w);
+      EXPECT_TRUE(res.ok());
+      if (res.ok()) rhs.insert(res->tuples());
+      return true;
+    });
+    ASSERT_TRUE(st2.ok());
+    EXPECT_EQ(lhs, rhs) << "query " << q->ToString() << "\nctables:\n"
+                        << db.ToString();
+  }
+}
+
+TEST_P(CTablePropertySweep, SimplificationPreservesWorlds) {
+  CDatabase db = RandomCDatabase(GetParam() + 500);
+  std::vector<Value> domain = {Value::Int(0), Value::Int(1), Value::Int(2)};
+  auto q = RAExpr::Diff(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  auto ct = EvalOnCTables(q, db);
+  ASSERT_TRUE(ct.ok());
+  CTable simplified = ct->Simplified();
+
+  std::set<std::vector<Tuple>> a, b;
+  for (const CTable* t : {&*ct, &simplified}) {
+    CDatabase wrap = db;
+    *wrap.MutableTable("__ans", t->arity()) = *t;
+    auto& target = (t == &*ct) ? a : b;
+    Status st = wrap.ForEachWorld(domain, [&](const Database& w) {
+      target.insert(w.GetRelation("__ans").tuples());
+      return true;
+    });
+    ASSERT_TRUE(st.ok());
+  }
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CTablePropertySweep,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,119 @@
+#include "ctables/ctable.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+// The paper's Section 2 conditional table encoding the disjunction
+// "either 0 or 1 is in the database":
+//   1 if ⊥ = 1; 0 if ⊥ = 0; global (⊥ = 0) ∨ (⊥ = 1).
+CTable DisjunctionTable() {
+  CTable t(1);
+  t.AddRow(Tuple{Value::Int(1)}, Condition::Eq(Value::Null(0), Value::Int(1)));
+  t.AddRow(Tuple{Value::Int(0)}, Condition::Eq(Value::Null(0), Value::Int(0)));
+  t.SetGlobalCondition(
+      Condition::Or(Condition::Eq(Value::Null(0), Value::Int(0)),
+                    Condition::Eq(Value::Null(0), Value::Int(1))));
+  return t;
+}
+
+TEST(CTableTest, PaperDisjunctionWorlds) {
+  CDatabase db;
+  *db.MutableTable("C", 1) = DisjunctionTable();
+
+  std::set<std::string> worlds;
+  std::vector<Value> domain = {Value::Int(0), Value::Int(1), Value::Int(2)};
+  Status st = db.ForEachWorld(domain, [&](const Database& w) {
+    worlds.insert(w.GetRelation("C").ToString());
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+  // ⟦C⟧ = { {0}, {1} } — the valuation ⊥ -> 2 violates the global condition
+  // and contributes no world.
+  EXPECT_EQ(worlds, (std::set<std::string>{"{(0)}", "{(1)}"}));
+}
+
+TEST(CTableTest, ApplyValuationFiltersRows) {
+  CTable t = DisjunctionTable();
+  Valuation v0;
+  v0.Bind(0, Value::Int(0));
+  bool ok = false;
+  Relation r0 = t.ApplyValuation(v0, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(r0.size(), 1u);
+  EXPECT_TRUE(r0.Contains(Tuple{Value::Int(0)}));
+
+  Valuation v2;
+  v2.Bind(0, Value::Int(2));
+  Relation r2 = t.ApplyValuation(v2, &ok);
+  EXPECT_FALSE(ok);  // global condition fails
+  EXPECT_TRUE(r2.empty());
+}
+
+TEST(CTableTest, FromRelationLiftsWithTrueConditions) {
+  Relation r(2);
+  r.Add(Tuple{Value::Int(1), Value::Null(0)});
+  CTable t = CTable::FromRelation(r);
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_TRUE(t.rows()[0].condition->IsTrue());
+  EXPECT_TRUE(t.global_condition()->IsTrue());
+}
+
+TEST(CTableTest, NullsIncludeConditionNulls) {
+  CTable t(1);
+  t.AddRow(Tuple{Value::Int(5)},
+           Condition::Eq(Value::Null(7), Value::Int(1)));
+  EXPECT_EQ(t.Nulls(), (std::set<NullId>{7}));
+  EXPECT_EQ(t.Constants(),
+            (std::set<Value>{Value::Int(1), Value::Int(5)}));
+}
+
+TEST(CTableTest, SimplifiedDropsUnsatisfiableRows) {
+  CTable t(1);
+  t.AddRow(Tuple{Value::Int(1)},
+           Condition::And(Condition::Eq(Value::Null(0), Value::Int(1)),
+                          Condition::Eq(Value::Null(0), Value::Int(2))));
+  t.AddRow(Tuple{Value::Int(2)},
+           Condition::Eq(Value::Null(0), Value::Int(1)));
+  CTable s = t.Simplified();
+  EXPECT_EQ(s.rows().size(), 1u);
+  EXPECT_EQ(s.rows()[0].tuple, (Tuple{Value::Int(2)}));
+}
+
+TEST(CTableTest, TotalConditionSize) {
+  CTable t = DisjunctionTable();
+  // rows: 1 + 1; global: Or(Eq, Eq) = 3.
+  EXPECT_EQ(t.TotalConditionSize(), 5u);
+}
+
+TEST(CDatabaseTest, WorldsShareNullsAcrossTables) {
+  CDatabase db;
+  CTable* r = db.MutableTable("R", 1);
+  r->AddRow(Tuple{Value::Null(0)}, Condition::True());
+  CTable* s = db.MutableTable("S", 1);
+  s->AddRow(Tuple{Value::Null(0)}, Condition::True());
+
+  std::vector<Value> domain = {Value::Int(1), Value::Int(2)};
+  Status st = db.ForEachWorld(domain, [&](const Database& w) {
+    // The same valuation applies to both tables.
+    EXPECT_EQ(w.GetRelation("R"), w.GetRelation("S"));
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST(CDatabaseTest, NoNullsSingleWorld) {
+  CDatabase db;
+  db.MutableTable("R", 1)->AddRow(Tuple{Value::Int(1)}, Condition::True());
+  size_t count = 0;
+  Status st = db.ForEachWorld({}, [&](const Database&) {
+    ++count;
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,106 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(SchemaTest, DeclarationAndLookup) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("R", 2).ok());
+  ASSERT_TRUE(s.AddRelation("Order", {"o_id", "product"}).ok());
+  EXPECT_TRUE(s.HasRelation("R"));
+  EXPECT_FALSE(s.HasRelation("T"));
+  EXPECT_EQ(*s.Arity("R"), 2u);
+  EXPECT_EQ(*s.AttributeIndex("Order", "product"), 1u);
+  EXPECT_EQ(*s.AttributeIndex("Order", "PRODUCT"), 1u);  // case-insensitive
+  EXPECT_FALSE(s.AttributeIndex("Order", "nope").ok());
+  EXPECT_FALSE(s.Arity("T").ok());
+  EXPECT_FALSE(s.AddRelation("R", 3).ok());  // duplicate
+}
+
+TEST(SchemaTest, RejectsDuplicateAttributes) {
+  Schema s;
+  EXPECT_FALSE(s.AddRelation("R", {"a", "a"}).ok());
+}
+
+TEST(DatabaseTest, AddTupleDeclaresRelation) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(db.schema().HasRelation("R"));
+  EXPECT_EQ(db.GetRelation("R").size(), 1u);
+  EXPECT_EQ(db.TupleCount(), 1u);
+}
+
+TEST(DatabaseTest, MissingRelationIsEmpty) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("R", 2).ok());
+  Database db(s);
+  EXPECT_TRUE(db.GetRelation("R").empty());
+  EXPECT_EQ(db.GetRelation("R").arity(), 2u);
+}
+
+TEST(DatabaseTest, ActiveDomainAndNulls) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Null(2)});
+  db.AddTuple("S", Tuple{Value::Null(5)});
+  EXPECT_EQ(db.Nulls(), (std::set<NullId>{2, 5}));
+  EXPECT_EQ(db.Constants(), (std::set<Value>{Value::Int(1)}));
+  EXPECT_EQ(db.ActiveDomain().size(), 3u);
+  EXPECT_EQ(db.FreshNullId(), 6u);
+}
+
+TEST(DatabaseTest, FreshNullOnCompleteDbIsZero) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1)});
+  EXPECT_EQ(db.FreshNullId(), 0u);
+}
+
+TEST(DatabaseTest, CompletenessAndCoddDetection) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Null(0)});
+  EXPECT_FALSE(db.IsComplete());
+  // Null 0 appears twice across relations -> not a Codd database.
+  EXPECT_FALSE(db.IsCoddDatabase());
+
+  Database codd;
+  codd.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  codd.AddTuple("S", Tuple{Value::Null(1)});
+  EXPECT_TRUE(codd.IsCoddDatabase());
+}
+
+TEST(DatabaseTest, EqualityTreatsAbsentAsEmpty) {
+  Database a;
+  a.AddTuple("R", Tuple{Value::Int(1)});
+  a.MutableRelation("S", 1);  // empty
+
+  Database b;
+  b.AddTuple("R", Tuple{Value::Int(1)});
+  EXPECT_EQ(a, b);
+
+  b.AddTuple("S", Tuple{Value::Int(9)});
+  EXPECT_NE(a, b);
+}
+
+TEST(DatabaseTest, SubinstanceCheck) {
+  Database a;
+  a.AddTuple("R", Tuple{Value::Int(1)});
+  Database b = a;
+  b.AddTuple("R", Tuple{Value::Int(2)});
+  b.AddTuple("S", Tuple{Value::Int(3)});
+  EXPECT_TRUE(a.IsSubinstanceOf(b));
+  EXPECT_FALSE(b.IsSubinstanceOf(a));
+}
+
+TEST(DatabaseTest, CompletePartDropsNullTuples) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  db.AddTuple("R", Tuple{Value::Int(2), Value::Null(0)});
+  Database c = db.CompletePart();
+  EXPECT_EQ(c.GetRelation("R").size(), 1u);
+  EXPECT_TRUE(c.IsComplete());
+}
+
+}  // namespace
+}  // namespace incdb

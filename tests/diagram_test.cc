@@ -1,0 +1,129 @@
+// Diagram formulas δ_D: Mod_C(δ_D) = ⟦D⟧ (paper, Sections 4-5.2), verified
+// by model checking candidate complete databases.
+
+#include <gtest/gtest.h>
+
+#include "core/possible_worlds.h"
+#include "logic/diagram.h"
+#include "logic/model_check.h"
+
+namespace incdb {
+namespace {
+
+TEST(DiagramTest, PosDiagOfPaperExample) {
+  // R = {(1,2),(2,⊥1),(⊥1,⊥2)} → R(1,2) ∧ R(2,x1) ∧ R(x1,x2).
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  d.AddTuple("R", Tuple{Value::Int(2), Value::Null(1)});
+  d.AddTuple("R", Tuple{Value::Null(1), Value::Null(2)});
+  auto diag = PositiveDiagram(d);
+  // Free variables are exactly the nulls' variables.
+  EXPECT_EQ(diag->FreeVars(), (std::vector<VarId>{1, 2}));
+  // δ_owa is the existential closure: a sentence in ∃-positive form.
+  auto delta = DeltaOwa(d);
+  EXPECT_TRUE(delta->FreeVars().empty());
+  EXPECT_TRUE(delta->IsExistentialPositive());
+}
+
+TEST(DiagramTest, DeltaCwaIsPosForallG) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  auto delta = DeltaCwa(d);
+  EXPECT_TRUE(delta->IsPosForallG());
+  EXPECT_FALSE(delta->IsExistentialPositive());
+}
+
+// Shared fixture: D = {R(1,⊥)} with candidate complete databases.
+class DiagramSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+
+    // Candidates: worlds and non-worlds.
+    Database w1;  // = v(D), ⊥ -> 2
+    w1.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+    Database w2 = w1;  // + extra tuple (OWA world, not CWA)
+    w2.AddTuple("R", Tuple{Value::Int(3), Value::Int(4)});
+    Database w3;  // missing the required tuple entirely
+    w3.AddTuple("R", Tuple{Value::Int(5), Value::Int(6)});
+    Database w4;  // ⊥ -> 1 (diagonal)
+    w4.AddTuple("R", Tuple{Value::Int(1), Value::Int(1)});
+    candidates_ = {w1, w2, w3, w4};
+  }
+
+  Database d_;
+  std::vector<Database> candidates_;
+};
+
+TEST_F(DiagramSemanticsTest, ModOfDeltaOwaEqualsOwaSemantics) {
+  auto delta = DeltaOwa(d_);
+  for (const Database& c : candidates_) {
+    const bool sat = *Satisfies(c, delta);
+    const bool world = IsPossibleWorld(d_, c, WorldSemantics::kOpenWorld);
+    EXPECT_EQ(sat, world) << c.ToString();
+  }
+}
+
+TEST_F(DiagramSemanticsTest, ModOfDeltaCwaEqualsCwaSemantics) {
+  auto delta = DeltaCwa(d_);
+  for (const Database& c : candidates_) {
+    const bool sat = *Satisfies(c, delta);
+    const bool world = IsPossibleWorld(d_, c, WorldSemantics::kClosedWorld);
+    EXPECT_EQ(sat, world) << c.ToString();
+  }
+}
+
+TEST(DiagramTest, Section4CwaFormulaExample) {
+  // R = {(1,⊥),(⊥,2)}: Q_R^cwa of Section 4. Check three candidates.
+  Database r;
+  r.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  r.AddTuple("R", Tuple{Value::Null(0), Value::Int(2)});
+  auto delta = DeltaCwa(r);
+
+  Database good;  // ⊥ -> 7
+  good.AddTuple("R", Tuple{Value::Int(1), Value::Int(7)});
+  good.AddTuple("R", Tuple{Value::Int(7), Value::Int(2)});
+  EXPECT_TRUE(*Satisfies(good, delta));
+
+  Database extra = good;
+  extra.AddTuple("R", Tuple{Value::Int(9), Value::Int(9)});
+  EXPECT_FALSE(*Satisfies(extra, delta));  // CWA forbids additions
+
+  Database collapsed;  // ⊥ -> 1 and ⊥ -> 2 simultaneously? Not a valuation.
+  collapsed.AddTuple("R", Tuple{Value::Int(1), Value::Int(1)});
+  collapsed.AddTuple("R", Tuple{Value::Int(2), Value::Int(2)});
+  EXPECT_FALSE(*Satisfies(collapsed, delta));
+}
+
+TEST(DiagramTest, MultiRelationClosure) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Null(0)});
+  d.AddTuple("S", Tuple{Value::Null(0)});
+  auto delta = DeltaCwa(d);
+  // ⊥ must take the same value in both relations.
+  Database ok;
+  ok.AddTuple("R", Tuple{Value::Int(4)});
+  ok.AddTuple("S", Tuple{Value::Int(4)});
+  EXPECT_TRUE(*Satisfies(ok, delta));
+  Database bad;
+  bad.AddTuple("R", Tuple{Value::Int(4)});
+  bad.AddTuple("S", Tuple{Value::Int(5)});
+  EXPECT_FALSE(*Satisfies(bad, delta));
+}
+
+TEST(DiagramTest, EmptyDatabaseDiagrams) {
+  Database d;
+  d.MutableRelation("R", 1);
+  EXPECT_EQ(PositiveDiagram(d)->kind(), Formula::Kind::kTrue);
+  // δ_cwa of an empty R asserts R is empty.
+  auto delta = DeltaCwa(d);
+  Database empty;
+  empty.MutableRelation("R", 1);
+  EXPECT_TRUE(*Satisfies(empty, delta));
+  Database nonempty;
+  nonempty.AddTuple("R", Tuple{Value::Int(1)});
+  EXPECT_FALSE(*Satisfies(nonempty, delta));
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,85 @@
+// The axioms of the abstract representation-system model (Section 5.1),
+// swept over random instances.
+
+#include <gtest/gtest.h>
+
+#include "repr/domain_laws.h"
+#include "workload/generators.h"
+
+namespace incdb {
+namespace {
+
+TEST(DomainLawsTest, CompleteDenotesItself) {
+  Database c;
+  c.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  for (auto sem : {WorldSemantics::kOpenWorld, WorldSemantics::kClosedWorld,
+                   WorldSemantics::kWeakClosedWorld}) {
+    EXPECT_TRUE(LawCompleteDenotesItself(c, sem)) << WorldSemanticsName(sem);
+  }
+}
+
+TEST(DomainLawsTest, UpwardClosurePair) {
+  Database x;
+  x.AddTuple("R", Tuple{Value::Null(0)});
+  Database y;
+  y.AddTuple("R", Tuple{Value::Int(1)});
+  for (auto sem :
+       {WorldSemantics::kOpenWorld, WorldSemantics::kClosedWorld}) {
+    auto r = LawUpwardClosure(x, y, sem);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(*r) << WorldSemanticsName(sem);
+  }
+}
+
+class DomainLawsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomainLawsSweep, WorldsAreMoreInformative) {
+  RandomDbConfig cfg;
+  cfg.arities = {2};
+  cfg.rows_per_relation = 3;
+  cfg.domain_size = 3;
+  cfg.null_density = 0.4;
+  cfg.seed = GetParam();
+  Database x = MakeRandomDatabase(cfg);
+  WorldEnumOptions opts;
+  opts.fresh_constants = 1;
+  for (auto sem :
+       {WorldSemantics::kOpenWorld, WorldSemantics::kClosedWorld}) {
+    auto r = LawWorldsAreMoreInformative(x, sem, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(*r) << WorldSemanticsName(sem) << "\n" << x.ToString();
+  }
+}
+
+TEST_P(DomainLawsSweep, DiagramDefinesSemantics) {
+  RandomDbConfig cfg;
+  cfg.arities = {1};
+  cfg.rows_per_relation = 2;
+  cfg.domain_size = 2;
+  cfg.null_density = 0.5;
+  cfg.seed = GetParam();
+  Database x = MakeRandomDatabase(cfg);
+
+  // Candidate complete databases: all subsets of {R(0), R(1), R(2)}.
+  std::vector<Database> candidates;
+  for (int mask = 0; mask < 8; ++mask) {
+    Database c;
+    c.MutableRelation("R0", 1);
+    for (int b = 0; b < 3; ++b) {
+      if (mask & (1 << b)) c.AddTuple("R0", Tuple{Value::Int(b)});
+    }
+    candidates.push_back(std::move(c));
+  }
+  for (auto sem :
+       {WorldSemantics::kOpenWorld, WorldSemantics::kClosedWorld}) {
+    auto r = LawDiagramDefinesSemantics(x, sem, candidates);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(*r) << WorldSemanticsName(sem) << "\n" << x.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DomainLawsSweep,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,115 @@
+// SQL 3VL algebra evaluation: the behaviours the paper's Section 1
+// critiques, reproduced at the algebra level.
+
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/eval_3vl.h"
+
+namespace incdb {
+namespace {
+
+TEST(TupleEquals3VLTest, ComponentwiseKleene) {
+  const Tuple a{Value::Int(1), Value::Null(0)};
+  const Tuple b{Value::Int(1), Value::Int(5)};
+  const Tuple c{Value::Int(2), Value::Null(1)};
+  EXPECT_EQ(TupleEquals3VL(a, b), TruthValue::kUnknown);
+  EXPECT_EQ(TupleEquals3VL(a, c), TruthValue::kFalse);  // 1 ≠ 2 decides
+  EXPECT_EQ(TupleEquals3VL(b, b), TruthValue::kTrue);
+}
+
+TEST(Eval3VLTest, RMinusSWithNullInS) {
+  // Paper Section 1: R − S is empty whenever S contains a null, no matter
+  // what R contains.
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1)});
+  db.AddTuple("R", Tuple{Value::Int(2)});
+  db.AddTuple("S", Tuple{Value::Null(0)});
+  auto q = RAExpr::Diff(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  auto sql = Eval3VL(q, db);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_TRUE(sql->empty()) << "SQL 3VL must return the empty set";
+
+  // Naïve evaluation keeps both (the null matches neither syntactically) —
+  // and indeed certainly |R| > |S| means R − S is nonempty, though *which*
+  // tuple survives is not certain.
+  auto naive = EvalNaive(q, db);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->size(), 2u);
+}
+
+TEST(Eval3VLTest, SelectionDropsUnknown) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Null(0)});
+  db.AddTuple("R", Tuple{Value::Int(5)});
+  auto q = RAExpr::Select(
+      Predicate::Eq(Term::Column(0), Term::Const(Value::Int(5))),
+      RAExpr::Scan("R"));
+  auto r = Eval3VL(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(5)}));
+}
+
+TEST(Eval3VLTest, TautologySelectionLosesNullRows) {
+  // σ_{A=1 ∨ A≠1}(R): 3VL drops the null row; certain answers keep it (as
+  // an object) since the condition holds under every valuation.
+  Database db;
+  db.AddTuple("R", Tuple{Value::Null(0)});
+  db.AddTuple("R", Tuple{Value::Int(1)});
+  auto taut = Predicate::Or(
+      Predicate::Eq(Term::Column(0), Term::Const(Value::Int(1))),
+      Predicate::Ne(Term::Column(0), Term::Const(Value::Int(1))));
+  auto q = RAExpr::Select(taut, RAExpr::Scan("R"));
+  auto sql = Eval3VL(q, db);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(sql->size(), 1u);
+  auto naive = EvalNaive(q, db);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->size(), 2u);
+}
+
+TEST(Eval3VLTest, IntersectRequiresCertainMatch) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1)});
+  db.AddTuple("R", Tuple{Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Int(1)});
+  db.AddTuple("S", Tuple{Value::Null(1)});
+  auto q = RAExpr::Intersect(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  auto r = Eval3VL(q, db);
+  ASSERT_TRUE(r.ok());
+  // Only the certain match 1=1 survives; null rows compare UNKNOWN.
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(1)}));
+}
+
+TEST(Eval3VLTest, PositiveOperatorsMatchNaiveOnCompleteData) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  db.AddTuple("R", Tuple{Value::Int(2), Value::Int(2)});
+  db.AddTuple("S", Tuple{Value::Int(2)});
+  auto q = RAExpr::Diff(
+      RAExpr::Project({0}, RAExpr::Scan("R")), RAExpr::Scan("S"));
+  auto a = Eval3VL(q, db);
+  auto b = EvalNaive(q, db);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // no nulls ⇒ the logics coincide
+}
+
+TEST(Eval3VLTest, DivisionRequiresCertainCoverage) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Int(1)});
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Int(1)});
+  db.AddTuple("S", Tuple{Value::Int(2)});
+  auto q = RAExpr::Divide(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  auto r = Eval3VL(q, db);
+  ASSERT_TRUE(r.ok());
+  // (1,2) is not *certainly* in R — the null only might be 2 — so 3VL
+  // division rejects head 1.
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace incdb

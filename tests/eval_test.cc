@@ -1,0 +1,111 @@
+#include "algebra/eval.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+Database SampleDb() {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  db.AddTuple("R", Tuple{Value::Int(2), Value::Int(3)});
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Int(3)});
+  db.AddTuple("S", Tuple{Value::Int(2)});
+  db.AddTuple("S", Tuple{Value::Int(3)});
+  return db;
+}
+
+TEST(EvalTest, ScanSelectProject) {
+  Database db = SampleDb();
+  auto q = RAExpr::Project(
+      {1}, RAExpr::Select(
+               Predicate::Eq(Term::Column(0), Term::Const(Value::Int(1))),
+               RAExpr::Scan("R")));
+  auto r = EvalNaive(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(2)}));
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(3)}));
+}
+
+TEST(EvalTest, ProductUnionDiffIntersect) {
+  Database db = SampleDb();
+  auto s = RAExpr::Scan("S");
+  auto ra = RAExpr::Project({0}, RAExpr::Scan("R"));
+
+  auto prod = EvalNaive(RAExpr::Product(s, s), db);
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(prod->size(), 4u);
+
+  auto uni = EvalNaive(RAExpr::Union(ra, s), db);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ(uni->size(), 3u);  // {1,2} ∪ {2,3}
+
+  auto diff = EvalNaive(RAExpr::Diff(s, ra), db);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 1u);  // {3}
+  EXPECT_TRUE(diff->Contains(Tuple{Value::Int(3)}));
+
+  auto inter = EvalNaive(RAExpr::Intersect(s, ra), db);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_EQ(inter->size(), 1u);  // {2}
+}
+
+TEST(EvalTest, DivisionSemantics) {
+  Database db = SampleDb();
+  // R ÷ S: first components paired with both 2 and 3. 1 has (1,2),(1,3); 2
+  // has (2,3) only.
+  auto q = RAExpr::Divide(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  auto r = EvalNaive(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(1)}));
+}
+
+TEST(EvalTest, DivisionByEmptySetIsAllHeads) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  db.MutableRelation("S", 1);
+  auto q = RAExpr::Divide(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  auto r = EvalNaive(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);  // vacuous ∀
+}
+
+TEST(EvalTest, DeltaOverActiveDomain) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  auto r = EvalNaive(RAExpr::Delta(), db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // (1,1) and (⊥0,⊥0)
+  EXPECT_TRUE(r->Contains(Tuple{Value::Null(0), Value::Null(0)}));
+}
+
+TEST(EvalTest, NaiveTreatsNullsAsValues) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Null(1)});
+  // π_1(R) ∩ S joins ⊥0 with ⊥0 but not ⊥1.
+  auto q = RAExpr::Intersect(RAExpr::Project({1}, RAExpr::Scan("R")),
+                             RAExpr::Scan("S"));
+  auto r = EvalNaive(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Null(0)}));
+}
+
+TEST(EvalTest, EvalCompleteRejectsNulls) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Null(0)});
+  EXPECT_FALSE(EvalComplete(RAExpr::Scan("R"), db).ok());
+}
+
+TEST(EvalTest, IllTypedQueryRejected) {
+  Database db = SampleDb();
+  auto bad = RAExpr::Union(RAExpr::Scan("R"), RAExpr::Scan("S"));
+  EXPECT_FALSE(EvalNaive(bad, db).ok());
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,137 @@
+// Functional dependencies over incomplete relations (paper, Section 7
+// "Handling constraints"): weak/strong satisfaction vs the possible/certain
+// world semantics, plus Armstrong-closure reasoning.
+
+#include "constraints/fd.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace incdb {
+namespace {
+
+Relation R(std::vector<Tuple> ts) { return Relation(ts[0].arity(), ts); }
+
+const FunctionalDependency kAB{{0}, {1}};  // #0 -> #1
+
+TEST(FDTest, CompleteRelationSatisfaction) {
+  Relation ok = R({{Value::Int(1), Value::Int(2)},
+                   {Value::Int(2), Value::Int(2)}});
+  EXPECT_TRUE(*SatisfiesFD(ok, kAB));
+  Relation bad = R({{Value::Int(1), Value::Int(2)},
+                    {Value::Int(1), Value::Int(3)}});
+  EXPECT_FALSE(*SatisfiesFD(bad, kAB));
+}
+
+TEST(FDTest, CompositeFD) {
+  FunctionalDependency fd{{0, 1}, {2}};
+  Relation ok = R({{Value::Int(1), Value::Int(2), Value::Int(5)},
+                   {Value::Int(1), Value::Int(3), Value::Int(6)}});
+  EXPECT_TRUE(*SatisfiesFD(ok, fd));
+  Relation bad = R({{Value::Int(1), Value::Int(2), Value::Int(5)},
+                    {Value::Int(1), Value::Int(2), Value::Int(6)}});
+  EXPECT_FALSE(*SatisfiesFD(bad, fd));
+}
+
+TEST(FDTest, WeakSatisfactionAllowsFixableNulls) {
+  // (1, ⊥) and (1, 2): the null can be 2, so weakly satisfied.
+  Relation r = R({{Value::Int(1), Value::Null(0)},
+                  {Value::Int(1), Value::Int(2)}});
+  EXPECT_TRUE(*WeaklySatisfiesFD(r, kAB));
+  EXPECT_TRUE(*PossiblySatisfiesFD(r, kAB));
+  // But not strongly: the null may also differ.
+  EXPECT_FALSE(*StronglySatisfiesFD(r, kAB));
+  EXPECT_FALSE(*CertainlySatisfiesFD(r, kAB));
+}
+
+TEST(FDTest, ConstantsCannotBeFixed) {
+  Relation r = R({{Value::Int(1), Value::Int(2)},
+                  {Value::Int(1), Value::Int(3)}});
+  EXPECT_FALSE(*WeaklySatisfiesFD(r, kAB));
+  EXPECT_FALSE(*PossiblySatisfiesFD(r, kAB));
+}
+
+TEST(FDTest, NullOnLhsStrongSatisfaction) {
+  // (⊥, 2) possibly equals (1, ·) on X; strong satisfaction then demands
+  // certain Y-agreement.
+  Relation agree = R({{Value::Null(0), Value::Int(2)},
+                      {Value::Int(1), Value::Int(2)}});
+  EXPECT_TRUE(*StronglySatisfiesFD(agree, kAB));
+  EXPECT_TRUE(*CertainlySatisfiesFD(agree, kAB));
+  Relation disagree = R({{Value::Null(0), Value::Int(2)},
+                         {Value::Int(1), Value::Int(3)}});
+  EXPECT_FALSE(*StronglySatisfiesFD(disagree, kAB));
+  EXPECT_FALSE(*CertainlySatisfiesFD(disagree, kAB));
+}
+
+TEST(FDTest, SharedMarkedNullCountsAsCertainAgreement) {
+  // Two rows sharing the SAME marked null on Y certainly agree there.
+  Relation r = R({{Value::Int(1), Value::Null(0)},
+                  {Value::Int(1), Value::Null(0)}});
+  // Set semantics collapses identical tuples; craft differing first cols.
+  Relation r2 = R({{Value::Null(1), Value::Null(0)},
+                   {Value::Int(1), Value::Null(0)}});
+  EXPECT_TRUE(*StronglySatisfiesFD(r2, kAB));
+  EXPECT_TRUE(*CertainlySatisfiesFD(r2, kAB));
+  (void)r;
+}
+
+TEST(FDTest, ColumnOutOfRangeRejected) {
+  Relation r = R({{Value::Int(1), Value::Int(2)}});
+  FunctionalDependency bad{{0}, {5}};
+  EXPECT_FALSE(SatisfiesFD(r, bad).ok());
+}
+
+// Property: syntactic weak/strong match the world semantics on Codd tables.
+class FDPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FDPropertySweep, SyntacticMatchesSemanticOnCoddTables) {
+  Rng rng(GetParam());
+  Relation r(2);
+  NullId next = 0;
+  const size_t rows = 2 + rng.Uniform(3);
+  for (size_t i = 0; i < rows; ++i) {
+    auto cell = [&]() -> Value {
+      return rng.Bernoulli(0.3) ? Value::Null(next++)
+                                : Value::Int(rng.UniformInt(0, 2));
+    };
+    r.Add(Tuple{cell(), cell()});
+  }
+  ASSERT_TRUE(r.IsCoddTable());
+
+  auto weak = WeaklySatisfiesFD(r, kAB);
+  auto poss = PossiblySatisfiesFD(r, kAB);
+  auto strong = StronglySatisfiesFD(r, kAB);
+  auto cert = CertainlySatisfiesFD(r, kAB);
+  ASSERT_TRUE(weak.ok() && poss.ok() && strong.ok() && cert.ok());
+  EXPECT_EQ(*weak, *poss) << r.ToString();
+  EXPECT_EQ(*strong, *cert) << r.ToString();
+  // Strong implies weak whenever the relation has any world at all.
+  if (*strong) {
+    EXPECT_TRUE(*weak);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FDPropertySweep,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(FDClosureTest, AttributeClosure) {
+  std::vector<FunctionalDependency> fds = {{{0}, {1}}, {{1}, {2}}};
+  auto closure = AttributeClosure({0}, fds);
+  EXPECT_EQ(closure, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_TRUE(IsSuperkey({0}, 3, fds));
+  EXPECT_FALSE(IsSuperkey({1}, 3, fds));
+  EXPECT_TRUE(IsSuperkey({1}, 2, {{{1}, {0}}}));
+}
+
+TEST(FDClosureTest, Implication) {
+  std::vector<FunctionalDependency> fds = {{{0}, {1}}, {{1}, {2}}};
+  EXPECT_TRUE(ImpliesFD(fds, {{0}, {2}}));               // transitivity
+  EXPECT_TRUE(ImpliesFD(fds, {{0, 2}, {1}}));            // augmentation
+  EXPECT_FALSE(ImpliesFD(fds, {{2}, {0}}));
+  EXPECT_TRUE(ImpliesFD({}, {{0, 1}, {1}}));             // reflexivity
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,92 @@
+#include "logic/formula.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+FormulaPtr SampleAtom() {
+  return Formula::Atom("R", {FoTerm::Var(0), FoTerm::Const(Value::Int(1))});
+}
+
+TEST(FormulaTest, FreeVars) {
+  auto f = Formula::And(
+      Formula::Atom("R", {FoTerm::Var(0), FoTerm::Var(1)}),
+      Formula::Exists({1}, Formula::Atom("S", {FoTerm::Var(1),
+                                               FoTerm::Var(2)})));
+  // x1 is free in the left conjunct, bound in the right; x2 free.
+  EXPECT_EQ(f->FreeVars(), (std::vector<VarId>{0, 1, 2}));
+}
+
+TEST(FormulaTest, GuardedForallBindsGuardVars) {
+  auto f = Formula::GuardedForall(
+      FoAtom{"R", {FoTerm::Var(0), FoTerm::Var(1)}},
+      Formula::Eq(FoTerm::Var(0), FoTerm::Var(2)));
+  EXPECT_EQ(f->FreeVars(), (std::vector<VarId>{2}));
+}
+
+TEST(FormulaTest, ExistentialPositiveFragment) {
+  auto atom = SampleAtom();
+  EXPECT_TRUE(atom->IsExistentialPositive());
+  EXPECT_TRUE(Formula::Exists({0}, atom)->IsExistentialPositive());
+  EXPECT_TRUE(Formula::Or(atom, atom)->IsExistentialPositive());
+  EXPECT_FALSE(Formula::Not(atom)->IsExistentialPositive());
+  EXPECT_FALSE(Formula::Forall({0}, atom)->IsExistentialPositive());
+  EXPECT_FALSE(
+      Formula::GuardedForall(FoAtom{"R", {FoTerm::Var(0), FoTerm::Var(1)}},
+                             atom)
+          ->IsExistentialPositive());
+}
+
+TEST(FormulaTest, PositiveFOFragment) {
+  auto atom = SampleAtom();
+  EXPECT_TRUE(Formula::Forall({0}, atom)->IsPositiveFO());
+  EXPECT_FALSE(Formula::Not(atom)->IsPositiveFO());
+}
+
+TEST(FormulaTest, PosForallGFragment) {
+  auto atom = SampleAtom();
+  auto guarded = Formula::GuardedForall(
+      FoAtom{"R", {FoTerm::Var(5), FoTerm::Var(6)}}, atom);
+  EXPECT_TRUE(guarded->IsPosForallG());
+  EXPECT_TRUE(Formula::Exists({0}, guarded)->IsPosForallG());
+  EXPECT_FALSE(Formula::Not(atom)->IsPosForallG());
+
+  // Guard variables must be distinct variables.
+  auto bad_guard = Formula::GuardedForall(
+      FoAtom{"R", {FoTerm::Var(5), FoTerm::Var(5)}}, atom);
+  EXPECT_FALSE(bad_guard->IsPosForallG());
+  auto const_guard = Formula::GuardedForall(
+      FoAtom{"R", {FoTerm::Var(5), FoTerm::Const(Value::Int(1))}}, atom);
+  EXPECT_FALSE(const_guard->IsPosForallG());
+}
+
+TEST(FormulaTest, AndAllOrAllIdentities) {
+  EXPECT_EQ(Formula::AndAll({})->kind(), Formula::Kind::kTrue);
+  EXPECT_EQ(Formula::OrAll({})->kind(), Formula::Kind::kFalse);
+  auto a = SampleAtom();
+  EXPECT_EQ(Formula::AndAll({a}).get(), a.get());
+}
+
+TEST(FormulaTest, EmptyQuantifierListCollapses) {
+  auto a = SampleAtom();
+  EXPECT_EQ(Formula::Exists({}, a).get(), a.get());
+  EXPECT_EQ(Formula::Forall({}, a).get(), a.get());
+}
+
+TEST(FormulaTest, ImpliesDesugarsToNotOr) {
+  auto a = SampleAtom();
+  auto b = Formula::Atom("S", {FoTerm::Var(0)});
+  auto imp = Formula::Implies(a, b);
+  EXPECT_EQ(imp->kind(), Formula::Kind::kOr);
+  EXPECT_EQ(imp->children()[0]->kind(), Formula::Kind::kNot);
+}
+
+TEST(FormulaTest, ToStringReadable) {
+  auto f = Formula::Exists(
+      {0}, Formula::Atom("R", {FoTerm::Var(0), FoTerm::Const(Value::Int(2))}));
+  EXPECT_EQ(f->ToString(), "E x0. R(x0, 2)");
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,193 @@
+// The general chase: target tgds, egds (null unification and failure), and
+// weak acyclicity.
+
+#include "exchange/general_chase.h"
+
+#include <gtest/gtest.h>
+
+#include "core/homomorphism.h"
+#include "logic/rule_parser.h"
+
+namespace incdb {
+namespace {
+
+Tgd MustTgd(const std::string& text) {
+  auto t = ParseTgd(text);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return *t;
+}
+
+TEST(GeneralChaseTest, TargetTgdClosure) {
+  // E(x,y) -> P(x,y);  P(x,y), P(y,z) -> P(x,z): transitive closure.
+  DependencySet deps;
+  deps.tgds.push_back(MustTgd("E(x, y) -> P(x, y)"));
+  deps.tgds.push_back(MustTgd("P(x, y), P(y, z) -> P(x, z)"));
+
+  Database db;
+  db.AddTuple("E", Tuple{Value::Int(1), Value::Int(2)});
+  db.AddTuple("E", Tuple{Value::Int(2), Value::Int(3)});
+  db.AddTuple("E", Tuple{Value::Int(3), Value::Int(4)});
+
+  auto r = Chase(db, deps);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->failed);
+  // P = transitive closure of E: 3+2+1 = 6 pairs.
+  EXPECT_EQ(r->instance.GetRelation("P").size(), 6u);
+  EXPECT_TRUE(r->instance.GetRelation("P").Contains(
+      Tuple{Value::Int(1), Value::Int(4)}));
+}
+
+TEST(GeneralChaseTest, StandardChaseDoesNotRefire) {
+  // R(x) -> ∃y S(x, y), but S already has a witness: no step fires.
+  DependencySet deps;
+  deps.tgds.push_back(MustTgd("R(x) -> S(x, y)"));
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1)});
+  db.AddTuple("S", Tuple{Value::Int(1), Value::Int(7)});
+  auto r = Chase(db, deps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tgd_steps, 0u);
+  EXPECT_EQ(r->instance, db);
+}
+
+TEST(GeneralChaseTest, EgdUnifiesNullWithConstant) {
+  // Key egd: S(x, y), S(x, z) -> y = z.
+  DependencySet deps;
+  Egd egd;
+  auto body = ParseCQ(":- S(x, y), S(x, z)");
+  ASSERT_TRUE(body.ok());
+  egd.body = body->body;
+  egd.lhs = 1;  // y
+  egd.rhs = 2;  // z
+  deps.egds.push_back(egd);
+
+  Database db;
+  db.AddTuple("S", Tuple{Value::Int(1), Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Int(1), Value::Int(9)});
+  auto r = Chase(db, deps);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->failed);
+  // ⊥0 unified with 9; the two tuples collapse.
+  EXPECT_EQ(r->instance.GetRelation("S").size(), 1u);
+  EXPECT_TRUE(r->instance.GetRelation("S").Contains(
+      Tuple{Value::Int(1), Value::Int(9)}));
+  EXPECT_GE(r->egd_steps, 1u);
+}
+
+TEST(GeneralChaseTest, EgdUnifiesTwoNulls) {
+  DependencySet deps;
+  Egd egd;
+  auto body = ParseCQ(":- S(x, y), S(x, z)");
+  ASSERT_TRUE(body.ok());
+  egd.body = body->body;
+  egd.lhs = 1;
+  egd.rhs = 2;
+  deps.egds.push_back(egd);
+
+  Database db;
+  db.AddTuple("S", Tuple{Value::Int(1), Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Int(1), Value::Null(1)});
+  auto r = Chase(db, deps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->failed);
+  EXPECT_EQ(r->instance.GetRelation("S").size(), 1u);
+  EXPECT_EQ(r->instance.Nulls().size(), 1u);
+}
+
+TEST(GeneralChaseTest, EgdConstantConflictFails) {
+  DependencySet deps;
+  Egd egd;
+  auto body = ParseCQ(":- S(x, y), S(x, z)");
+  ASSERT_TRUE(body.ok());
+  egd.body = body->body;
+  egd.lhs = 1;
+  egd.rhs = 2;
+  deps.egds.push_back(egd);
+
+  Database db;
+  db.AddTuple("S", Tuple{Value::Int(1), Value::Int(8)});
+  db.AddTuple("S", Tuple{Value::Int(1), Value::Int(9)});
+  auto r = Chase(db, deps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->failed);
+}
+
+TEST(GeneralChaseTest, TgdsAndEgdsInteract) {
+  // R(x) -> ∃y S(x, y); key on S forces all generated witnesses of the
+  // same x to unify with a pre-existing constant.
+  DependencySet deps;
+  deps.tgds.push_back(MustTgd("R(x) -> S(x, y)"));
+  Egd egd;
+  auto body = ParseCQ(":- S(x, y), S(x, z)");
+  ASSERT_TRUE(body.ok());
+  egd.body = body->body;
+  egd.lhs = 1;
+  egd.rhs = 2;
+  deps.egds.push_back(egd);
+
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1)});
+  db.AddTuple("S", Tuple{Value::Int(1), Value::Int(42)});
+  auto r = Chase(db, deps);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->failed);
+  EXPECT_EQ(r->instance.GetRelation("S").size(), 1u);
+  EXPECT_TRUE(r->instance.IsComplete());
+}
+
+TEST(GeneralChaseTest, NonTerminatingSetHitsStepCap) {
+  // R(x) -> ∃y R(y): the classic non-terminating (not weakly acyclic) tgd
+  // under the *standard* chase still fires forever (each fresh null is a
+  // new unsatisfied trigger... actually the head ∃y R(y) is satisfied by
+  // any R tuple, so the standard chase terminates immediately!). Use the
+  // genuinely divergent R(x) -> ∃y S(x,y); S(x,y) -> R(y) instead.
+  DependencySet deps;
+  deps.tgds.push_back(MustTgd("R(x) -> S(x, y)"));
+  deps.tgds.push_back(MustTgd("S(x, y) -> R(y)"));
+  EXPECT_FALSE(IsWeaklyAcyclic(deps.tgds));
+
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1)});
+  GeneralChaseOptions opts;
+  opts.max_steps = 200;
+  auto r = Chase(db, deps, opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(WeakAcyclicityTest, Classification) {
+  // Copy tgd: acyclic.
+  EXPECT_TRUE(IsWeaklyAcyclic({MustTgd("E(x, y) -> P(x, y)")}));
+  // Transitive closure: cyclic but no special edge in the cycle.
+  EXPECT_TRUE(IsWeaklyAcyclic({MustTgd("P(x, y), P(y, z) -> P(x, z)")}));
+  // R -> ∃y S(x,y); S -> R(y): special edge inside a cycle.
+  EXPECT_FALSE(IsWeaklyAcyclic(
+      {MustTgd("R(x) -> S(x, y)"), MustTgd("S(x, y) -> R(y)")}));
+  // Self-feeding existential: R(x) -> ∃y R(y) has a special self-loop into
+  // position (R, 0).
+  EXPECT_FALSE(IsWeaklyAcyclic({MustTgd("R(x) -> R(y)")}));
+}
+
+TEST(GeneralChaseTest, ChaseResultSatisfiesDependencies) {
+  // After a successful chase, every tgd trigger is satisfied: chase result
+  // is a model of the dependencies (universal model).
+  DependencySet deps;
+  deps.tgds.push_back(MustTgd("E(x, y) -> P(x, y)"));
+  deps.tgds.push_back(MustTgd("P(x, y) -> Q(y)"));
+  Database db;
+  db.AddTuple("E", Tuple{Value::Int(1), Value::Int(2)});
+  auto r = Chase(db, deps);
+  ASSERT_TRUE(r.ok());
+  // Re-chasing is a no-op.
+  auto again = Chase(r->instance, deps);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->tgd_steps, 0u);
+  EXPECT_EQ(again->instance, r->instance);
+  // And the result maps into any other model (universality, spot check).
+  Database other = db;
+  other.AddTuple("P", Tuple{Value::Int(1), Value::Int(2)});
+  other.AddTuple("Q", Tuple{Value::Int(2)});
+  EXPECT_TRUE(HasHomomorphism(r->instance, other));
+}
+
+}  // namespace
+}  // namespace incdb

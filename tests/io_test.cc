@@ -1,0 +1,97 @@
+#include "core/io.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace incdb {
+namespace {
+
+TEST(IoTest, DumpLoadRoundTrip) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("Order", {"o_id", "product"}).ok());
+  ASSERT_TRUE(s.AddRelation("Pay", {"p_id", "order_id", "amount"}).ok());
+  Database db(s);
+  db.AddTuple("Order", Tuple{Value::Int(1), Value::Str("widget")});
+  db.AddTuple("Order", Tuple{Value::Int(2), Value::Str("it's")});
+  db.AddTuple("Pay", Tuple{Value::Int(10), Value::Null(0), Value::Int(100)});
+  db.AddTuple("Pay", Tuple{Value::Int(11), Value::Null(0), Value::Int(-5)});
+
+  auto loaded = LoadDatabase(DumpDatabase(db));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, db);
+  // Shared marked null survived.
+  EXPECT_EQ(loaded->Nulls(), (std::set<NullId>{0}));
+  // Attribute names survived.
+  EXPECT_EQ(*loaded->schema().AttributeIndex("Pay", "amount"), 2u);
+}
+
+TEST(IoTest, LoadHandwrittenDump) {
+  const std::string text =
+      "# fixtures\n"
+      "table R(a, b)\n"
+      "1, 'x'\n"
+      "_3, _3\n"
+      "\n"
+      "table S(c)\n"
+      "'has, comma'\n";
+  auto db = LoadDatabase(text);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->GetRelation("R").size(), 2u);
+  EXPECT_TRUE(db->GetRelation("R").Contains(
+      Tuple{Value::Null(3), Value::Null(3)}));
+  EXPECT_TRUE(db->GetRelation("S").Contains(Tuple{Value::Str("has, comma")}));
+}
+
+TEST(IoTest, EmptyTablePersists) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("Empty", {"x"}).ok());
+  Database db(s);
+  db.MutableRelation("Empty", 1);
+  auto loaded = LoadDatabase(DumpDatabase(db));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->schema().HasRelation("Empty"));
+  EXPECT_TRUE(loaded->GetRelation("Empty").empty());
+}
+
+TEST(IoTest, RandomDatabasesRoundTrip) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    RandomDbConfig cfg;
+    cfg.arities = {1, 2, 3};
+    cfg.rows_per_relation = 12;
+    cfg.null_density = 0.3;
+    cfg.null_reuse = 0.5;
+    cfg.seed = seed;
+    Database db = MakeRandomDatabase(cfg);
+    auto loaded = LoadDatabase(DumpDatabase(db));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(*loaded, db) << "seed " << seed;
+  }
+}
+
+TEST(IoTest, LoadErrors) {
+  EXPECT_FALSE(LoadDatabase("1, 2\n").ok());               // data before table
+  EXPECT_FALSE(LoadDatabase("table R(a)\n1, 2\n").ok());   // arity mismatch
+  EXPECT_FALSE(LoadDatabase("table R(a\n").ok());          // bad header
+  EXPECT_FALSE(LoadDatabase("table (a)\n").ok());          // missing name
+  EXPECT_FALSE(LoadDatabase("table R(a)\n'unterminated\n").ok());
+  EXPECT_FALSE(LoadDatabase("table R(a)\n_x\n").ok());     // bad null id
+  EXPECT_FALSE(LoadDatabase("table R(a)\nabc\n").ok());    // bare word
+  EXPECT_FALSE(
+      LoadDatabase("table R(a)\ntable R(a)\n").ok());      // duplicate
+  // Error messages carry line numbers.
+  auto r = LoadDatabase("table R(a)\n1\nbad\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(IoTest, QuoteEscapeRoundTrip) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Str("a''b'c")});
+  auto loaded = LoadDatabase(DumpDatabase(db));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, db);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,124 @@
+#include "logic/model_check.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+Database PathDb() {
+  Database db;
+  db.AddTuple("E", Tuple{Value::Int(1), Value::Int(2)});
+  db.AddTuple("E", Tuple{Value::Int(2), Value::Int(3)});
+  return db;
+}
+
+TEST(ModelCheckTest, AtomsAndEquality) {
+  Database db = PathDb();
+  auto atom = Formula::Atom(
+      "E", {FoTerm::Const(Value::Int(1)), FoTerm::Const(Value::Int(2))});
+  EXPECT_TRUE(*Satisfies(db, atom));
+  auto missing = Formula::Atom(
+      "E", {FoTerm::Const(Value::Int(2)), FoTerm::Const(Value::Int(1))});
+  EXPECT_FALSE(*Satisfies(db, missing));
+  auto eq = Formula::Eq(FoTerm::Const(Value::Int(3)),
+                        FoTerm::Const(Value::Int(3)));
+  EXPECT_TRUE(*Satisfies(db, eq));
+}
+
+TEST(ModelCheckTest, ExistsOverActiveDomain) {
+  Database db = PathDb();
+  // ∃x E(x, 3)
+  auto f = Formula::Exists(
+      {0}, Formula::Atom("E", {FoTerm::Var(0), FoTerm::Const(Value::Int(3))}));
+  EXPECT_TRUE(*Satisfies(db, f));
+  // ∃x E(3, x)
+  auto g = Formula::Exists(
+      {0}, Formula::Atom("E", {FoTerm::Const(Value::Int(3)), FoTerm::Var(0)}));
+  EXPECT_FALSE(*Satisfies(db, g));
+}
+
+TEST(ModelCheckTest, ChainConjunction) {
+  Database db = PathDb();
+  // ∃x,y,z E(x,y) ∧ E(y,z)
+  auto f = Formula::Exists(
+      {0, 1, 2},
+      Formula::And(Formula::Atom("E", {FoTerm::Var(0), FoTerm::Var(1)}),
+                   Formula::Atom("E", {FoTerm::Var(1), FoTerm::Var(2)})));
+  EXPECT_TRUE(*Satisfies(db, f));
+}
+
+TEST(ModelCheckTest, UnguardedForall) {
+  Database db = PathDb();
+  // ∀x ∃y (E(x,y) ∨ E(y,x)) — every adom element touches an edge.
+  auto f = Formula::Forall(
+      {0},
+      Formula::Exists(
+          {1},
+          Formula::Or(Formula::Atom("E", {FoTerm::Var(0), FoTerm::Var(1)}),
+                      Formula::Atom("E", {FoTerm::Var(1), FoTerm::Var(0)}))));
+  EXPECT_TRUE(*Satisfies(db, f));
+}
+
+TEST(ModelCheckTest, GuardedForallIteratesRelationOnly) {
+  Database db = PathDb();
+  // ∀(x,y) ∈ E: x ≠ y... expressed positively: ∃z E(y,z) ∨ y = 3.
+  auto f = Formula::GuardedForall(
+      FoAtom{"E", {FoTerm::Var(0), FoTerm::Var(1)}},
+      Formula::Or(
+          Formula::Exists(
+              {2}, Formula::Atom("E", {FoTerm::Var(1), FoTerm::Var(2)})),
+          Formula::Eq(FoTerm::Var(1), FoTerm::Const(Value::Int(3)))));
+  EXPECT_TRUE(*Satisfies(db, f));
+
+  // ∀(x,y) ∈ E: y = 2 — false (edge (2,3)).
+  auto g = Formula::GuardedForall(
+      FoAtom{"E", {FoTerm::Var(0), FoTerm::Var(1)}},
+      Formula::Eq(FoTerm::Var(1), FoTerm::Const(Value::Int(2))));
+  EXPECT_FALSE(*Satisfies(db, g));
+}
+
+TEST(ModelCheckTest, GuardedForallOnEmptyRelationIsTrue) {
+  Database db;
+  db.MutableRelation("E", 2);
+  auto f = Formula::GuardedForall(
+      FoAtom{"E", {FoTerm::Var(0), FoTerm::Var(1)}}, Formula::False());
+  EXPECT_TRUE(*Satisfies(db, f));
+}
+
+TEST(ModelCheckTest, ConstantsOutsideAdomEnterQuantifierRange) {
+  Database db = PathDb();
+  // ∃x (x = 99): 99 is mentioned by the formula, so it is in range.
+  auto f = Formula::Exists(
+      {0}, Formula::Eq(FoTerm::Var(0), FoTerm::Const(Value::Int(99))));
+  EXPECT_TRUE(*Satisfies(db, f));
+}
+
+TEST(ModelCheckTest, UnboundVariableIsError) {
+  Database db = PathDb();
+  auto f = Formula::Atom("E", {FoTerm::Var(0), FoTerm::Var(1)});
+  EXPECT_FALSE(Satisfies(db, f).ok());
+}
+
+TEST(ModelCheckTest, AnswersEnumeratesSatisfyingAssignments) {
+  Database db = PathDb();
+  // φ(x) = ∃y E(x, y): satisfied by x ∈ {1, 2}.
+  auto f = Formula::Exists(
+      {1}, Formula::Atom("E", {FoTerm::Var(0), FoTerm::Var(1)}));
+  auto ans = Answers(db, f);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 2u);
+  EXPECT_TRUE(ans->Contains(Tuple{Value::Int(1)}));
+  EXPECT_TRUE(ans->Contains(Tuple{Value::Int(2)}));
+}
+
+TEST(ModelCheckTest, NaiveReadingTreatsNullsAsElements) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Null(0), Value::Null(0)});
+  // ∃x R(x,x) holds naïvely.
+  auto f = Formula::Exists(
+      {0}, Formula::Atom("R", {FoTerm::Var(0), FoTerm::Var(0)}));
+  EXPECT_TRUE(*Satisfies(db, f));
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,121 @@
+#include "core/possible_worlds.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(WorldDomainTest, FreshConstantsDefaultToNullCount) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(5), Value::Null(0)});
+  d.AddTuple("R", Tuple{Value::Null(1), Value::Null(2)});
+  WorldEnumOptions opts;
+  auto domain = WorldDomain(d, opts);
+  // {5} ∪ {6,7,8}
+  EXPECT_EQ(domain.size(), 4u);
+  EXPECT_EQ(CountWorldsCwa(d, opts), 64u);  // 4^3
+}
+
+TEST(WorldDomainTest, RequiredConstantsIncluded) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Null(0)});
+  WorldEnumOptions opts;
+  opts.fresh_constants = 0;
+  opts.required_constants = {Value::Int(42)};
+  auto domain = WorldDomain(d, opts);
+  ASSERT_EQ(domain.size(), 1u);
+  EXPECT_EQ(domain[0], Value::Int(42));
+}
+
+TEST(ForEachWorldTest, EnumeratesAllValuations) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Null(0), Value::Null(1)});
+  WorldEnumOptions opts;
+  opts.fresh_constants = 2;  // domain = {fresh1, fresh2}
+  size_t count = 0;
+  std::set<std::string> distinct;
+  Status st = ForEachWorldCwa(d, opts, [&](const Database& w) {
+    ++count;
+    EXPECT_TRUE(w.IsComplete());
+    distinct.insert(w.ToString());
+    return true;
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(count, 4u);       // 2^2 valuations
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(ForEachWorldTest, CompleteDbHasExactlyOneWorld) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1)});
+  size_t count = 0;
+  Status st = ForEachWorldCwa(d, {}, [&](const Database& w) {
+    ++count;
+    EXPECT_EQ(w, d);
+    return true;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ForEachWorldTest, EarlyStop) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Null(0)});
+  WorldEnumOptions opts;
+  opts.fresh_constants = 5;
+  size_t count = 0;
+  Status st = ForEachWorldCwa(d, opts, [&](const Database&) {
+    ++count;
+    return count < 2;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(ForEachWorldTest, MaxWorldsGuard) {
+  Database d;
+  for (NullId i = 0; i < 10; ++i) {
+    d.AddTuple("R", Tuple{Value::Null(i)});
+  }
+  WorldEnumOptions opts;
+  opts.max_worlds = 100;
+  Status st = ForEachWorldCwa(d, opts, [&](const Database&) { return true; });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ForEachWorldOwaBoundedTest, AddsCandidateSubsets) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Null(0)});
+  WorldEnumOptions opts;
+  opts.fresh_constants = 1;  // single valuation
+  std::vector<std::pair<std::string, Tuple>> extra = {
+      {"R", Tuple{Value::Int(100)}},
+      {"S", Tuple{Value::Int(200)}},
+  };
+  size_t count = 0;
+  size_t with_s = 0;
+  Status st = ForEachWorldOwaBounded(d, opts, extra, [&](const Database& w) {
+    ++count;
+    if (!w.GetRelation("S").empty()) ++with_s;
+    return true;
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(count, 4u);   // 1 valuation × 2^2 subsets
+  EXPECT_EQ(with_s, 2u);
+}
+
+TEST(ForEachWorldOwaBoundedTest, RejectsNullCandidates) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1)});
+  std::vector<std::pair<std::string, Tuple>> extra = {
+      {"R", Tuple{Value::Null(0)}}};
+  EXPECT_DEATH(
+      {
+        (void)ForEachWorldOwaBounded(d, {}, extra,
+                                     [](const Database&) { return true; });
+      },
+      "complete");
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,101 @@
+#include "algebra/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(TruthValueTest, KleeneTables) {
+  using TV = TruthValue;
+  EXPECT_EQ(And3(TV::kTrue, TV::kUnknown), TV::kUnknown);
+  EXPECT_EQ(And3(TV::kFalse, TV::kUnknown), TV::kFalse);
+  EXPECT_EQ(And3(TV::kTrue, TV::kTrue), TV::kTrue);
+  EXPECT_EQ(Or3(TV::kTrue, TV::kUnknown), TV::kTrue);
+  EXPECT_EQ(Or3(TV::kFalse, TV::kUnknown), TV::kUnknown);
+  EXPECT_EQ(Or3(TV::kFalse, TV::kFalse), TV::kFalse);
+  EXPECT_EQ(Not3(TV::kUnknown), TV::kUnknown);
+  EXPECT_EQ(Not3(TV::kTrue), TV::kFalse);
+  EXPECT_EQ(Not3(TV::kFalse), TV::kTrue);
+}
+
+TEST(PredicateTest, NaiveEqualityIsSyntactic) {
+  const Tuple t{Value::Null(1), Value::Null(1), Value::Null(2)};
+  auto same = Predicate::Eq(Term::Column(0), Term::Column(1));
+  auto diff = Predicate::Eq(Term::Column(0), Term::Column(2));
+  EXPECT_TRUE(same->EvalNaive(t));
+  EXPECT_FALSE(diff->EvalNaive(t));
+}
+
+TEST(PredicateTest, ThreeValuedNullComparison) {
+  const Tuple t{Value::Null(1), Value::Int(5)};
+  auto eq = Predicate::Eq(Term::Column(0), Term::Column(1));
+  EXPECT_EQ(eq->Eval3VL(t), TruthValue::kUnknown);
+  auto eq_const = Predicate::Eq(Term::Column(1), Term::Const(Value::Int(5)));
+  EXPECT_EQ(eq_const->Eval3VL(t), TruthValue::kTrue);
+}
+
+TEST(PredicateTest, Grant77TautologyIsUnknownIn3VL) {
+  // order = 'oid1' OR order <> 'oid1' — a tautology over constants, UNKNOWN
+  // on a null (the paper's Section 1 example from [37]).
+  auto p = Predicate::Or(
+      Predicate::Eq(Term::Column(0), Term::Const(Value::Str("oid1"))),
+      Predicate::Ne(Term::Column(0), Term::Const(Value::Str("oid1"))));
+  EXPECT_EQ(p->Eval3VL(Tuple{Value::Str("oid1")}), TruthValue::kTrue);
+  EXPECT_EQ(p->Eval3VL(Tuple{Value::Str("other")}), TruthValue::kTrue);
+  EXPECT_EQ(p->Eval3VL(Tuple{Value::Null(0)}), TruthValue::kUnknown);
+  // Naïve evaluation (nulls as values) says true — on every valuation the
+  // disjunction holds, so naïve is correct here.
+  EXPECT_TRUE(p->EvalNaive(Tuple{Value::Null(0)}));
+}
+
+TEST(PredicateTest, IsNullIsTwoValued) {
+  auto p = Predicate::IsNull(Term::Column(0));
+  EXPECT_EQ(p->Eval3VL(Tuple{Value::Null(3)}), TruthValue::kTrue);
+  EXPECT_EQ(p->Eval3VL(Tuple{Value::Int(1)}), TruthValue::kFalse);
+}
+
+TEST(PredicateTest, OrderComparisons) {
+  auto lt = Predicate::Cmp(CmpOp::kLt, Term::Column(0), Term::Column(1));
+  EXPECT_TRUE(lt->EvalNaive(Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(lt->EvalNaive(Tuple{Value::Int(2), Value::Int(2)}));
+  EXPECT_EQ(lt->Eval3VL(Tuple{Value::Null(0), Value::Int(2)}),
+            TruthValue::kUnknown);
+}
+
+TEST(PredicateTest, PositivityClassification) {
+  auto eq = Predicate::Eq(Term::Column(0), Term::Const(Value::Int(1)));
+  auto ne = Predicate::Ne(Term::Column(0), Term::Const(Value::Int(1)));
+  EXPECT_TRUE(eq->IsPositive());
+  EXPECT_FALSE(ne->IsPositive());
+  EXPECT_TRUE(Predicate::And(eq, eq)->IsPositive());
+  EXPECT_TRUE(Predicate::Or(eq, eq)->IsPositive());
+  EXPECT_FALSE(Predicate::Not(eq)->IsPositive());
+  EXPECT_FALSE(Predicate::IsNull(Term::Column(0))->IsPositive());
+  EXPECT_FALSE(
+      Predicate::Cmp(CmpOp::kLt, Term::Column(0), Term::Column(1))
+          ->IsPositive());
+  EXPECT_TRUE(Predicate::True()->IsPositive());
+}
+
+TEST(PredicateTest, ShiftColumns) {
+  auto p = Predicate::And(
+      Predicate::Eq(Term::Column(0), Term::Column(2)),
+      Predicate::Eq(Term::Column(1), Term::Const(Value::Int(7))));
+  auto shifted = p->ShiftColumns(3);
+  EXPECT_EQ(shifted->MaxColumn(), 5);
+  const Tuple t{Value::Int(0), Value::Int(0), Value::Int(0), Value::Int(4),
+                Value::Int(7), Value::Int(4)};
+  EXPECT_TRUE(shifted->EvalNaive(t));
+}
+
+TEST(PredicateTest, MaxColumn) {
+  EXPECT_EQ(Predicate::True()->MaxColumn(), -1);
+  EXPECT_EQ(
+      Predicate::Eq(Term::Const(Value::Int(1)), Term::Const(Value::Int(2)))
+          ->MaxColumn(),
+      -1);
+  EXPECT_EQ(Predicate::Eq(Term::Column(4), Term::Column(1))->MaxColumn(), 4);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,113 @@
+// Direct products as glbs under ⪯_owa (certainO, eq. (7) of the paper).
+
+#include <gtest/gtest.h>
+
+#include "core/product.h"
+#include "core/ordering.h"
+
+namespace incdb {
+namespace {
+
+TEST(ProductTest, DiagonalConstantsSurvive) {
+  Database a;
+  a.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  Database b;
+  b.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  Database p = ProductDatabase(a, b);
+  EXPECT_EQ(p.GetRelation("R").size(), 1u);
+  EXPECT_TRUE(p.GetRelation("R").Contains(
+      Tuple{Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ProductTest, DisagreementBecomesNull) {
+  Database a;
+  a.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  Database b;
+  b.AddTuple("R", Tuple{Value::Int(1), Value::Int(3)});
+  Database p = ProductDatabase(a, b);
+  ASSERT_EQ(p.GetRelation("R").size(), 1u);
+  const Tuple& t = p.GetRelation("R").tuples()[0];
+  EXPECT_EQ(t[0], Value::Int(1));
+  EXPECT_TRUE(t[1].is_null());
+}
+
+TEST(ProductTest, SamePairSameNull) {
+  // (2,3) appearing in two positions must map to the same null — this is
+  // what makes the projections homomorphisms.
+  Database a;
+  a.AddTuple("R", Tuple{Value::Int(2), Value::Int(2)});
+  Database b;
+  b.AddTuple("R", Tuple{Value::Int(3), Value::Int(3)});
+  Database p = ProductDatabase(a, b);
+  ASSERT_EQ(p.GetRelation("R").size(), 1u);
+  const Tuple& t = p.GetRelation("R").tuples()[0];
+  EXPECT_TRUE(t[0].is_null());
+  EXPECT_EQ(t[0], t[1]);
+}
+
+TEST(ProductTest, RelationMissingInOneFactorIsEmpty) {
+  Database a;
+  a.AddTuple("R", Tuple{Value::Int(1)});
+  Database b;
+  b.AddTuple("S", Tuple{Value::Int(1)});
+  Database p = ProductDatabase(a, b);
+  EXPECT_TRUE(p.GetRelation("R").empty());
+  EXPECT_TRUE(p.GetRelation("S").empty());
+}
+
+TEST(ProductTest, ProductIsLowerBound) {
+  Database a;
+  a.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  a.AddTuple("R", Tuple{Value::Int(2), Value::Int(4)});
+  Database b;
+  b.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  b.AddTuple("R", Tuple{Value::Int(2), Value::Int(5)});
+  Database p = ProductDatabase(a, b);
+  EXPECT_TRUE(PrecedesOwa(p, a));
+  EXPECT_TRUE(PrecedesOwa(p, b));
+}
+
+TEST(ProductTest, ProductIsGreatestAmongSampledLowerBounds) {
+  Database a;
+  a.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  a.AddTuple("R", Tuple{Value::Int(2), Value::Int(4)});
+  Database b;
+  b.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  b.AddTuple("R", Tuple{Value::Int(2), Value::Int(5)});
+  Database p = ProductDatabase(a, b);
+
+  // A few lower bounds of {a, b}:
+  Database lb1;
+  lb1.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  Database lb2;
+  lb2.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  lb2.AddTuple("R", Tuple{Value::Int(2), Value::Null(0)});
+  for (const Database& lb : {lb1, lb2}) {
+    ASSERT_TRUE(PrecedesOwa(lb, a));
+    ASSERT_TRUE(PrecedesOwa(lb, b));
+    EXPECT_TRUE(PrecedesOwa(lb, p));
+  }
+}
+
+TEST(ProductTest, FoldOverThreeFactors) {
+  std::vector<Database> dbs(3);
+  dbs[0].AddTuple("R", Tuple{Value::Int(1)});
+  dbs[0].AddTuple("R", Tuple{Value::Int(2)});
+  dbs[1].AddTuple("R", Tuple{Value::Int(1)});
+  dbs[1].AddTuple("R", Tuple{Value::Int(3)});
+  dbs[2].AddTuple("R", Tuple{Value::Int(1)});
+  auto p = ProductOf(dbs);
+  ASSERT_TRUE(p.ok());
+  // Common constant tuple (1) survives; everything else is nulls.
+  EXPECT_TRUE(p->GetRelation("R").Contains(Tuple{Value::Int(1)}));
+  for (const Database& d : dbs) {
+    EXPECT_TRUE(PrecedesOwa(*p, d));
+  }
+}
+
+TEST(ProductTest, EmptyListRejected) {
+  EXPECT_FALSE(ProductOf({}).ok());
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,118 @@
+#include "algebra/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/classify.h"
+#include "algebra/eval.h"
+
+namespace incdb {
+namespace {
+
+TEST(RAParserTest, ScansAndOperators) {
+  auto e = ParseRA("R - S");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->kind(), RAExpr::Kind::kDiff);
+
+  auto u = ParseRA("R U S");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ((*u)->kind(), RAExpr::Kind::kUnion);
+
+  auto i = ParseRA("R & S");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ((*i)->kind(), RAExpr::Kind::kIntersect);
+
+  auto p = ParseRA("R x S");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->kind(), RAExpr::Kind::kProduct);
+
+  auto d = ParseRA("Assign / Proj");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->kind(), RAExpr::Kind::kDivide);
+
+  auto delta = ParseRA("DELTA");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ((*delta)->kind(), RAExpr::Kind::kDelta);
+}
+
+TEST(RAParserTest, PrecedenceProductBeforeSetOps) {
+  // R U S x T parses as R U (S x T).
+  auto e = ParseRA("R U S x T");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), RAExpr::Kind::kUnion);
+  EXPECT_EQ((*e)->right()->kind(), RAExpr::Kind::kProduct);
+  // Parentheses override.
+  auto f = ParseRA("(R U S) x T");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->kind(), RAExpr::Kind::kProduct);
+}
+
+TEST(RAParserTest, SelectionPredicates) {
+  auto e = ParseRA("sel[#0 = 5 AND (#1 <> 'x' OR #2 IS NULL)](R)");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->kind(), RAExpr::Kind::kSelect);
+  EXPECT_EQ((*e)->predicate()->kind(), Predicate::Kind::kAnd);
+
+  auto lt = ParseRA("sel[#0 < -3](R)");
+  ASSERT_TRUE(lt.ok()) << lt.status().ToString();
+  auto is_not = ParseRA("sel[#0 IS NOT NULL](R)");
+  ASSERT_TRUE(is_not.ok());
+  EXPECT_EQ((*is_not)->predicate()->kind(), Predicate::Kind::kNot);
+}
+
+TEST(RAParserTest, Projection) {
+  auto e = ParseRA("proj{1, 0}(R)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->columns(), (std::vector<size_t>{1, 0}));
+  auto empty = ParseRA("proj{}(R)");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE((*empty)->columns().empty());
+}
+
+TEST(RAParserTest, RoundTripsToString) {
+  for (const char* text : {
+           "R",
+           "proj{0}(R - S)",
+           "sel[#0 = #1]((R x S))",
+           "(Assign / Proj)",
+           "(R U (S & T))",
+           "DELTA",
+       }) {
+    auto e = ParseRA(text);
+    ASSERT_TRUE(e.ok()) << text << ": " << e.status().ToString();
+    auto again = ParseRA((*e)->ToString());
+    ASSERT_TRUE(again.ok()) << "unparse of " << text << " gave "
+                            << (*e)->ToString();
+    EXPECT_EQ((*e)->ToString(), (*again)->ToString());
+  }
+}
+
+TEST(RAParserTest, ParsedQueriesEvaluate) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Int(1)});
+  db.AddTuple("R", Tuple{Value::Int(2)});
+  db.AddTuple("S", Tuple{Value::Int(2)});
+  auto e = ParseRA("R - S");
+  ASSERT_TRUE(e.ok());
+  auto r = EvalNaive(*e, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(1)}));
+}
+
+TEST(RAParserTest, ClassificationOfParsedQueries) {
+  EXPECT_EQ(Classify(*ParseRA("proj{0}(R)")), QueryClass::kPositive);
+  EXPECT_EQ(Classify(*ParseRA("Assign / Proj")), QueryClass::kRAcwa);
+  EXPECT_EQ(Classify(*ParseRA("R - S")), QueryClass::kFullRA);
+}
+
+TEST(RAParserTest, Errors) {
+  EXPECT_FALSE(ParseRA("").ok());
+  EXPECT_FALSE(ParseRA("R -").ok());
+  EXPECT_FALSE(ParseRA("sel[#0](R)").ok());       // predicate incomplete
+  EXPECT_FALSE(ParseRA("proj{a}(R)").ok());       // non-numeric column
+  EXPECT_FALSE(ParseRA("(R U S").ok());           // unbalanced
+  EXPECT_FALSE(ParseRA("R extra").ok());          // trailing
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,105 @@
+#include "core/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return Tuple{Value::Int(a), Value::Int(b)}; }
+
+TEST(TupleTest, ProjectAndConcat) {
+  Tuple t{Value::Int(1), Value::Str("a"), Value::Null(0)};
+  Tuple p = t.Project({2, 0});
+  EXPECT_EQ(p.arity(), 2u);
+  EXPECT_EQ(p[0], Value::Null(0));
+  EXPECT_EQ(p[1], Value::Int(1));
+
+  Tuple c = p.Concat(Tuple{Value::Int(9)});
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c[2], Value::Int(9));
+}
+
+TEST(TupleTest, HasNull) {
+  EXPECT_FALSE(T2(1, 2).HasNull());
+  EXPECT_TRUE((Tuple{Value::Int(1), Value::Null(0)}).HasNull());
+}
+
+TEST(RelationTest, SetSemanticsDeduplicates) {
+  Relation r(2);
+  r.Add(T2(1, 2));
+  r.Add(T2(1, 2));
+  r.Add(T2(2, 3));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T2(1, 2)));
+  EXPECT_FALSE(r.Contains(T2(3, 1)));
+}
+
+TEST(RelationTest, TuplesAreSortedCanonically) {
+  Relation r(2);
+  r.Add(T2(5, 1));
+  r.Add(T2(1, 9));
+  r.Add(T2(1, 2));
+  const auto& ts = r.tuples();
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0], T2(1, 2));
+  EXPECT_EQ(ts[1], T2(1, 9));
+  EXPECT_EQ(ts[2], T2(5, 1));
+}
+
+TEST(RelationTest, EqualityIgnoresInsertionOrder) {
+  Relation a(1), b(1);
+  a.Add(Tuple{Value::Int(1)});
+  a.Add(Tuple{Value::Int(2)});
+  b.Add(Tuple{Value::Int(2)});
+  b.Add(Tuple{Value::Int(1)});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RelationTest, CoddTableDetection) {
+  // Paper Section 2: R is a naïve table (nulls repeat), S is a Codd table.
+  Relation naive(3);
+  naive.Add(Tuple{Value::Null(0), Value::Int(1), Value::Null(1)});
+  naive.Add(Tuple{Value::Int(2), Value::Null(1), Value::Null(0)});
+  EXPECT_FALSE(naive.IsCoddTable());
+
+  Relation codd(3);
+  codd.Add(Tuple{Value::Null(0), Value::Int(1), Value::Null(1)});
+  codd.Add(Tuple{Value::Int(2), Value::Null(2), Value::Null(3)});
+  EXPECT_TRUE(codd.IsCoddTable());
+
+  EXPECT_EQ(naive.Nulls(), (std::set<NullId>{0, 1}));
+  EXPECT_EQ(naive.Constants(), (std::set<Value>{Value::Int(1), Value::Int(2)}));
+}
+
+TEST(RelationTest, CompletePart) {
+  Relation r(2);
+  r.Add(T2(1, 2));
+  r.Add(Tuple{Value::Int(2), Value::Null(0)});
+  Relation c = r.CompletePart();
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_TRUE(c.Contains(T2(1, 2)));
+  EXPECT_TRUE(c.IsComplete());
+  EXPECT_FALSE(r.IsComplete());
+}
+
+TEST(RelationTest, SubsetTest) {
+  Relation a(1), b(1);
+  a.Add(Tuple{Value::Int(1)});
+  b.Add(Tuple{Value::Int(1)});
+  b.Add(Tuple{Value::Int(2)});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(RelationTest, AddAllMergesSets) {
+  Relation a(1), b(1);
+  a.Add(Tuple{Value::Int(1)});
+  b.Add(Tuple{Value::Int(1)});
+  b.Add(Tuple{Value::Int(2)});
+  a.AddAll(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+}  // namespace
+}  // namespace incdb

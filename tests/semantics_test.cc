@@ -1,0 +1,137 @@
+// Tests for valuations and the OWA/CWA/WCWA semantics, including the
+// paper's Section 2 example: R1 ∈ ⟦R⟧_cwa ∩ ⟦R⟧_owa, R2 ∈ ⟦R⟧_owa \ ⟦R⟧_cwa.
+
+#include <gtest/gtest.h>
+
+#include "core/valuation.h"
+
+namespace incdb {
+namespace {
+
+// The naïve table R of Section 2:
+//   ⊥  1  ⊥'
+//   2  ⊥' ⊥
+Database PaperR() {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Null(0), Value::Int(1), Value::Null(1)});
+  db.AddTuple("R", Tuple{Value::Int(2), Value::Null(1), Value::Null(0)});
+  return db;
+}
+
+TEST(ValuationTest, ApplySubstitutesBoundNulls) {
+  Valuation v;
+  v.Bind(0, Value::Int(3));
+  EXPECT_EQ(v.Apply(Value::Null(0)), Value::Int(3));
+  EXPECT_EQ(v.Apply(Value::Null(7)), Value::Null(7));  // unbound: partial
+  EXPECT_EQ(v.Apply(Value::Int(9)), Value::Int(9));
+}
+
+TEST(ValuationTest, TotalityCheck) {
+  Database db = PaperR();
+  Valuation v;
+  v.Bind(0, Value::Int(3));
+  EXPECT_FALSE(v.IsTotalFor(db));
+  v.Bind(1, Value::Int(4));
+  EXPECT_TRUE(v.IsTotalFor(db));
+}
+
+TEST(ValuationTest, ApplyToDatabaseMergesEqualTuples) {
+  Database db;
+  db.AddTuple("R", Tuple{Value::Null(0)});
+  db.AddTuple("R", Tuple{Value::Null(1)});
+  Valuation v;
+  v.Bind(0, Value::Int(5));
+  v.Bind(1, Value::Int(5));
+  EXPECT_EQ(v.Apply(db).GetRelation("R").size(), 1u);
+}
+
+TEST(SemanticsTest, PaperSection2Example) {
+  const Database r = PaperR();
+
+  // R1 = {(3,1,4), (2,4,3)} via ⊥ -> 3, ⊥' -> 4.
+  Database r1;
+  r1.AddTuple("R", Tuple{Value::Int(3), Value::Int(1), Value::Int(4)});
+  r1.AddTuple("R", Tuple{Value::Int(2), Value::Int(4), Value::Int(3)});
+  EXPECT_TRUE(IsPossibleWorld(r, r1, WorldSemantics::kClosedWorld));
+  EXPECT_TRUE(IsPossibleWorld(r, r1, WorldSemantics::kOpenWorld));
+
+  // R2 adds (5,6,7): in OWA but not CWA.
+  Database r2 = r1;
+  r2.AddTuple("R", Tuple{Value::Int(5), Value::Int(6), Value::Int(7)});
+  EXPECT_FALSE(IsPossibleWorld(r, r2, WorldSemantics::kClosedWorld));
+  EXPECT_TRUE(IsPossibleWorld(r, r2, WorldSemantics::kOpenWorld));
+}
+
+TEST(SemanticsTest, CwaWorldMustRespectMarkedNullEquality) {
+  // D = {R(⊥,⊥)}: worlds have equal components.
+  Database d;
+  d.AddTuple("R", Tuple{Value::Null(0), Value::Null(0)});
+
+  Database diag;
+  diag.AddTuple("R", Tuple{Value::Int(1), Value::Int(1)});
+  EXPECT_TRUE(IsPossibleWorld(d, diag, WorldSemantics::kClosedWorld));
+
+  Database skew;
+  skew.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(IsPossibleWorld(d, skew, WorldSemantics::kClosedWorld));
+  EXPECT_FALSE(IsPossibleWorld(d, skew, WorldSemantics::kOpenWorld));
+
+  // But with an extra tuple covering the diagonal, OWA admits it.
+  Database skew_plus = skew;
+  skew_plus.AddTuple("R", Tuple{Value::Int(2), Value::Int(2)});
+  EXPECT_TRUE(IsPossibleWorld(d, skew_plus, WorldSemantics::kOpenWorld));
+}
+
+TEST(SemanticsTest, DistinctNullsMayCollide) {
+  // ⊥ and ⊥' may be replaced by the same or different constants (Section 1).
+  Database d;
+  d.AddTuple("Cust", Tuple{Value::Null(0)});
+  d.AddTuple("Cust", Tuple{Value::Null(1)});
+
+  Database merged;
+  merged.AddTuple("Cust", Tuple{Value::Int(7)});
+  EXPECT_TRUE(IsPossibleWorld(d, merged, WorldSemantics::kClosedWorld));
+
+  Database split;
+  split.AddTuple("Cust", Tuple{Value::Int(7)});
+  split.AddTuple("Cust", Tuple{Value::Int(8)});
+  EXPECT_TRUE(IsPossibleWorld(d, split, WorldSemantics::kClosedWorld));
+}
+
+TEST(SemanticsTest, CwaWorldCannotDropTuples) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1)});
+  d.AddTuple("R", Tuple{Value::Int(2)});
+  Database w;
+  w.AddTuple("R", Tuple{Value::Int(1)});
+  EXPECT_FALSE(IsPossibleWorld(d, w, WorldSemantics::kClosedWorld));
+  EXPECT_FALSE(IsPossibleWorld(d, w, WorldSemantics::kOpenWorld));
+}
+
+TEST(SemanticsTest, WeakClosedWorldAllowsAdomTuples) {
+  // wcwa: add tuples, but only over the active domain of v(D).
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+
+  Database w1;
+  w1.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  w1.AddTuple("R", Tuple{Value::Int(2), Value::Int(1)});
+  EXPECT_TRUE(IsPossibleWorld(d, w1, WorldSemantics::kWeakClosedWorld));
+
+  Database w2 = w1;
+  w2.AddTuple("R", Tuple{Value::Int(1), Value::Int(9)});  // 9 ∉ adom
+  EXPECT_FALSE(IsPossibleWorld(d, w2, WorldSemantics::kWeakClosedWorld));
+  EXPECT_TRUE(IsPossibleWorld(d, w2, WorldSemantics::kOpenWorld));
+}
+
+TEST(SemanticsTest, ConstantsArePreserved) {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1)});
+  Database w;
+  w.AddTuple("R", Tuple{Value::Int(2)});
+  EXPECT_FALSE(IsPossibleWorld(d, w, WorldSemantics::kClosedWorld));
+  EXPECT_FALSE(IsPossibleWorld(d, w, WorldSemantics::kOpenWorld));
+}
+
+}  // namespace
+}  // namespace incdb

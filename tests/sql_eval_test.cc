@@ -1,0 +1,155 @@
+#include "sql/eval.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+Database EmpDb() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("Emp", {"id", "dept", "salary"}).ok());
+  EXPECT_TRUE(schema.AddRelation("Dept", {"name", "city"}).ok());
+  Database db(schema);
+  db.AddTuple("Emp", Tuple{Value::Int(1), Value::Str("eng"), Value::Int(100)});
+  db.AddTuple("Emp", Tuple{Value::Int(2), Value::Str("ops"), Value::Int(80)});
+  db.AddTuple("Emp", Tuple{Value::Int(3), Value::Str("eng"), Value::Null(0)});
+  db.AddTuple("Dept", Tuple{Value::Str("eng"), Value::Str("NYC")});
+  db.AddTuple("Dept", Tuple{Value::Str("ops"), Value::Str("SF")});
+  return db;
+}
+
+TEST(SqlEvalTest, SimpleSelection) {
+  Database db = EmpDb();
+  auto r = EvalSql("SELECT id FROM Emp WHERE dept = 'eng'", db,
+                   SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(SqlEvalTest, SelectStarConcatenatesColumns) {
+  Database db = EmpDb();
+  auto r = EvalSql("SELECT * FROM Dept", db, SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->arity(), 2u);
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(SqlEvalTest, JoinViaWhere) {
+  Database db = EmpDb();
+  auto r = EvalSql(
+      "SELECT id, city FROM Emp, Dept WHERE dept = name", db,
+      SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(1), Value::Str("NYC")}));
+}
+
+TEST(SqlEvalTest, SelfJoinWithAliases) {
+  Database db = EmpDb();
+  auto r = EvalSql(
+      "SELECT a.id, b.id FROM Emp a, Emp b "
+      "WHERE a.dept = b.dept AND a.salary < b.salary",
+      db, SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Only (no pair in ops), eng: salary 100 vs ⊥ — unknown, dropped.
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(SqlEvalTest, ComparisonWithNullIsUnknownIn3VL) {
+  Database db = EmpDb();
+  auto low = EvalSql("SELECT id FROM Emp WHERE salary < 90", db,
+                     SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low->size(), 1u);  // employee 2 only; 3's salary is unknown
+  EXPECT_TRUE(low->Contains(Tuple{Value::Int(2)}));
+}
+
+TEST(SqlEvalTest, InSubquery) {
+  Database db = EmpDb();
+  auto r = EvalSql(
+      "SELECT city FROM Dept WHERE name IN (SELECT dept FROM Emp "
+      "WHERE salary = 100)",
+      db, SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Str("NYC")}));
+}
+
+TEST(SqlEvalTest, CorrelatedExists) {
+  Database db = EmpDb();
+  // Departments with an employee earning exactly 80.
+  auto r = EvalSql(
+      "SELECT name FROM Dept WHERE EXISTS "
+      "(SELECT id FROM Emp WHERE dept = name AND salary = 80)",
+      db, SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Str("ops")}));
+}
+
+TEST(SqlEvalTest, IsNullFilters) {
+  Database db = EmpDb();
+  auto r = EvalSql("SELECT id FROM Emp WHERE salary IS NULL", db,
+                   SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(Tuple{Value::Int(3)}));
+}
+
+TEST(SqlEvalTest, UnionDeduplicates) {
+  Database db = EmpDb();
+  auto r = EvalSql(
+      "SELECT dept FROM Emp UNION SELECT name FROM Dept", db,
+      SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // {'eng', 'ops'}
+}
+
+TEST(SqlEvalTest, NaiveModeJoinsMarkedNulls) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a"}).ok());
+  ASSERT_TRUE(schema.AddRelation("S", {"a"}).ok());
+  Database db(schema);
+  db.AddTuple("R", Tuple{Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Null(0)});
+  db.AddTuple("S", Tuple{Value::Null(1)});
+  const std::string q = "SELECT R.a FROM R, S WHERE R.a = S.a";
+  auto naive = EvalSql(q, db, SqlEvalMode::kNaive);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->size(), 1u);  // ⊥0 = ⊥0 only
+  auto sql3vl = EvalSql(q, db, SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(sql3vl.ok());
+  EXPECT_TRUE(sql3vl->empty());
+}
+
+TEST(SqlEvalTest, AmbiguousColumnPrefersInnerScope) {
+  // Correlated subquery: unqualified column resolves inner-most first.
+  Database db = EmpDb();
+  auto r = EvalSql(
+      "SELECT id FROM Emp WHERE dept IN (SELECT name FROM Dept WHERE "
+      "city = 'NYC')",
+      db, SqlEvalMode::kSql3VL);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(SqlEvalTest, ErrorsOnUnknownTableOrColumn) {
+  Database db = EmpDb();
+  EXPECT_FALSE(EvalSql("SELECT x FROM Nope", db, SqlEvalMode::kSql3VL).ok());
+  EXPECT_FALSE(
+      EvalSql("SELECT nope FROM Emp", db, SqlEvalMode::kSql3VL).ok());
+  EXPECT_FALSE(EvalSql("SELECT id FROM Emp WHERE id IN (SELECT * FROM Dept)",
+                       db, SqlEvalMode::kSql3VL)
+                   .ok());  // subquery must have one column
+}
+
+TEST(SqlEvalTest, UnionArityMismatchRejected) {
+  Database db = EmpDb();
+  EXPECT_FALSE(
+      EvalSql("SELECT id FROM Emp UNION SELECT name, city FROM Dept", db,
+              SqlEvalMode::kSql3VL)
+          .ok());
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,80 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto toks = Tokenize("select Distinct FROM");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 4u);  // + EOF
+  EXPECT_EQ((*toks)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].text, "DISTINCT");
+  EXPECT_EQ((*toks)[2].text, "FROM");
+  EXPECT_EQ((*toks)[3].type, TokenType::kEof);
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  auto toks = Tokenize("MyTable o_id");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[0].text, "MyTable");
+  EXPECT_EQ((*toks)[1].text, "o_id");
+}
+
+TEST(LexerTest, NumbersAndNegatives) {
+  auto toks = Tokenize("42 -17");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].int_value, 42);
+  EXPECT_EQ((*toks)[1].int_value, -17);
+}
+
+TEST(LexerTest, StringsWithEscapedQuote) {
+  auto toks = Tokenize("'it''s'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kString);
+  EXPECT_EQ((*toks)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto toks = Tokenize("= <> != < <= > >=");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kEq);
+  EXPECT_EQ((*toks)[1].type, TokenType::kNe);
+  EXPECT_EQ((*toks)[2].type, TokenType::kNe);
+  EXPECT_EQ((*toks)[3].type, TokenType::kLt);
+  EXPECT_EQ((*toks)[4].type, TokenType::kLe);
+  EXPECT_EQ((*toks)[5].type, TokenType::kGt);
+  EXPECT_EQ((*toks)[6].type, TokenType::kGe);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto toks = Tokenize("(a, b.c) *");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kLParen);
+  EXPECT_EQ((*toks)[2].type, TokenType::kComma);
+  EXPECT_EQ((*toks)[4].type, TokenType::kDot);
+  EXPECT_EQ((*toks)[6].type, TokenType::kRParen);
+  EXPECT_EQ((*toks)[7].type, TokenType::kStar);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto toks = Tokenize("ab  cd");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].position, 0u);
+  EXPECT_EQ((*toks)[1].position, 4u);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,113 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(ParserTest, BasicSelect) {
+  auto q = ParseSql("SELECT a, t.b FROM t WHERE a = 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->selects.size(), 1u);
+  const SqlSelect& sel = q->selects[0];
+  EXPECT_FALSE(sel.select_star);
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[0].operand.column, "a");
+  EXPECT_EQ(sel.items[1].operand.table, "t");
+  ASSERT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].table, "t");
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->kind, SqlCondition::Kind::kCmp);
+}
+
+TEST(ParserTest, SelectStarAndAliases) {
+  auto q = ParseSql("SELECT * FROM Ord o, Pay AS p");
+  ASSERT_TRUE(q.ok());
+  const SqlSelect& sel = q->selects[0];
+  EXPECT_TRUE(sel.select_star);
+  ASSERT_EQ(sel.from.size(), 2u);
+  EXPECT_EQ(sel.from[0].alias, "o");
+  EXPECT_EQ(sel.from[1].alias, "p");
+}
+
+TEST(ParserTest, NotInSubquery) {
+  auto q = ParseSql(
+      "SELECT o_id FROM Ord WHERE o_id NOT IN (SELECT order_id FROM Pay)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& w = q->selects[0].where;
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->kind, SqlCondition::Kind::kIn);
+  EXPECT_TRUE(w->negated);
+  ASSERT_NE(w->subquery, nullptr);
+  EXPECT_EQ(w->subquery->selects[0].items[0].operand.column, "order_id");
+}
+
+TEST(ParserTest, ExistsAndIsNull) {
+  auto q = ParseSql(
+      "SELECT a FROM t WHERE EXISTS (SELECT b FROM s) AND a IS NOT NULL");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& w = q->selects[0].where;
+  EXPECT_EQ(w->kind, SqlCondition::Kind::kAnd);
+  EXPECT_EQ(w->left->kind, SqlCondition::Kind::kExists);
+  EXPECT_EQ(w->right->kind, SqlCondition::Kind::kIsNull);
+  EXPECT_TRUE(w->right->negated);
+}
+
+TEST(ParserTest, PrecedenceOrBindsLooserThanAnd) {
+  auto q = ParseSql("SELECT a FROM t WHERE a = 1 OR a = 2 AND a = 3");
+  ASSERT_TRUE(q.ok());
+  const auto& w = q->selects[0].where;
+  EXPECT_EQ(w->kind, SqlCondition::Kind::kOr);
+  EXPECT_EQ(w->right->kind, SqlCondition::Kind::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto q = ParseSql("SELECT a FROM t WHERE (a = 1 OR a = 2) AND a = 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selects[0].where->kind, SqlCondition::Kind::kAnd);
+}
+
+TEST(ParserTest, NotCondition) {
+  auto q = ParseSql("SELECT a FROM t WHERE NOT a = 1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selects[0].where->kind, SqlCondition::Kind::kNot);
+}
+
+TEST(ParserTest, UnionOfSelects) {
+  auto q = ParseSql("SELECT a FROM t UNION SELECT b FROM s");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selects.size(), 2u);
+}
+
+TEST(ParserTest, LiteralOperands) {
+  auto q = ParseSql("SELECT a FROM t WHERE a = 'xyz' OR a = -5");
+  ASSERT_TRUE(q.ok());
+  const auto& w = q->selects[0].where;
+  EXPECT_EQ(w->left->rhs.literal, Value::Str("xyz"));
+  EXPECT_EQ(w->right->rhs.literal, Value::Int(-5));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a WHERE a = 1").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE a NOT 1").ok());
+  // Note: "FROM t garbage" parses — `garbage` is a table alias, as in SQL.
+  EXPECT_TRUE(ParseSql("SELECT a FROM t garbage").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t )").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t alias extra").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE a IN SELECT b FROM s").ok());
+  EXPECT_FALSE(ParseSql("").ok());
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const std::string sql =
+      "SELECT o_id FROM Ord WHERE o_id NOT IN (SELECT order_id FROM Pay)";
+  auto q = ParseSql(sql);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseSql(q->ToString());
+  ASSERT_TRUE(q2.ok()) << "unparse produced: " << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,99 @@
+#include "sql/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace incdb {
+namespace {
+
+TEST(RewriteTest, PositivityClassification) {
+  auto pos = ParseSql(
+      "SELECT a FROM t WHERE a = 1 AND b IN (SELECT c FROM s) "
+      "AND EXISTS (SELECT d FROM u)");
+  ASSERT_TRUE(pos.ok());
+  EXPECT_TRUE(IsPositiveSqlQuery(*pos));
+
+  for (const char* bad :
+       {"SELECT a FROM t WHERE a <> 1",
+        "SELECT a FROM t WHERE NOT a = 1",
+        "SELECT a FROM t WHERE a NOT IN (SELECT c FROM s)",
+        "SELECT a FROM t WHERE a IS NULL",
+        "SELECT a FROM t WHERE a < 3",
+        "SELECT a FROM t WHERE a IN (SELECT c FROM s WHERE c <> 2)"}) {
+    auto q = ParseSql(bad);
+    ASSERT_TRUE(q.ok()) << bad;
+    EXPECT_FALSE(IsPositiveSqlQuery(*q)) << bad;
+  }
+}
+
+TEST(RewriteTest, AddsNotNullFilters) {
+  auto q = ParseSql("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_TRUE(q.ok());
+  auto rw = RewriteWithNotNullFilters(*q);
+  ASSERT_TRUE(rw.ok());
+  const std::string s = rw->selects[0].where->ToString();
+  EXPECT_NE(s.find("a IS NOT NULL"), std::string::npos) << s;
+  EXPECT_NE(s.find("b IS NOT NULL"), std::string::npos) << s;
+}
+
+TEST(RewriteTest, RewriteWithoutWhereClause) {
+  auto q = ParseSql("SELECT a FROM t");
+  ASSERT_TRUE(q.ok());
+  auto rw = RewriteWithNotNullFilters(*q);
+  ASSERT_TRUE(rw.ok());
+  ASSERT_NE(rw->selects[0].where, nullptr);
+  EXPECT_EQ(rw->selects[0].where->kind, SqlCondition::Kind::kIsNull);
+}
+
+TEST(RewriteTest, SelectStarUnsupported) {
+  auto q = ParseSql("SELECT * FROM t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(RewriteWithNotNullFilters(*q).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(RewriteTest, CertainEqualsRewrittenNaive) {
+  // EvalSqlCertain(q) == EvalSql(rewrite(q), naive) for positive queries.
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a", "b"}).ok());
+  Database db(schema);
+  db.AddTuple("R", Tuple{Value::Int(1), Value::Int(2)});
+  db.AddTuple("R", Tuple{Value::Null(0), Value::Int(3)});
+  db.AddTuple("R", Tuple{Value::Int(4), Value::Null(1)});
+
+  auto q = ParseSql("SELECT a FROM R WHERE b = 3 OR b = 2");
+  ASSERT_TRUE(q.ok());
+  auto certain = EvalSqlCertain(*q, db);
+  ASSERT_TRUE(certain.ok());
+
+  auto rw = RewriteWithNotNullFilters(*q);
+  ASSERT_TRUE(rw.ok());
+  auto via_rewrite = EvalSql(*rw, db, SqlEvalMode::kNaive);
+  ASSERT_TRUE(via_rewrite.ok());
+  EXPECT_EQ(*certain, *via_rewrite);
+  EXPECT_EQ(certain->size(), 1u);  // only a=1 is a certain non-null answer
+}
+
+TEST(RewriteTest, CertainRefusesNonPositive) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a"}).ok());
+  Database db(schema);
+  auto q = ParseSql("SELECT a FROM R WHERE a <> 1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(EvalSqlCertain(*q, db).status().code(), StatusCode::kUnsupported);
+  // force=true overrides.
+  EXPECT_TRUE(EvalSqlCertain(*q, db, /*force=*/true).ok());
+}
+
+TEST(RewriteTest, UnionRewrittenPerBranch) {
+  auto q = ParseSql("SELECT a FROM t UNION SELECT b FROM s");
+  ASSERT_TRUE(q.ok());
+  auto rw = RewriteWithNotNullFilters(*q);
+  ASSERT_TRUE(rw.ok());
+  EXPECT_NE(rw->selects[0].where, nullptr);
+  EXPECT_NE(rw->selects[1].where, nullptr);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace incdb {
+namespace {
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad arity");
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusIsInternalError) {
+  Result<int> weird = Status::OK();
+  EXPECT_FALSE(weird.ok());
+  EXPECT_EQ(weird.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  INCDB_ASSIGN_OR_RETURN(int h, Half(x));
+  INCDB_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // fails at the second Half
+  EXPECT_FALSE(Quarter(3).ok());  // fails at the first
+}
+
+Status CheckEven(int x) {
+  INCDB_RETURN_IF_ERROR(Half(x).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(CheckEven(4).ok());
+  EXPECT_FALSE(CheckEven(5).ok());
+}
+
+TEST(StringsTest, JoinSplitTrim) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_EQ(ToUpper("aBc1"), "ABC1");
+  EXPECT_TRUE(EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_FALSE(EqualsIgnoreCase("Hello", "Hell"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  // A different seed should diverge immediately with overwhelming
+  // probability.
+  Rng a2(7);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformBoundsRespected) {
+  Rng rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t v = rng.Uniform(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformDoubleAndBernoulli) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);
+
+  int heads = 0;
+  for (int i = 0; i < 2000; ++i) heads += rng.Bernoulli(0.25);
+  EXPECT_NEAR(heads / 2000.0, 0.25, 0.05);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallRanks) {
+  Rng rng(3);
+  size_t low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t r = rng.Zipf(100, 1.1);
+    EXPECT_LT(r, 100u);
+    if (r < 10) ++low;
+    if (r >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 5);  // heavy head
+  // s = 0 degenerates to uniform.
+  size_t low_u = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.Zipf(100, 0.0) < 10) ++low_u;
+  }
+  EXPECT_NEAR(low_u / 5000.0, 0.10, 0.03);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(4);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,76 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace incdb {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  const Value i = Value::Int(42);
+  const Value s = Value::Str("abc");
+  const Value n = Value::Null(3);
+
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(i.is_const());
+  EXPECT_EQ(i.as_int(), 42);
+
+  EXPECT_TRUE(s.is_string());
+  EXPECT_TRUE(s.is_const());
+  EXPECT_EQ(s.as_str(), "abc");
+
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(n.is_const());
+  EXPECT_EQ(n.null_id(), 3u);
+}
+
+TEST(ValueTest, DefaultIsNullZero) {
+  const Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.null_id(), 0u);
+}
+
+TEST(ValueTest, EqualityIsSyntactic) {
+  EXPECT_EQ(Value::Null(1), Value::Null(1));
+  EXPECT_NE(Value::Null(1), Value::Null(2));
+  EXPECT_NE(Value::Null(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Str("1"));
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+  EXPECT_EQ(Value::Str("x"), Value::Str("x"));
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds) {
+  // nulls < ints < strings
+  EXPECT_LT(Value::Null(99), Value::Int(-1000));
+  EXPECT_LT(Value::Int(1000), Value::Str(""));
+  EXPECT_LT(Value::Null(1), Value::Null(2));
+  EXPECT_LT(Value::Int(-5), Value::Int(3));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+}
+
+TEST(ValueTest, OrderingIsStrictWeak) {
+  std::set<Value> s = {Value::Int(3), Value::Int(1), Value::Null(0),
+                       Value::Str("z"), Value::Int(3)};
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(*s.begin(), Value::Null(0));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null(2).ToString(), "_2");
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  std::unordered_set<Value, ValueHash> s;
+  s.insert(Value::Int(1));
+  s.insert(Value::Null(1));
+  s.insert(Value::Str("1"));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.count(Value::Int(1)) > 0);
+}
+
+}  // namespace
+}  // namespace incdb

@@ -1,0 +1,118 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace incdb {
+namespace {
+
+TEST(OrdersPaymentsTest, GroundTruthConsistency) {
+  OrdersPaymentsConfig cfg;
+  cfg.n_orders = 200;
+  cfg.pay_fraction = 0.7;
+  cfg.null_density = 0.2;
+  cfg.seed = 11;
+  auto w = MakeOrdersPayments(cfg);
+
+  EXPECT_EQ(w.ground_truth.GetRelation("Order").size(), 200u);
+  EXPECT_TRUE(w.ground_truth.IsComplete());
+  EXPECT_FALSE(w.db.IsComplete());  // with p=0.2 over ~140 payments
+  EXPECT_TRUE(w.db.IsCoddDatabase());  // fresh null per lost order-id
+
+  // truly_unpaid = orders minus paid orders in the true world.
+  const size_t paid = w.ground_truth.GetRelation("Pay").size();
+  EXPECT_EQ(w.truly_unpaid.size(), 200u - paid);
+
+  // Visible Pay differs from true Pay only in nulled order ids.
+  EXPECT_EQ(w.db.GetRelation("Pay").size(), paid);
+}
+
+TEST(OrdersPaymentsTest, DeterministicAcrossRuns) {
+  OrdersPaymentsConfig cfg;
+  cfg.seed = 5;
+  cfg.n_orders = 50;
+  auto a = MakeOrdersPayments(cfg);
+  auto b = MakeOrdersPayments(cfg);
+  EXPECT_EQ(a.db, b.db);
+  EXPECT_EQ(a.truly_unpaid, b.truly_unpaid);
+}
+
+TEST(OrdersPaymentsTest, ZeroNullDensityIsComplete) {
+  OrdersPaymentsConfig cfg;
+  cfg.null_density = 0.0;
+  cfg.n_orders = 30;
+  auto w = MakeOrdersPayments(cfg);
+  EXPECT_TRUE(w.db.IsComplete());
+  EXPECT_EQ(w.db, w.ground_truth);
+}
+
+TEST(RandomDatabaseTest, RespectsShape) {
+  RandomDbConfig cfg;
+  cfg.arities = {2, 3};
+  cfg.rows_per_relation = 10;
+  cfg.null_density = 0.0;
+  Database db = MakeRandomDatabase(cfg);
+  EXPECT_EQ(db.GetRelation("R0").arity(), 2u);
+  EXPECT_EQ(db.GetRelation("R1").arity(), 3u);
+  // Set semantics may deduplicate; at most 10 rows each.
+  EXPECT_LE(db.GetRelation("R0").size(), 10u);
+  EXPECT_TRUE(db.IsComplete());
+}
+
+TEST(RandomDatabaseTest, NullReuseCreatesMarkedNulls) {
+  RandomDbConfig cfg;
+  cfg.arities = {2};
+  cfg.rows_per_relation = 50;
+  cfg.null_density = 0.8;
+  cfg.null_reuse = 0.9;
+  cfg.seed = 3;
+  Database db = MakeRandomDatabase(cfg);
+  // With heavy reuse, some null occurs more than once.
+  EXPECT_FALSE(db.IsCoddDatabase());
+}
+
+TEST(DivisionWorkloadTest, CoverageEmployeesCoverAll) {
+  DivisionConfig cfg;
+  cfg.n_employees = 100;
+  cfg.n_projects = 5;
+  cfg.coverage = 0.3;
+  cfg.seed = 9;
+  Database db = MakeDivisionWorkload(cfg);
+  EXPECT_EQ(db.GetRelation("Proj").size(), 5u);
+  // Count employees assigned to every project.
+  size_t covering = 0;
+  for (int64_t e = 0; e < 100; ++e) {
+    bool all = true;
+    for (int64_t p = 0; p < 5; ++p) {
+      if (!db.GetRelation("Assign").Contains(
+              Tuple{Value::Int(e), Value::Int(p)})) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++covering;
+  }
+  EXPECT_GT(covering, 10u);  // ~30 expected (plus density flukes)
+}
+
+TEST(QueryGeneratorsTest, ChainAndStarShapes) {
+  auto chain = ChainCQ(3);
+  EXPECT_EQ(chain.body.size(), 3u);
+  EXPECT_TRUE(chain.IsBoolean());
+  auto star = StarCQ(4);
+  EXPECT_EQ(star.body.size(), 4u);
+  // Every star atom shares variable 0.
+  for (const FoAtom& a : star.body) {
+    EXPECT_EQ(a.terms[0].var, 0u);
+  }
+}
+
+TEST(GraphGeneratorsTest, PathAndRandomGraph) {
+  Database path = MakePathDatabase(5);
+  EXPECT_EQ(path.GetRelation("R").size(), 5u);
+  Database g = MakeRandomGraph(10, 30, 1);
+  EXPECT_LE(g.GetRelation("R").size(), 30u);
+  EXPECT_GT(g.GetRelation("R").size(), 0u);
+}
+
+}  // namespace
+}  // namespace incdb
