@@ -3,11 +3,28 @@
 #ifndef INCDB_BENCH_BENCH_COMMON_H_
 #define INCDB_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 
 #include "incdb.h"
 
 namespace incdb_bench {
+
+/// Attaches the EvalStats counters accumulated over a benchmark run as
+/// per-iteration benchmark counters, so reports show the work an iteration
+/// does (probes, tuples in/out) next to its time. Call once after the timing
+/// loop with the stats merged across all iterations.
+inline void ReportEvalStats(benchmark::State& state,
+                            const incdb::EvalStats& stats) {
+  const auto rate = benchmark::Counter::kAvgIterations;
+  state.counters["probes"] =
+      benchmark::Counter(static_cast<double>(stats.TotalProbes()), rate);
+  state.counters["tuples_in"] =
+      benchmark::Counter(static_cast<double>(stats.TotalTuplesIn()), rate);
+  state.counters["tuples_out"] =
+      benchmark::Counter(static_cast<double>(stats.TotalTuplesOut()), rate);
+}
 
 /// Prints a header for the experiment's summary table. Summaries are
 /// emitted once, before the timing benchmarks, from a global initializer.

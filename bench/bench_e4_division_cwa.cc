@@ -81,15 +81,35 @@ struct Summary {
 };
 const Summary kSummary;
 
-void BM_DivisionNaive(benchmark::State& state) {
+void RunDivisionNaive(benchmark::State& state, bool use_hash_kernels) {
   Database db = Workload(static_cast<size_t>(state.range(0)), 11, 0.1);
   auto q = Query();
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  options.use_hash_kernels = use_hash_kernels;
   for (auto _ : state) {
-    auto r = CertainAnswersNaive(q, db, WorldSemantics::kClosedWorld);
+    auto r = CertainAnswersNaive(q, db, WorldSemantics::kClosedWorld,
+                                 /*force=*/false, options);
     benchmark::DoNotOptimize(r);
   }
+  incdb_bench::ReportEvalStats(state, stats);
+}
+
+void BM_DivisionNaive(benchmark::State& state) {
+  RunDivisionNaive(state, /*use_hash_kernels=*/true);
 }
 BENCHMARK(BM_DivisionNaive)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Pre-kernel nested-loop division, kept runnable for attribution.
+void BM_DivisionNestedLoop(benchmark::State& state) {
+  RunDivisionNaive(state, /*use_hash_kernels=*/false);
+}
+BENCHMARK(BM_DivisionNestedLoop)
     ->Arg(1000)
     ->Arg(10000)
     ->Arg(100000)
@@ -98,10 +118,14 @@ BENCHMARK(BM_DivisionNaive)
 void BM_DivisionViaExpansion(benchmark::State& state) {
   Database db = Workload(static_cast<size_t>(state.range(0)), 11, 0.1);
   auto q = RAExpr::ExpandDivision(Query(), db.schema());
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
   for (auto _ : state) {
-    auto r = EvalNaive(q, db);
+    auto r = EvalNaive(q, db, options);
     benchmark::DoNotOptimize(r);
   }
+  incdb_bench::ReportEvalStats(state, stats);
 }
 BENCHMARK(BM_DivisionViaExpansion)
     ->Arg(1000)

@@ -9,7 +9,12 @@
 //   certain <SELECT ...>                   certain answers (positive only)
 //   modes   <SELECT ...>                   all three side by side
 //   ra      <algebra expr>                 e.g. ra proj{0}(R - S)
+//   stats   on|off                         per-operator counters after queries
 //   help / quit
+//
+// All query commands run through the QueryEngine facade
+// (engine/query_engine.h) — the shell names an answer notion and prints
+// whatever comes back.
 //
 // Example session:
 //   create R(a)
@@ -88,42 +93,45 @@ void PrintRelation(const Relation& r) {
               r.size() == 1 ? "" : "s");
 }
 
+bool g_stats = false;
+
+// Runs one notion through the engine and prints the outcome under `label`.
+// Returns true when the answer was printed (vs an error).
+bool RunNotion(const QueryEngine& engine, QueryRequest req, const char* label,
+               bool error_prefix = true) {
+  auto r = engine.Run(std::move(req));
+  if (r.ok()) {
+    std::printf("  %s ", label);
+    PrintRelation(r->relation);
+    if (g_stats) std::printf("%s", r->stats.ToString().c_str());
+    return true;
+  }
+  std::printf("  %s %s%s\n", label, error_prefix ? "error: " : "",
+              r.status().ToString().c_str());
+  return false;
+}
+
+QueryRequest SqlRequest(const std::string& sql, AnswerNotion notion) {
+  QueryRequest req;
+  req.sql_text = sql;
+  req.notion = notion;
+  return req;
+}
+
 void RunQuery(const std::string& mode, const std::string& sql, Database* db) {
+  const QueryEngine engine(*db);
   if (mode == "sql" || mode == "modes") {
-    auto r = EvalSql(sql, *db, SqlEvalMode::kSql3VL);
-    if (r.ok()) {
-      std::printf("  [3VL]     ");
-      PrintRelation(*r);
-    } else {
-      std::printf("  [3VL]     error: %s\n", r.status().ToString().c_str());
-    }
+    RunNotion(engine, SqlRequest(sql, AnswerNotion::k3VL), "[3VL]    ");
   }
   if (mode == "maybe" || mode == "modes") {
-    auto r = EvalSql(sql, *db, SqlEvalMode::kSqlMaybe);
-    if (r.ok()) {
-      std::printf("  [maybe]   ");
-      PrintRelation(*r);
-    } else {
-      std::printf("  [maybe]   error: %s\n", r.status().ToString().c_str());
-    }
+    RunNotion(engine, SqlRequest(sql, AnswerNotion::kMaybe), "[maybe]  ");
   }
   if (mode == "naive" || mode == "modes") {
-    auto r = EvalSql(sql, *db, SqlEvalMode::kNaive);
-    if (r.ok()) {
-      std::printf("  [naive]   ");
-      PrintRelation(*r);
-    } else {
-      std::printf("  [naive]   error: %s\n", r.status().ToString().c_str());
-    }
+    RunNotion(engine, SqlRequest(sql, AnswerNotion::kNaive), "[naive]  ");
   }
   if (mode == "certain" || mode == "modes") {
-    auto r = EvalSqlCertain(sql, *db);
-    if (r.ok()) {
-      std::printf("  [certain] ");
-      PrintRelation(*r);
-    } else {
-      std::printf("  [certain] %s\n", r.status().ToString().c_str());
-    }
+    RunNotion(engine, SqlRequest(sql, AnswerNotion::kCertainNaive),
+              "[certain]", /*error_prefix=*/false);
   }
 }
 
@@ -154,6 +162,7 @@ int main() {
           "  sql|maybe|naive|certain <SELECT ...>\n"
           "  modes <SELECT ...>    all three evaluations\n"
           "  ra <algebra expr>     classify + evaluate algebra\n"
+          "  stats on|off          per-operator counters after queries\n"
           "  quit\n");
       continue;
     }
@@ -243,28 +252,37 @@ int main() {
       RunQuery(cmd, rest, &db);
       continue;
     }
+    if (cmd == "stats") {
+      g_stats = EqualsIgnoreCase(rest, "on");
+      std::printf("  stats %s\n", g_stats ? "on" : "off");
+      continue;
+    }
     if (cmd == "ra") {
-      auto expr = ParseRA(rest);
-      if (!expr.ok()) {
-        std::printf("  %s\n", expr.status().ToString().c_str());
+      const QueryEngine engine(db);
+      QueryRequest naive_req;
+      naive_req.ra_text = rest;
+      naive_req.notion = AnswerNotion::kNaive;
+      auto naive = engine.Run(naive_req);
+      if (!naive.ok()) {
+        std::printf("  %s\n", naive.status().ToString().c_str());
         continue;
       }
-      std::printf("  class: %s\n", QueryClassName(Classify(*expr)));
-      auto naive = EvalNaive(*expr, db);
-      if (naive.ok()) {
-        std::printf("  [naive]   ");
-        PrintRelation(*naive);
-      } else {
-        std::printf("  [naive]   error: %s\n",
-                    naive.status().ToString().c_str());
-        continue;
+      if (naive->fragment.has_value()) {
+        std::printf("  class: %s\n", QueryClassName(*naive->fragment));
       }
+      std::printf("  [naive]   ");
+      PrintRelation(naive->relation);
+      if (g_stats) std::printf("%s", naive->stats.ToString().c_str());
       for (auto sem :
            {WorldSemantics::kOpenWorld, WorldSemantics::kClosedWorld}) {
-        auto certain = CertainAnswersNaive(*expr, db, sem);
+        QueryRequest req;
+        req.ra_text = rest;
+        req.notion = AnswerNotion::kCertainNaive;
+        req.semantics = sem;
+        auto certain = engine.Run(req);
         if (certain.ok()) {
           std::printf("  [certain/%s] ", WorldSemanticsName(sem));
-          PrintRelation(*certain);
+          PrintRelation(certain->relation);
         } else {
           std::printf("  [certain/%s] %s\n", WorldSemanticsName(sem),
                       certain.status().ToString().c_str());

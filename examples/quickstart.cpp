@@ -1,6 +1,10 @@
 // Quickstart: the paper's unpaid-orders example, and how to get answers you
 // can actually trust.
 //
+// Every query below runs through QueryEngine::Run — one entry point, with
+// the desired *answer notion* named in the request. The free functions
+// (EvalSql, CertainAnswersEnum, ...) remain available for direct use.
+//
 // Build & run:   ./build/examples/quickstart
 
 #include <cstdio>
@@ -8,6 +12,26 @@
 #include "incdb.h"
 
 using namespace incdb;
+
+namespace {
+
+QueryResponse MustRun(const QueryEngine& engine, QueryRequest req) {
+  auto r = engine.Run(std::move(req));
+  if (!r.ok()) {
+    std::printf("engine error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(r);
+}
+
+QueryRequest Sql(const std::string& text, AnswerNotion notion) {
+  QueryRequest req;
+  req.sql_text = text;
+  req.notion = notion;
+  return req;
+}
+
+}  // namespace
 
 int main() {
   // ---------------------------------------------------------------------
@@ -24,14 +48,16 @@ int main() {
 
   std::printf("Database:\n%s\n", db.ToString().c_str());
 
+  const QueryEngine engine(db);
+
   // ---------------------------------------------------------------------
   // 1. What SQL does: the textbook NOT IN query under 3-valued logic.
   // ---------------------------------------------------------------------
   const std::string unpaid =
       "SELECT o_id FROM Ord WHERE o_id NOT IN (SELECT order_id FROM Pay)";
-  auto sql_answer = EvalSql(unpaid, db, SqlEvalMode::kSql3VL);
+  QueryResponse sql_answer = MustRun(engine, Sql(unpaid, AnswerNotion::k3VL));
   std::printf("SQL 3VL answer to the unpaid-orders query: %s\n",
-              sql_answer->ToString().c_str());
+              sql_answer.relation.ToString().c_str());
   std::printf("  -> \"no customers need to be chased\", although at least\n"
               "     one order is certainly unpaid. This is the anomaly.\n\n");
 
@@ -39,20 +65,28 @@ int main() {
   // 2. Naïve evaluation: marked nulls as values. For this (non-positive)
   //    query it gives the *possible* candidates, not certainty.
   // ---------------------------------------------------------------------
-  auto naive_answer = EvalSql(unpaid, db, SqlEvalMode::kNaive);
+  QueryResponse naive_answer =
+      MustRun(engine, Sql(unpaid, AnswerNotion::kNaive));
   std::printf("Naive answer (possible candidates): %s\n\n",
-              naive_answer->ToString().c_str());
+              naive_answer.relation.ToString().c_str());
 
   // ---------------------------------------------------------------------
   // 3. A positive query you CAN trust: products that were paid for.
-  //    EvalSqlCertain = naïve evaluation + null-row filtering, which the
-  //    paper proves equals the certain answers for positive queries.
+  //    kCertainNaive = naïve evaluation + null-row filtering, which the
+  //    paper proves equals the certain answers for positive queries. The
+  //    response also reports the fragment the guard checked.
   // ---------------------------------------------------------------------
   const std::string paid_products =
       "SELECT product FROM Ord, Pay WHERE o_id = order_id";
-  auto certain = EvalSqlCertain(paid_products, db);
+  QueryResponse certain =
+      MustRun(engine, Sql(paid_products, AnswerNotion::kCertainNaive));
   std::printf("Certain answers to \"paid products\": %s\n",
-              certain->ToString().c_str());
+              certain.relation.ToString().c_str());
+  if (certain.fragment.has_value()) {
+    std::printf("  (query class: %s; naive-eval guarantee: %s)\n",
+                QueryClassName(*certain.fragment),
+                certain.naive_guarantee ? "yes" : "no");
+  }
   std::printf("  -> empty, correctly: the lost order id might be either "
               "order.\n\n");
 
@@ -60,23 +94,34 @@ int main() {
   // 4. The algebra layer agrees, and enumeration over possible worlds
   //    confirms it exactly.
   // ---------------------------------------------------------------------
-  auto q = RAExpr::Project(
+  QueryRequest enum_req;
+  enum_req.ra = RAExpr::Project(
       {1}, RAExpr::Select(Predicate::Eq(Term::Column(0), Term::Column(3)),
                           RAExpr::Product(RAExpr::Scan("Ord"),
                                           RAExpr::Scan("Pay"))));
-  auto truth = CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld);
+  enum_req.notion = AnswerNotion::kCertainEnum;
+  enum_req.semantics = WorldSemantics::kClosedWorld;
+  QueryResponse truth = MustRun(engine, enum_req);
   std::printf("Ground truth by world enumeration: %s\n",
-              truth->ToString().c_str());
+              truth.relation.ToString().c_str());
 
   // ---------------------------------------------------------------------
   // 5. certainO: the naïve answer *as an object* keeps partial tuples that
   //    intersection-based answers throw away (Section 6 of the paper).
   // ---------------------------------------------------------------------
-  auto identity = RAExpr::Scan("Pay");
-  auto object_answer = CertainObjectNaive(identity, db);
+  QueryRequest object_req;
+  object_req.ra_text = "Pay";
+  object_req.notion = AnswerNotion::kCertainObject;
+  QueryResponse object_answer = MustRun(engine, object_req);
   std::printf("\ncertainO for SELECT * FROM Pay: %s\n",
-              object_answer->ToString().c_str());
+              object_answer.relation.ToString().c_str());
   std::printf("  -> the tuple (pid1, _, 100) is kept with its null: we know\n"
               "     a payment of 100 exists even if its order is unknown.\n");
+
+  // ---------------------------------------------------------------------
+  // 6. The response's EvalStats show what the evaluator actually did.
+  // ---------------------------------------------------------------------
+  std::printf("\nOperator counters for the certain-answer query:\n%s",
+              certain.stats.ToString().c_str());
   return 0;
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: build the library + tests in the normal configuration and
+# again with ASan/UBSan (INCDB_SANITIZE=ON), and run the full test suite
+# under both. Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" "${CTEST_ARGS[@]}"
+}
+
+CTEST_ARGS=("$@")
+
+echo "== normal configuration =="
+run_config build
+
+echo "== sanitize configuration (ASan + UBSan) =="
+run_config build-sanitize -DINCDB_SANITIZE=ON
+
+echo "All checks passed."

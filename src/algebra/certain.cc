@@ -13,24 +13,27 @@ Relation DropNullTuples(const Relation& r) {
 }
 
 Result<Relation> CertainAnswersNaive(const RAExprPtr& e, const Database& db,
-                                     WorldSemantics semantics, bool force) {
+                                     WorldSemantics semantics, bool force,
+                                     const EvalOptions& options) {
   if (!force && !NaiveEvaluationWorks(e, semantics)) {
     return Status::Unsupported(
         std::string("naive evaluation has no certain-answer guarantee for a ") +
         QueryClassName(Classify(e)) + " query under " +
         WorldSemanticsName(semantics));
   }
-  INCDB_ASSIGN_OR_RETURN(Relation naive, EvalNaive(e, db));
+  INCDB_ASSIGN_OR_RETURN(Relation naive, EvalNaive(e, db, options));
   return DropNullTuples(naive);
 }
 
-Result<Relation> CertainObjectNaive(const RAExprPtr& e, const Database& db) {
-  return EvalNaive(e, db);
+Result<Relation> CertainObjectNaive(const RAExprPtr& e, const Database& db,
+                                    const EvalOptions& options) {
+  return EvalNaive(e, db, options);
 }
 
 Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
                                     WorldSemantics semantics,
-                                    const WorldEnumOptions& opts) {
+                                    const WorldEnumOptions& opts,
+                                    const EvalOptions& options) {
   INCDB_ASSIGN_OR_RETURN(size_t arity, e->InferArity(db.schema()));
 
   if (semantics == WorldSemantics::kOpenWorld ||
@@ -49,7 +52,7 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
   Relation acc(arity);
   Status eval_error = Status::OK();
   Status st = ForEachWorldCwa(db, opts, [&](const Database& world) {
-    auto ans = EvalComplete(e, world);
+    auto ans = EvalComplete(e, world, options);
     if (!ans.ok()) {
       eval_error = ans.status();
       return false;
@@ -73,12 +76,13 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
 }
 
 Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
-                                     const WorldEnumOptions& opts) {
+                                     const WorldEnumOptions& opts,
+                                     const EvalOptions& options) {
   INCDB_ASSIGN_OR_RETURN(size_t arity, e->InferArity(db.schema()));
   Relation acc(arity);
   Status eval_error = Status::OK();
   Status st = ForEachWorldCwa(db, opts, [&](const Database& world) {
-    auto ans = EvalComplete(e, world);
+    auto ans = EvalComplete(e, world, options);
     if (!ans.ok()) {
       eval_error = ans.status();
       return false;

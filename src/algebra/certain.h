@@ -22,6 +22,7 @@
 #include "algebra/classify.h"
 #include "core/possible_worlds.h"
 #include "core/valuation.h"
+#include "engine/stats.h"
 
 namespace incdb {
 
@@ -32,22 +33,26 @@ Relation DropNullTuples(const Relation& r);
 /// force=true — useful for measuring how wrong the shortcut is).
 Result<Relation> CertainAnswersNaive(const RAExprPtr& e, const Database& db,
                                      WorldSemantics semantics,
-                                     bool force = false);
+                                     bool force = false,
+                                     const EvalOptions& options = {});
 
 /// certainO(Q, D) = Q(D): the naïve answer as an (incomplete) object.
-Result<Relation> CertainObjectNaive(const RAExprPtr& e, const Database& db);
+Result<Relation> CertainObjectNaive(const RAExprPtr& e, const Database& db,
+                                    const EvalOptions& options = {});
 
 /// Ground-truth certain answers by world enumeration / monotonicity.
 /// Exponential in the number of nulls (CWA); kUnsupported for non-positive
-/// queries under OWA.
+/// queries under OWA. EvalStats accumulate across all enumerated worlds.
 Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
                                     WorldSemantics semantics,
-                                    const WorldEnumOptions& opts = {});
+                                    const WorldEnumOptions& opts = {},
+                                    const EvalOptions& options = {});
 
 /// Possible answers: ⋃ { Q(D') | D' ∈ ⟦D⟧_cwa } by enumeration. Useful for
 /// "maybe" tuples in examples and tests.
 Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
-                                     const WorldEnumOptions& opts = {});
+                                     const WorldEnumOptions& opts = {},
+                                     const EvalOptions& options = {});
 
 }  // namespace incdb
 

@@ -1,12 +1,63 @@
 #include "algebra/eval.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "engine/kernels.h"
 
 namespace incdb {
+namespace {
 
-Relation DivideRelations(const Relation& r, const Relation& s) {
-  INCDB_CHECK_MSG(s.arity() > 0 && s.arity() < r.arity(),
-                  "division arity constraint violated");
+// Flattens the top-level AND spine of a predicate into conjuncts.
+void FlattenAnd(const PredicatePtr& p, std::vector<PredicatePtr>* out) {
+  if (p->kind() == Predicate::Kind::kAnd) {
+    FlattenAnd(p->left(), out);
+    FlattenAnd(p->right(), out);
+    return;
+  }
+  out->push_back(p);
+}
+
+// Partition of a selection predicate over a product whose left input has
+// arity `left_arity`: cross-boundary column equalities become join keys,
+// everything else is re-ANDed into the residual (null when empty).
+struct JoinSplit {
+  std::vector<JoinKey> keys;
+  PredicatePtr residual;
+};
+
+JoinSplit SplitForEquiJoin(const PredicatePtr& pred, size_t left_arity) {
+  std::vector<PredicatePtr> conjuncts;
+  FlattenAnd(pred, &conjuncts);
+  JoinSplit split;
+  for (const PredicatePtr& c : conjuncts) {
+    if (c->kind() == Predicate::Kind::kCmp && c->op() == CmpOp::kEq &&
+        c->lhs().kind == Term::Kind::kColumn &&
+        c->rhs().kind == Term::Kind::kColumn) {
+      size_t a = c->lhs().column;
+      size_t b = c->rhs().column;
+      if (a > b) std::swap(a, b);
+      if (a < left_arity && b >= left_arity) {
+        split.keys.push_back(JoinKey{a, b - left_arity});
+        continue;
+      }
+    }
+    split.residual =
+        split.residual ? Predicate::And(split.residual, c) : c;
+  }
+  return split;
+}
+
+// Reference nested-loop division; kept as the semantics the hash kernel is
+// property-tested against and used when hash kernels are disabled.
+Result<Relation> DivideNestedLoop(const Relation& r, const Relation& s,
+                                  EvalStats* stats) {
+  if (s.arity() == 0 || s.arity() >= r.arity()) {
+    return Status::InvalidArgument(
+        "division requires 0 < arity(divisor) < arity(dividend); got " +
+        std::to_string(s.arity()) + " and " + std::to_string(r.arity()));
+  }
+  OpScope scope(stats, EvalOp::kDivide);
   const size_t m = r.arity() - s.arity();
   std::vector<size_t> head(m);
   for (size_t i = 0; i < m; ++i) head[i] = i;
@@ -14,9 +65,12 @@ Relation DivideRelations(const Relation& r, const Relation& s) {
   // Candidate heads: π_head(r).
   Relation heads(m);
   for (const Tuple& t : r.tuples()) heads.Add(t.Project(head));
+  scope.CountIn(r.tuples().size() + s.tuples().size());
+  uint64_t probes = 0;
   for (const Tuple& h : heads.tuples()) {
     bool all = true;
     for (const Tuple& sv : s.tuples()) {
+      ++probes;
       if (!r.Contains(h.Concat(sv))) {
         all = false;
         break;
@@ -24,90 +78,185 @@ Relation DivideRelations(const Relation& r, const Relation& s) {
     }
     if (all) out.Add(h);
   }
+  scope.CountProbes(probes);
+  scope.CountOut(out.tuples().size());
   return out;
 }
 
-Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db) {
+struct Rec {
+  const Database& db;
+  const EvalOptions& options;
+  EvalStats* stats;
+
+  // Evaluates `e` without copying when it is a base-relation scan: the
+  // returned pointer refers either to the database's relation (whose cached
+  // hash index then survives across evaluations) or to `*storage`.
+  Result<const Relation*> RunRef(const RAExprPtr& e, Relation* storage) {
+    if (e->kind() == RAExpr::Kind::kScan) {
+      OpScope scope(stats, EvalOp::kScan);
+      const Relation& r = db.GetRelation(e->relation_name());
+      scope.CountOut(r.size());
+      return &r;
+    }
+    INCDB_ASSIGN_OR_RETURN(*storage, Run(e));
+    return storage;
+  }
+
+  Result<Relation> Run(const RAExprPtr& e) {
+    switch (e->kind()) {
+      case RAExpr::Kind::kScan: {
+        OpScope scope(stats, EvalOp::kScan);
+        const Relation& r = db.GetRelation(e->relation_name());
+        scope.CountOut(r.size());
+        return r;
+      }
+      case RAExpr::Kind::kConstRel:
+        return e->literal();
+      case RAExpr::Kind::kSelect:
+        return RunSelect(*e, /*projection=*/nullptr);
+      case RAExpr::Kind::kProject: {
+        // π over σ(l × r) fuses the projection into the join's emit.
+        if (options.use_hash_kernels &&
+            e->left()->kind() == RAExpr::Kind::kSelect &&
+            e->left()->left()->kind() == RAExpr::Kind::kProduct) {
+          return RunSelect(*e->left(), &e->columns());
+        }
+        Relation in_storage;
+        INCDB_ASSIGN_OR_RETURN(const Relation* in,
+                               RunRef(e->left(), &in_storage));
+        OpScope scope(stats, EvalOp::kProject);
+        Relation out(e->columns().size());
+        for (const Tuple& t : in->tuples()) out.Add(t.Project(e->columns()));
+        scope.CountIn(in->tuples().size());
+        scope.CountOut(out.tuples().size());
+        return out;
+      }
+      case RAExpr::Kind::kProduct: {
+        Relation ls, rs;
+        INCDB_ASSIGN_OR_RETURN(const Relation* l, RunRef(e->left(), &ls));
+        INCDB_ASSIGN_OR_RETURN(const Relation* r, RunRef(e->right(), &rs));
+        return Product(*l, *r);
+      }
+      case RAExpr::Kind::kUnion: {
+        INCDB_ASSIGN_OR_RETURN(Relation l, Run(e->left()));
+        Relation rs;
+        INCDB_ASSIGN_OR_RETURN(const Relation* r, RunRef(e->right(), &rs));
+        OpScope scope(stats, EvalOp::kUnion);
+        scope.CountIn(l.tuples().size() + r->tuples().size());
+        l.AddAll(*r);
+        scope.CountOut(l.tuples().size());
+        return l;
+      }
+      case RAExpr::Kind::kDiff: {
+        Relation ls, rs;
+        INCDB_ASSIGN_OR_RETURN(const Relation* l, RunRef(e->left(), &ls));
+        INCDB_ASSIGN_OR_RETURN(const Relation* r, RunRef(e->right(), &rs));
+        return HashDiff(*l, *r, stats);
+      }
+      case RAExpr::Kind::kIntersect: {
+        Relation ls, rs;
+        INCDB_ASSIGN_OR_RETURN(const Relation* l, RunRef(e->left(), &ls));
+        INCDB_ASSIGN_OR_RETURN(const Relation* r, RunRef(e->right(), &rs));
+        return HashIntersect(*l, *r, stats);
+      }
+      case RAExpr::Kind::kDivide: {
+        Relation ls, rs;
+        INCDB_ASSIGN_OR_RETURN(const Relation* l, RunRef(e->left(), &ls));
+        INCDB_ASSIGN_OR_RETURN(const Relation* r, RunRef(e->right(), &rs));
+        if (!options.use_hash_kernels) return DivideNestedLoop(*l, *r, stats);
+        return HashDivide(*l, *r, stats);
+      }
+      case RAExpr::Kind::kDelta: {
+        OpScope scope(stats, EvalOp::kDelta);
+        Relation out(2);
+        for (const Value& v : db.ActiveDomain()) out.Add(Tuple{v, v});
+        scope.CountOut(out.tuples().size());
+        return out;
+      }
+    }
+    return Status::Internal("unknown RA node kind");
+  }
+
+  // σ_pred(child), optionally under π_projection (projection == nullptr when
+  // absent). When the child is a product and the predicate carries
+  // cross-boundary equalities, the σ (and π) fuse into a hash join.
+  Result<Relation> RunSelect(const RAExpr& sel,
+                             const std::vector<size_t>* projection) {
+    if (options.use_hash_kernels &&
+        sel.left()->kind() == RAExpr::Kind::kProduct) {
+      Relation ls, rs;
+      INCDB_ASSIGN_OR_RETURN(const Relation* l,
+                             RunRef(sel.left()->left(), &ls));
+      INCDB_ASSIGN_OR_RETURN(const Relation* r,
+                             RunRef(sel.left()->right(), &rs));
+      JoinSplit split = SplitForEquiJoin(sel.predicate(), l->arity());
+      if (!split.keys.empty()) {
+        return HashJoin(*l, *r, split.keys, split.residual.get(), projection,
+                        stats);
+      }
+      INCDB_ASSIGN_OR_RETURN(Relation in, Product(*l, *r));
+      return Filter(sel.predicate(), in, projection);
+    }
+    Relation in_storage;
+    INCDB_ASSIGN_OR_RETURN(const Relation* in,
+                           RunRef(sel.left(), &in_storage));
+    return Filter(sel.predicate(), *in, projection);
+  }
+
+  Result<Relation> Product(const Relation& l, const Relation& r) {
+    OpScope scope(stats, EvalOp::kProduct);
+    Relation out(l.arity() + r.arity());
+    for (const Tuple& a : l.tuples()) {
+      for (const Tuple& b : r.tuples()) out.Add(a.Concat(b));
+    }
+    scope.CountIn(l.tuples().size() + r.tuples().size());
+    scope.CountOut(out.tuples().size());
+    return out;
+  }
+
+  Result<Relation> Filter(const PredicatePtr& pred, const Relation& in,
+                          const std::vector<size_t>* projection) {
+    OpScope scope(stats, EvalOp::kSelect);
+    Relation out(projection != nullptr ? projection->size() : in.arity());
+    for (const Tuple& t : in.tuples()) {
+      if (!pred->EvalNaive(t)) continue;
+      out.Add(projection != nullptr ? t.Project(*projection) : t);
+    }
+    scope.CountIn(in.tuples().size());
+    scope.CountOut(out.tuples().size());
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<Relation> DivideRelations(const Relation& r, const Relation& s) {
+  return HashDivide(r, s, nullptr);
+}
+
+Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db,
+                           const EvalOptions& options) {
   // Validate typing once at the root.
   INCDB_RETURN_IF_ERROR(e->InferArity(db.schema()).status());
-
-  struct Rec {
-    const Database& db;
-    Relation Run(const RAExprPtr& e) {
-      switch (e->kind()) {
-        case RAExpr::Kind::kScan:
-          return db.GetRelation(e->relation_name());
-        case RAExpr::Kind::kConstRel:
-          return e->literal();
-        case RAExpr::Kind::kSelect: {
-          Relation in = Run(e->left());
-          Relation out(in.arity());
-          for (const Tuple& t : in.tuples()) {
-            if (e->predicate()->EvalNaive(t)) out.Add(t);
-          }
-          return out;
-        }
-        case RAExpr::Kind::kProject: {
-          Relation in = Run(e->left());
-          Relation out(e->columns().size());
-          for (const Tuple& t : in.tuples()) out.Add(t.Project(e->columns()));
-          return out;
-        }
-        case RAExpr::Kind::kProduct: {
-          Relation l = Run(e->left());
-          Relation r = Run(e->right());
-          Relation out(l.arity() + r.arity());
-          for (const Tuple& a : l.tuples()) {
-            for (const Tuple& b : r.tuples()) out.Add(a.Concat(b));
-          }
-          return out;
-        }
-        case RAExpr::Kind::kUnion: {
-          Relation l = Run(e->left());
-          Relation r = Run(e->right());
-          l.AddAll(r);
-          return l;
-        }
-        case RAExpr::Kind::kDiff: {
-          Relation l = Run(e->left());
-          Relation r = Run(e->right());
-          Relation out(l.arity());
-          for (const Tuple& t : l.tuples()) {
-            if (!r.Contains(t)) out.Add(t);
-          }
-          return out;
-        }
-        case RAExpr::Kind::kIntersect: {
-          Relation l = Run(e->left());
-          Relation r = Run(e->right());
-          Relation out(l.arity());
-          for (const Tuple& t : l.tuples()) {
-            if (r.Contains(t)) out.Add(t);
-          }
-          return out;
-        }
-        case RAExpr::Kind::kDivide:
-          return DivideRelations(Run(e->left()), Run(e->right()));
-        case RAExpr::Kind::kDelta: {
-          Relation out(2);
-          for (const Value& v : db.ActiveDomain()) out.Add(Tuple{v, v});
-          return out;
-        }
-      }
-      return Relation(0);
-    }
-  };
-
-  Rec rec{db};
+  Rec rec{db, options, options.stats};
   return rec.Run(e);
 }
 
-Result<Relation> EvalComplete(const RAExprPtr& e, const Database& db) {
+Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db) {
+  return EvalNaive(e, db, EvalOptions{});
+}
+
+Result<Relation> EvalComplete(const RAExprPtr& e, const Database& db,
+                              const EvalOptions& options) {
   if (!db.IsComplete()) {
     return Status::InvalidArgument(
         "EvalComplete called on a database with nulls");
   }
-  return EvalNaive(e, db);
+  return EvalNaive(e, db, options);
+}
+
+Result<Relation> EvalComplete(const RAExprPtr& e, const Database& db) {
+  return EvalComplete(e, db, EvalOptions{});
 }
 
 }  // namespace incdb

@@ -6,25 +6,41 @@
 // roles. The paper's central positive results (Section 6) say exactly when
 // the naïve answer — with or without its null-free restriction — is the
 // right certain answer.
+//
+// Operator implementations are hash-indexed (engine/kernels.h): the
+// evaluator fuses σ_{col=col}(l × r) patterns — optionally under a π — into
+// a build/probe equi-join instead of materializing the product, and serves
+// −, ∩ and ÷ with O(1)-probe indexes. Pass EvalOptions{.stats = &s} to
+// collect per-operator counters, or .use_hash_kernels = false to force the
+// straightforward nested-loop implementations (the reference semantics the
+// kernels are tested against).
 
 #ifndef INCDB_ALGEBRA_EVAL_H_
 #define INCDB_ALGEBRA_EVAL_H_
 
 #include "algebra/ast.h"
 #include "core/database.h"
+#include "engine/stats.h"
 
 namespace incdb {
 
 /// Evaluates `e` on `db` treating nulls as values. Errors on ill-typed
 /// expressions (arity mismatches, unknown relations).
+Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db,
+                           const EvalOptions& options);
 Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db);
 
 /// Evaluates on a database required to be complete (checked).
+Result<Relation> EvalComplete(const RAExprPtr& e, const Database& db,
+                              const EvalOptions& options);
 Result<Relation> EvalComplete(const RAExprPtr& e, const Database& db);
 
 /// Division primitive: tuples t over the first arity(r)-arity(s) columns of
-/// `r` such that (t, s̄) ∈ r for every s̄ ∈ s. Exposed for tests.
-Relation DivideRelations(const Relation& r, const Relation& s);
+/// `r` such that (t, s̄) ∈ r for every s̄ ∈ s. Exposed for tests. Returns
+/// InvalidArgument (instead of aborting) when the arity constraint
+/// 0 < arity(s) < arity(r) is violated — reachable from user-supplied RA
+/// text through the shell.
+Result<Relation> DivideRelations(const Relation& r, const Relation& s);
 
 }  // namespace incdb
 

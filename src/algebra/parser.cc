@@ -21,8 +21,21 @@ class RAParser {
   }
 
  private:
+  // Every recursive cycle in the grammar passes through Expr() or (for
+  // predicates) PredNot(), so a shared depth counter at those two points
+  // bounds the parse stack: pathologically nested input — e.g. thousands of
+  // opening parens — fails with a parse error instead of overflowing.
+  static constexpr int kMaxDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) : d(depth) { ++d; }
+    ~DepthGuard() { --d; }
+    int& d;
+  };
+
   // expr := term (('U' | '-' | '&') term)*
   Result<RAExprPtr> Expr() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxDepth) return Err("expression nested too deeply");
     INCDB_ASSIGN_OR_RETURN(RAExprPtr lhs, TermExpr());
     for (;;) {
       SkipSpace();
@@ -122,6 +135,8 @@ class RAParser {
   }
 
   Result<PredicatePtr> PredNot() {
+    DepthGuard guard(depth_);
+    if (depth_ > kMaxDepth) return Err("predicate nested too deeply");
     if (AcceptWordCI("NOT")) {
       INCDB_ASSIGN_OR_RETURN(PredicatePtr p, PredNot());
       return Predicate::Not(p);
@@ -277,6 +292,7 @@ class RAParser {
 
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -30,17 +30,30 @@ void Relation::Add(Tuple t) {
   INCDB_CHECK_MSG(t.arity() == arity_, "tuple arity mismatch");
   tuples_.push_back(std::move(t));
   dirty_ = true;
+  index_.reset();
 }
 
 void Relation::AddAll(const Relation& other) {
   INCDB_CHECK_MSG(other.arity() == arity_, "relation arity mismatch");
   for (const Tuple& t : other.tuples()) tuples_.push_back(t);
   dirty_ = true;
+  index_.reset();
+}
+
+const std::unordered_set<Tuple, TupleHash>& Relation::HashIndex() const {
+  if (index_ == nullptr) {
+    // Built from the raw vector: duplicates collapse in the set, so the
+    // index does not require (or trigger) canonicalization.
+    auto idx = std::make_shared<std::unordered_set<Tuple, TupleHash>>();
+    idx->reserve(tuples_.size());
+    for (const Tuple& t : tuples_) idx->insert(t);
+    index_ = std::move(idx);
+  }
+  return *index_;
 }
 
 bool Relation::Contains(const Tuple& t) const {
-  EnsureCanonical();
-  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+  return HashIndex().count(t) > 0;
 }
 
 const std::vector<Tuple>& Relation::tuples() const {

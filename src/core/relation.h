@@ -4,12 +4,19 @@
 // mark the relation dirty and const accessors canonicalize on demand. This
 // makes set-equality, subset tests and iteration deterministic while keeping
 // bulk loads O(n log n).
+//
+// Membership is served by a lazily built hash-set index (expected O(1) per
+// probe). The index is an immutable snapshot shared across copies and
+// invalidated by mutation, so copying a relation never copies the index and
+// repeated probes against a stable relation build it exactly once.
 
 #ifndef INCDB_CORE_RELATION_H_
 #define INCDB_CORE_RELATION_H_
 
+#include <memory>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/tuple.h"
@@ -37,8 +44,12 @@ class Relation {
   /// Adds all tuples of `other` (arities must match).
   void AddAll(const Relation& other);
 
-  /// Membership test.
+  /// Membership test (expected O(1) via the hash index).
   bool Contains(const Tuple& t) const;
+
+  /// The hash-set view of the tuples. Built on first use, cached until the
+  /// next mutation; the returned reference is invalidated by mutation.
+  const std::unordered_set<Tuple, TupleHash>& HashIndex() const;
 
   /// Canonical (sorted, deduplicated) tuple list.
   const std::vector<Tuple>& tuples() const;
@@ -74,6 +85,8 @@ class Relation {
   size_t arity_;
   mutable std::vector<Tuple> tuples_;
   mutable bool dirty_ = false;
+  // Immutable membership snapshot; shared by copies, reset on mutation.
+  mutable std::shared_ptr<const std::unordered_set<Tuple, TupleHash>> index_;
 };
 
 }  // namespace incdb

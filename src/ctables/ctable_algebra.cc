@@ -1,6 +1,49 @@
 #include "ctables/ctable_algebra.h"
 
+#include <algorithm>
+#include <iterator>
+#include <unordered_map>
+
 namespace incdb {
+namespace {
+
+// Right-side rows of a diff/intersect, bucketed so a complete (null-free)
+// left tuple only visits the rows that can contribute a non-identity
+// condition: the bucket holding its exact tuple, plus every null-carrying
+// row. Candidates are replayed in original row order so the built condition
+// chains are structurally identical to the full nested loop.
+class RowIndex {
+ public:
+  explicit RowIndex(const CTable& r) {
+    const auto& rows = r.rows();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].tuple.HasNull()) {
+        null_rows_.push_back(i);
+      } else {
+        complete_[rows[i].tuple].push_back(i);
+      }
+    }
+  }
+
+  // Row indices relevant for left tuple `t`, in increasing order.
+  std::vector<size_t> CandidatesFor(const Tuple& t) const {
+    static const std::vector<size_t> kNone;
+    const std::vector<size_t>* exact = &kNone;
+    auto it = complete_.find(t);
+    if (it != complete_.end()) exact = &it->second;
+    std::vector<size_t> out;
+    out.reserve(exact->size() + null_rows_.size());
+    std::merge(exact->begin(), exact->end(), null_rows_.begin(),
+               null_rows_.end(), std::back_inserter(out));
+    return out;
+  }
+
+ private:
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> complete_;
+  std::vector<size_t> null_rows_;
+};
+
+}  // namespace
 
 ConditionPtr TuplesEqualCondition(const Tuple& t, const Tuple& s) {
   INCDB_CHECK(t.arity() == s.arity());
@@ -98,7 +141,8 @@ CTable ProjectCT(const std::vector<size_t>& cols, const CTable& in) {
   return out;
 }
 
-CTable ProductCT(const CTable& l, const CTable& r) {
+CTable ProductCT(const CTable& l, const CTable& r, EvalStats* stats) {
+  OpScope scope(stats, EvalOp::kCTableProduct);
   CTable out(l.arity() + r.arity());
   out.SetGlobalCondition(
       Condition::And(l.global_condition(), r.global_condition()));
@@ -108,6 +152,8 @@ CTable ProductCT(const CTable& l, const CTable& r) {
       if (!c->IsFalse()) out.AddRow(a.tuple.Concat(b.tuple), std::move(c));
     }
   }
+  scope.CountIn(l.rows().size() + r.rows().size());
+  scope.CountOut(out.rows().size());
   return out;
 }
 
@@ -123,49 +169,86 @@ Result<CTable> UnionCT(const CTable& l, const CTable& r) {
   return out;
 }
 
-Result<CTable> DiffCT(const CTable& l, const CTable& r) {
+Result<CTable> DiffCT(const CTable& l, const CTable& r, EvalStats* stats) {
   if (l.arity() != r.arity()) {
     return Status::InvalidArgument("c-table difference arity mismatch");
   }
+  OpScope scope(stats, EvalOp::kCTableDiff);
   CTable out(l.arity());
   out.SetGlobalCondition(
       Condition::And(l.global_condition(), r.global_condition()));
+  const RowIndex index(r);
+  uint64_t probes = 0;
   for (const CTableRow& a : l.rows()) {
     ConditionPtr c = a.condition;
-    for (const CTableRow& b : r.rows()) {
+    auto fold = [&](const CTableRow& b) {
       // a survives only if b is absent or differs from a.
       c = Condition::And(
           c, Condition::Not(Condition::And(
                  b.condition, TuplesEqualCondition(a.tuple, b.tuple))));
-      if (c->IsFalse()) break;
+      return !c->IsFalse();
+    };
+    if (a.tuple.HasNull()) {
+      for (const CTableRow& b : r.rows()) {
+        ++probes;
+        if (!fold(b)) break;
+      }
+    } else {
+      for (size_t i : index.CandidatesFor(a.tuple)) {
+        ++probes;
+        if (!fold(r.rows()[i])) break;
+      }
     }
     if (!c->IsFalse()) out.AddRow(a.tuple, std::move(c));
   }
+  scope.CountIn(l.rows().size() + r.rows().size());
+  scope.CountProbes(probes);
+  scope.CountOut(out.rows().size());
   return out;
 }
 
-Result<CTable> IntersectCT(const CTable& l, const CTable& r) {
+Result<CTable> IntersectCT(const CTable& l, const CTable& r,
+                           EvalStats* stats) {
   if (l.arity() != r.arity()) {
     return Status::InvalidArgument("c-table intersection arity mismatch");
   }
+  OpScope scope(stats, EvalOp::kCTableIntersect);
   CTable out(l.arity());
   out.SetGlobalCondition(
       Condition::And(l.global_condition(), r.global_condition()));
+  const RowIndex index(r);
+  uint64_t probes = 0;
   for (const CTableRow& a : l.rows()) {
     ConditionPtr any = Condition::False();
-    for (const CTableRow& b : r.rows()) {
+    auto fold = [&](const CTableRow& b) {
       any = Condition::Or(
           any, Condition::And(b.condition,
                               TuplesEqualCondition(a.tuple, b.tuple)));
-      if (any->IsTrue()) break;
+      return !any->IsTrue();
+    };
+    if (a.tuple.HasNull()) {
+      for (const CTableRow& b : r.rows()) {
+        ++probes;
+        if (!fold(b)) break;
+      }
+    } else {
+      for (size_t i : index.CandidatesFor(a.tuple)) {
+        ++probes;
+        if (!fold(r.rows()[i])) break;
+      }
     }
     ConditionPtr c = Condition::And(a.condition, std::move(any));
     if (!c->IsFalse()) out.AddRow(a.tuple, std::move(c));
   }
+  scope.CountIn(l.rows().size() + r.rows().size());
+  scope.CountProbes(probes);
+  scope.CountOut(out.rows().size());
   return out;
 }
 
-Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db) {
+Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db,
+                             const EvalOptions& options) {
+  EvalStats* stats = options.stats;
   INCDB_RETURN_IF_ERROR(e->InferArity(db.schema()).status());
   const RAExprPtr expanded = RAExpr::ExpandDivision(e, db.schema());
 
@@ -187,7 +270,7 @@ Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db) {
       case RAExpr::Kind::kProduct: {
         INCDB_ASSIGN_OR_RETURN(CTable l, rec(e->left()));
         INCDB_ASSIGN_OR_RETURN(CTable r, rec(e->right()));
-        return ProductCT(l, r);
+        return ProductCT(l, r, stats);
       }
       case RAExpr::Kind::kUnion: {
         INCDB_ASSIGN_OR_RETURN(CTable l, rec(e->left()));
@@ -197,12 +280,12 @@ Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db) {
       case RAExpr::Kind::kDiff: {
         INCDB_ASSIGN_OR_RETURN(CTable l, rec(e->left()));
         INCDB_ASSIGN_OR_RETURN(CTable r, rec(e->right()));
-        return DiffCT(l, r);
+        return DiffCT(l, r, stats);
       }
       case RAExpr::Kind::kIntersect: {
         INCDB_ASSIGN_OR_RETURN(CTable l, rec(e->left()));
         INCDB_ASSIGN_OR_RETURN(CTable r, rec(e->right()));
-        return IntersectCT(l, r);
+        return IntersectCT(l, r, stats);
       }
       case RAExpr::Kind::kDivide:
         return Status::Internal("division should have been expanded");
@@ -219,6 +302,10 @@ Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db) {
     return Status::Internal("unknown RA node kind");
   };
   return rec(expanded);
+}
+
+Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db) {
+  return EvalOnCTables(e, db, EvalOptions{});
 }
 
 }  // namespace incdb

@@ -16,12 +16,15 @@
 
 #include "algebra/ast.h"
 #include "ctables/ctable.h"
+#include "engine/stats.h"
 
 namespace incdb {
 
 /// Evaluates a relational algebra expression over a c-table database.
 /// Division is expanded to its σπ×− form first. Δ ranges over the active
 /// domain (constants and nulls) of the c-database.
+Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db,
+                             const EvalOptions& options);
 Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db);
 
 /// Converts a selection predicate applied to a (possibly null-carrying)
@@ -30,13 +33,19 @@ Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db);
 Result<ConditionPtr> PredicateToCondition(const PredicatePtr& pred,
                                           const Tuple& t);
 
-// Individual operators, exposed for tests.
+// Individual operators, exposed for tests. Difference and intersection hash
+// the right side's null-free rows by tuple so a complete left row only pairs
+// with its exact match plus the null-carrying rows; because the Condition
+// factories constant-fold, the skipped pairs would have contributed identity
+// conditions and the result is structurally unchanged.
 Result<CTable> SelectCT(const PredicatePtr& pred, const CTable& in);
 CTable ProjectCT(const std::vector<size_t>& cols, const CTable& in);
-CTable ProductCT(const CTable& l, const CTable& r);
+CTable ProductCT(const CTable& l, const CTable& r, EvalStats* stats = nullptr);
 Result<CTable> UnionCT(const CTable& l, const CTable& r);
-Result<CTable> DiffCT(const CTable& l, const CTable& r);
-Result<CTable> IntersectCT(const CTable& l, const CTable& r);
+Result<CTable> DiffCT(const CTable& l, const CTable& r,
+                      EvalStats* stats = nullptr);
+Result<CTable> IntersectCT(const CTable& l, const CTable& r,
+                           EvalStats* stats = nullptr);
 
 /// Condition "t = s" componentwise.
 ConditionPtr TuplesEqualCondition(const Tuple& t, const Tuple& s);

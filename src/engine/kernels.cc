@@ -1,0 +1,161 @@
+#include "engine/kernels.h"
+
+#include <unordered_map>
+
+namespace incdb {
+namespace {
+
+// Key of a tuple under a column list, hashed like a Tuple of the projected
+// values (without materializing the projection for probes).
+size_t HashColumns(const Tuple& t, const std::vector<size_t>& cols) {
+  size_t h = 0x345678;
+  for (size_t c : cols) {
+    h = h * 1000003 ^ t[c].Hash();
+  }
+  return h ^ cols.size();
+}
+
+bool ColumnsEqual(const Tuple& a, const std::vector<size_t>& a_cols,
+                  const Tuple& b, const std::vector<size_t>& b_cols) {
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    if (!(a[a_cols[i]] == b[b_cols[i]])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Relation HashJoin(const Relation& l, const Relation& r,
+                  const std::vector<JoinKey>& keys, const Predicate* residual,
+                  const std::vector<size_t>* projection, EvalStats* stats) {
+  OpScope scope(stats, EvalOp::kHashJoin);
+  const size_t out_arity =
+      projection != nullptr ? projection->size() : l.arity() + r.arity();
+  Relation out(out_arity);
+
+  std::vector<size_t> l_cols, r_cols;
+  l_cols.reserve(keys.size());
+  r_cols.reserve(keys.size());
+  for (const JoinKey& k : keys) {
+    l_cols.push_back(k.left_col);
+    r_cols.push_back(k.right_col);
+  }
+
+  // Build on the smaller side? The probe loop concatenates a ++ b in l-then-r
+  // order either way; build on r, probe with l (r is indexed once, matching
+  // the canonical "build the inner" plan).
+  const std::vector<Tuple>& build = r.tuples();
+  std::unordered_map<size_t, std::vector<const Tuple*>> table;
+  table.reserve(build.size());
+  for (const Tuple& b : build) {
+    table[HashColumns(b, r_cols)].push_back(&b);
+  }
+
+  scope.CountIn(l.tuples().size() + build.size());
+  uint64_t probes = 0;
+  uint64_t emitted = 0;
+  for (const Tuple& a : l.tuples()) {
+    ++probes;
+    auto it = table.find(HashColumns(a, l_cols));
+    if (it == table.end()) continue;
+    for (const Tuple* b : it->second) {
+      if (!ColumnsEqual(a, l_cols, *b, r_cols)) continue;  // hash collision
+      Tuple joined = a.Concat(*b);
+      if (residual != nullptr && !residual->EvalNaive(joined)) continue;
+      ++emitted;
+      if (projection != nullptr) {
+        out.Add(joined.Project(*projection));
+      } else {
+        out.Add(std::move(joined));
+      }
+    }
+  }
+  scope.CountProbes(probes);
+  scope.CountOut(emitted);
+  return out;
+}
+
+Relation HashDiff(const Relation& l, const Relation& r, EvalStats* stats) {
+  OpScope scope(stats, EvalOp::kDiff);
+  const auto& index = r.HashIndex();
+  Relation out(l.arity());
+  scope.CountIn(l.tuples().size() + r.tuples().size());
+  for (const Tuple& t : l.tuples()) {
+    if (index.count(t) == 0) out.Add(t);
+  }
+  scope.CountProbes(l.tuples().size());
+  scope.CountOut(out.tuples().size());
+  return out;
+}
+
+Relation HashIntersect(const Relation& l, const Relation& r,
+                       EvalStats* stats) {
+  OpScope scope(stats, EvalOp::kIntersect);
+  const auto& index = r.HashIndex();
+  Relation out(l.arity());
+  scope.CountIn(l.tuples().size() + r.tuples().size());
+  for (const Tuple& t : l.tuples()) {
+    if (index.count(t) > 0) out.Add(t);
+  }
+  scope.CountProbes(l.tuples().size());
+  scope.CountOut(out.tuples().size());
+  return out;
+}
+
+Result<Relation> HashDivide(const Relation& r, const Relation& s,
+                            EvalStats* stats) {
+  if (s.arity() == 0 || s.arity() >= r.arity()) {
+    return Status::InvalidArgument(
+        "division requires 0 < arity(divisor) < arity(dividend); got " +
+        std::to_string(s.arity()) + " and " + std::to_string(r.arity()));
+  }
+  OpScope scope(stats, EvalOp::kDivide);
+  const size_t m = r.arity() - s.arity();
+  std::vector<size_t> head_cols(m), tail_cols(s.arity()), s_cols(s.arity());
+  for (size_t i = 0; i < m; ++i) head_cols[i] = i;
+  for (size_t i = 0; i < s.arity(); ++i) tail_cols[i] = m + i;
+  for (size_t i = 0; i < s.arity(); ++i) s_cols[i] = i;
+
+  // Counting division, one pass over r. tuples() is canonical — sorted
+  // lexicographically and deduplicated — and the head is a tuple prefix, so
+  // all tuples sharing a head are contiguous and every (head, tail) pair
+  // occurs exactly once. Stream the head runs, probing each tail against a
+  // hash index of the divisor: a head divides s iff its run contains |s|
+  // divisor tails. No head table and no materialized projections on the way.
+  const std::vector<Tuple>& divisor = s.tuples();  // canonical: deduplicated
+  std::unordered_map<size_t, std::vector<const Tuple*>> divisor_index;
+  divisor_index.reserve(divisor.size());
+  for (const Tuple& d : divisor) {
+    divisor_index[HashColumns(d, s_cols)].push_back(&d);
+  }
+  scope.CountIn(r.tuples().size() + divisor.size());
+
+  const std::vector<Tuple>& rows = r.tuples();
+  Relation out(m);
+  uint64_t probes = 0;
+  size_t i = 0;
+  while (i < rows.size()) {
+    size_t matched = 0;
+    size_t j = i;
+    for (; j < rows.size() &&
+           ColumnsEqual(rows[j], head_cols, rows[i], head_cols);
+         ++j) {
+      ++probes;
+      auto it = divisor_index.find(HashColumns(rows[j], tail_cols));
+      if (it == divisor_index.end()) continue;
+      for (const Tuple* d : it->second) {
+        if (ColumnsEqual(rows[j], tail_cols, *d, s_cols)) {
+          ++matched;
+          break;
+        }
+      }
+    }
+    if (matched == divisor.size()) out.Add(rows[i].Project(head_cols));
+    i = j;
+  }
+  scope.CountProbes(probes);
+  scope.CountOut(out.tuples().size());
+  return out;
+}
+
+}  // namespace incdb

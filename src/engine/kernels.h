@@ -1,0 +1,67 @@
+// Hash-indexed evaluation kernels over core relations.
+//
+// These are the sub-quadratic operator implementations behind the naïve RA
+// evaluator (and, via Relation::HashIndex, the SQL layer): a build/probe
+// equi-join that replaces materializing σ_{col=col}(l × r), indexed set
+// difference/intersection, and a group-by-head division kernel. Each kernel
+// reports its probe counts through the optional EvalStats hook so callers
+// can confirm the work done is proportional to input + matches, not to the
+// cross product.
+//
+// Semantics are naïve throughout: marked nulls are ordinary values and join
+// syntactically (⊥_3 matches ⊥_3 only). Every kernel is property-tested
+// against the straightforward nested-loop reference implementation.
+
+#ifndef INCDB_ENGINE_KERNELS_H_
+#define INCDB_ENGINE_KERNELS_H_
+
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "core/relation.h"
+#include "engine/stats.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// One equi-join column pair: left column of the (virtual) concatenated
+/// tuple and right column *relative to the right relation*.
+struct JoinKey {
+  size_t left_col;
+  size_t right_col;
+};
+
+/// Build/probe hash equi-join: all tuples a ++ b with a ∈ l, b ∈ r,
+/// a[k.left_col] == b[k.right_col] for every key (syntactic equality —
+/// nulls are values), and `residual` (may be null: no further filter)
+/// holding on a ++ b. When `projection` is non-null the output tuple is
+/// (a ++ b).Project(*projection) — the π is fused into the emit and the
+/// concatenation is never materialized for non-matching pairs.
+///
+/// Expected cost O(|r| + |l| + matches); probes counted = |l|.
+Relation HashJoin(const Relation& l, const Relation& r,
+                  const std::vector<JoinKey>& keys, const Predicate* residual,
+                  const std::vector<size_t>* projection,
+                  EvalStats* stats = nullptr);
+
+/// l − r with O(1) membership probes against r's hash index.
+Relation HashDiff(const Relation& l, const Relation& r,
+                  EvalStats* stats = nullptr);
+
+/// l ∩ r with O(1) membership probes against r's hash index.
+Relation HashIntersect(const Relation& l, const Relation& r,
+                       EvalStats* stats = nullptr);
+
+/// r ÷ s by counting: the canonical (sorted) tuple order keeps each head's
+/// tuples contiguous, so one pass over r probes each tuple's tail against a
+/// hash index of the (deduplicated) divisor and a head divides s iff its
+/// run matched |s| tails. Validates the division arity constraint
+/// 0 < arity(s) < arity(r) instead of aborting.
+///
+/// Expected cost O(|r| + |s|); probes counted = |r|.
+Result<Relation> HashDivide(const Relation& r, const Relation& s,
+                            EvalStats* stats = nullptr);
+
+}  // namespace incdb
+
+#endif  // INCDB_ENGINE_KERNELS_H_

@@ -1,0 +1,131 @@
+#include "engine/query_engine.h"
+
+#include <utility>
+
+#include "algebra/certain.h"
+#include "algebra/eval.h"
+#include "algebra/eval_3vl.h"
+#include "algebra/parser.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "sql/rewrite.h"
+#include "sql/to_algebra.h"
+
+namespace incdb {
+
+const char* AnswerNotionName(AnswerNotion n) {
+  switch (n) {
+    case AnswerNotion::kNaive:
+      return "naive";
+    case AnswerNotion::k3VL:
+      return "3vl";
+    case AnswerNotion::kMaybe:
+      return "maybe";
+    case AnswerNotion::kCertainNaive:
+      return "certain-naive";
+    case AnswerNotion::kCertainEnum:
+      return "certain-enum";
+    case AnswerNotion::kCertainObject:
+      return "certain-object";
+    case AnswerNotion::kPossible:
+      return "possible";
+  }
+  return "?";
+}
+
+Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
+  const int inputs = (request.ra_text.empty() ? 0 : 1) +
+                     (request.sql_text.empty() ? 0 : 1) +
+                     (request.ra != nullptr ? 1 : 0) +
+                     (request.sql != nullptr ? 1 : 0);
+  if (inputs != 1) {
+    return Status::InvalidArgument(
+        "QueryRequest must carry exactly one of ra_text, sql_text, ra, sql; "
+        "got " +
+        std::to_string(inputs));
+  }
+
+  QueryResponse resp;
+  // Collect stats locally so the response always carries them; a caller-
+  // provided sink receives a merged copy at the end.
+  EvalOptions opts = request.eval;
+  opts.stats = &resp.stats;
+
+  RAExprPtr ra = request.ra;
+  SqlQuery parsed_sql;
+  const SqlQuery* sql = request.sql != nullptr ? request.sql.get() : nullptr;
+  if (!request.ra_text.empty()) {
+    INCDB_ASSIGN_OR_RETURN(ra, ParseRA(request.ra_text));
+  }
+  if (!request.sql_text.empty()) {
+    INCDB_ASSIGN_OR_RETURN(parsed_sql, ParseSql(request.sql_text));
+    sql = &parsed_sql;
+  }
+
+  // Classify via the RA form; for SQL input, through the (partial) RA
+  // translation when the query falls in its fragment.
+  RAExprPtr ra_view = ra;
+  if (ra_view == nullptr && sql != nullptr) {
+    auto translated = SqlToAlgebra(*sql, db_.schema());
+    if (translated.ok()) ra_view = *std::move(translated);
+  }
+  if (ra_view != nullptr) {
+    resp.fragment = Classify(ra_view);
+    resp.naive_guarantee = NaiveEvaluationWorks(ra_view, request.semantics);
+  }
+
+  auto finish = [&](Result<Relation> r) -> Result<QueryResponse> {
+    INCDB_ASSIGN_OR_RETURN(resp.relation, std::move(r));
+    if (request.eval.stats != nullptr) request.eval.stats->Merge(resp.stats);
+    return resp;
+  };
+
+  if (sql != nullptr) {
+    switch (request.notion) {
+      case AnswerNotion::kNaive:
+        return finish(EvalSql(*sql, db_, SqlEvalMode::kNaive, opts));
+      case AnswerNotion::k3VL:
+        return finish(EvalSql(*sql, db_, SqlEvalMode::kSql3VL, opts));
+      case AnswerNotion::kMaybe:
+        return finish(EvalSql(*sql, db_, SqlEvalMode::kSqlMaybe, opts));
+      case AnswerNotion::kCertainNaive:
+        return finish(EvalSqlCertain(*sql, db_, request.force, opts));
+      case AnswerNotion::kCertainObject:
+        // certainO(Q, D) = Q(D) naïvely, nulls retained (eq. (9)).
+        return finish(EvalSql(*sql, db_, SqlEvalMode::kNaive, opts));
+      case AnswerNotion::kCertainEnum:
+      case AnswerNotion::kPossible:
+        // Enumeration runs on the RA translation; surface its error if the
+        // query has none.
+        if (ra_view == nullptr) {
+          INCDB_ASSIGN_OR_RETURN(ra_view, SqlToAlgebra(*sql, db_.schema()));
+        }
+        ra = ra_view;
+        break;
+    }
+  }
+
+  switch (request.notion) {
+    case AnswerNotion::kNaive:
+      return finish(EvalNaive(ra, db_, opts));
+    case AnswerNotion::k3VL:
+      return finish(Eval3VL(ra, db_));
+    case AnswerNotion::kMaybe:
+      return Status::Unsupported(
+          "maybe answers (Codd's MAYBE operator) are defined on SQL queries; "
+          "provide sql or sql_text");
+    case AnswerNotion::kCertainNaive:
+      return finish(CertainAnswersNaive(ra, db_, request.semantics,
+                                        request.force, opts));
+    case AnswerNotion::kCertainEnum:
+      return finish(CertainAnswersEnum(ra, db_, request.semantics,
+                                       request.world_options, opts));
+    case AnswerNotion::kCertainObject:
+      return finish(CertainObjectNaive(ra, db_, opts));
+    case AnswerNotion::kPossible:
+      return finish(PossibleAnswersEnum(ra, db_, request.world_options, opts));
+  }
+  return Status::Internal("unknown answer notion");
+}
+
+}  // namespace incdb

@@ -1,0 +1,98 @@
+// QueryEngine: the single entry point for answering a query over an
+// incomplete database.
+//
+// The library exposes many free functions — naïve/3VL/SQL evaluation,
+// certain answers by rewriting or by world enumeration, possible answers —
+// each with its own signature and applicability conditions. QueryEngine
+// bundles them behind one call: a QueryRequest names the query (in any of
+// four input forms), the *answer notion* wanted, and the world semantics;
+// Run picks the right evaluator, classifies the query into the paper's
+// fragments, and reports per-operator EvalStats alongside the answer. The
+// free functions remain available; the engine is a facade, not a
+// replacement.
+
+#ifndef INCDB_ENGINE_QUERY_ENGINE_H_
+#define INCDB_ENGINE_QUERY_ENGINE_H_
+
+#include <optional>
+#include <string>
+
+#include "algebra/ast.h"
+#include "algebra/classify.h"
+#include "core/database.h"
+#include "core/possible_worlds.h"
+#include "engine/stats.h"
+#include "sql/ast.h"
+
+namespace incdb {
+
+/// What "the answer" to a query over incomplete data means.
+enum class AnswerNotion {
+  kNaive = 0,      ///< naïve evaluation: marked nulls as ordinary values
+  k3VL,            ///< SQL's three-valued logic (what a SQL engine returns)
+  kMaybe,          ///< Codd's MAYBE: rows whose condition is UNKNOWN (SQL only)
+  kCertainNaive,   ///< certain answers via naïve eval + null-row filtering,
+                   ///< guarded by the paper's fragment check (see `force`)
+  kCertainEnum,    ///< ground-truth certain answers by world enumeration
+  kCertainObject,  ///< certainO(Q,D) = Q(D): the certain answer as an object
+  kPossible,       ///< possible answers: union over CWA worlds
+};
+
+/// Printable notion name ("naive", "certain-naive", ...).
+const char* AnswerNotionName(AnswerNotion n);
+
+/// One query to answer. Exactly one of the four input fields must be set:
+/// RA or SQL, as text to parse or as a pre-built AST.
+struct QueryRequest {
+  std::string ra_text;   ///< RA concrete syntax for algebra/parser.h
+  std::string sql_text;  ///< SQL text for sql/parser.h
+  RAExprPtr ra;          ///< pre-built RA expression
+  SqlQueryPtr sql;       ///< pre-built SQL query
+
+  AnswerNotion notion = AnswerNotion::kNaive;
+  /// World semantics for the certain-answer notions.
+  WorldSemantics semantics = WorldSemantics::kClosedWorld;
+  /// Evaluate kCertainNaive outside its guaranteed fragment (the result then
+  /// carries no certainty guarantee — useful for measuring the gap).
+  bool force = false;
+  /// Enumeration bounds for kCertainEnum / kPossible.
+  WorldEnumOptions world_options;
+  /// Stats hook and kernel toggles, threaded through every evaluator.
+  EvalOptions eval;
+};
+
+/// The answer plus what the engine learned about the query.
+struct QueryResponse {
+  Relation relation;
+  /// Fragment of the RA form of the query (unset when the SQL query has no
+  /// RA translation — e.g. aggregates or correlated subqueries).
+  std::optional<QueryClass> fragment;
+  /// Whether naïve evaluation computes certain answers for this query under
+  /// the requested semantics (equation (4) of the paper).
+  bool naive_guarantee = false;
+  /// Per-operator counters for this run (always collected).
+  EvalStats stats;
+};
+
+/// Facade over the evaluators. Holds a reference to the database; the
+/// database must outlive the engine.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Database& db) : db_(db) {}
+
+  /// Answers one request. Errors: InvalidArgument for malformed requests
+  /// (wrong input count, bad division arity, ...), kUnsupported when the
+  /// requested notion is not defined or not guaranteed for the query (e.g.
+  /// kCertainNaive outside the fragment without `force`, kMaybe on RA
+  /// input), parse errors from the respective parsers.
+  Result<QueryResponse> Run(const QueryRequest& request) const;
+
+  const Database& db() const { return db_; }
+
+ private:
+  const Database& db_;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,136 @@
+// Per-operator evaluation instrumentation.
+//
+// Every evaluator (naïve RA, SQL, c-tables, the certain-answer drivers)
+// accepts an optional EvalOptions whose `stats` pointer, when set, receives
+// per-operator counters: invocations, tuples in/out, hash probes, and
+// self wall time (the operator's own loop work, excluding its children).
+// Counting is off by default and costs nothing when disabled.
+//
+// The probe counters are the observable evidence that the hash kernels do
+// sub-quadratic work: a hash join reports one probe per build-side lookup
+// instead of |L|·|R| pair inspections, and indexed division reports
+// |heads|·|S| probes instead of |heads|·|S| scans of R.
+
+#ifndef INCDB_ENGINE_STATS_H_
+#define INCDB_ENGINE_STATS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace incdb {
+
+/// Operators instrumented across the evaluators.
+enum class EvalOp {
+  kScan = 0,        ///< base-relation access (naïve RA)
+  kSelect,          ///< σ (unfused)
+  kProject,         ///< π
+  kProduct,         ///< × (unfused — no usable equi-join key)
+  kHashJoin,        ///< fused σ_{eq}(l × r) build/probe kernel
+  kUnion,           ///< ∪
+  kDiff,            ///< − (hash-indexed probe per left tuple)
+  kIntersect,       ///< ∩ (hash-indexed probe per left tuple)
+  kDivide,          ///< ÷ (group-by-head index)
+  kDelta,           ///< Δ
+  kSqlBlock,        ///< one SELECT block (FROM loop; probes = index probes)
+  kCTableProduct,   ///< c-table ×
+  kCTableDiff,      ///< c-table − (indexed by ground tuple)
+  kCTableIntersect, ///< c-table ∩ (indexed by ground tuple)
+};
+
+inline constexpr size_t kNumEvalOps = 14;
+
+/// Printable operator name ("hash-join", "divide", ...).
+const char* EvalOpName(EvalOp op);
+
+/// Counters for one operator.
+struct OpCounters {
+  uint64_t calls = 0;       ///< operator invocations
+  uint64_t tuples_in = 0;   ///< input tuples consumed (sum over children)
+  uint64_t tuples_out = 0;  ///< output tuples produced (pre-dedup)
+  uint64_t probes = 0;      ///< hash-table lookups performed
+  uint64_t nanos = 0;       ///< self wall time (children excluded)
+
+  void Merge(const OpCounters& o) {
+    calls += o.calls;
+    tuples_in += o.tuples_in;
+    tuples_out += o.tuples_out;
+    probes += o.probes;
+    nanos += o.nanos;
+  }
+};
+
+/// Per-operator counters for one (or several merged) evaluations.
+class EvalStats {
+ public:
+  OpCounters& at(EvalOp op) { return ops_[static_cast<size_t>(op)]; }
+  const OpCounters& at(EvalOp op) const {
+    return ops_[static_cast<size_t>(op)];
+  }
+
+  void Merge(const EvalStats& o) {
+    for (size_t i = 0; i < kNumEvalOps; ++i) ops_[i].Merge(o.ops_[i]);
+  }
+  void Reset() { *this = EvalStats(); }
+
+  uint64_t TotalProbes() const;
+  uint64_t TotalTuplesIn() const;
+  uint64_t TotalTuplesOut() const;
+  uint64_t TotalNanos() const;
+
+  /// Multi-line table of the operators with non-zero counters.
+  std::string ToString() const;
+
+ private:
+  std::array<OpCounters, kNumEvalOps> ops_{};
+};
+
+/// Options threaded through every evaluator.
+struct EvalOptions {
+  /// When non-null, per-operator counters are accumulated here.
+  EvalStats* stats = nullptr;
+  /// When false, evaluators use their straightforward nested-loop
+  /// implementations (the reference semantics the kernels are property-
+  /// tested against).
+  bool use_hash_kernels = true;
+};
+
+/// RAII scope that attributes wall time and counters to one operator.
+/// All methods are no-ops when constructed with a null EvalStats.
+class OpScope {
+ public:
+  OpScope(EvalStats* stats, EvalOp op) : stats_(stats), op_(op) {
+    if (stats_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~OpScope() {
+    if (stats_ == nullptr) return;
+    OpCounters& c = stats_->at(op_);
+    c.calls += 1;
+    c.tuples_in += in_;
+    c.tuples_out += out_;
+    c.probes += probes_;
+    c.nanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  void CountIn(uint64_t n) { in_ += n; }
+  void CountOut(uint64_t n) { out_ += n; }
+  void CountProbes(uint64_t n) { probes_ += n; }
+
+ private:
+  EvalStats* stats_;
+  EvalOp op_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t in_ = 0;
+  uint64_t out_ = 0;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace incdb
+
+#endif  // INCDB_ENGINE_STATS_H_

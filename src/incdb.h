@@ -50,6 +50,9 @@
 #include "ctables/ctable.h"
 #include "ctables/ctable_algebra.h"
 #include "cqa/repairs.h"
+#include "engine/kernels.h"
+#include "engine/query_engine.h"
+#include "engine/stats.h"
 #include "exchange/chase.h"
 #include "exchange/general_chase.h"
 #include "exchange/mapping.h"

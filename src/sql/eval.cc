@@ -1,8 +1,11 @@
 #include "sql/eval.h"
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "sql/parser.h"
 
@@ -19,9 +22,173 @@ struct ScopeEntry {
 // Stack of rows visible to the condition being evaluated; inner-most last.
 using Scope = std::vector<ScopeEntry>;
 
+bool EqualsIgnoreCaseAlias(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Conjunct pushdown planning ---------------------------------------------
+//
+// The FROM clause runs as a nested loop. Before running it we statically
+// resolve the AND-spine comparisons of the WHERE clause against the final
+// scope layout (outer rows, then one entry per FROM table; innermost entry
+// and alias qualifier win — exactly the rules Operand applies at runtime). A
+// comparison whose operands are all literals or resolved columns is checked
+// as soon as its last column is bound, pruning the loop early; an equality
+// between a column of the table being bound and an already-available value
+// instead probes a per-column hash index so only matching tuples are
+// enumerated at all. Pruning is conservative: surviving rows still evaluate
+// the full WHERE at the leaf, so the kept rows (and their semantics) are
+// identical to the unoptimized loop. In MAYBE mode rows are kept on UNKNOWN,
+// so only FALSE comparisons prune and the equality index (which enumerates
+// TRUE matches) is disabled.
+
+// An operand resolved at plan time: a literal, or (scope index, column).
+struct StaticOperand {
+  bool is_literal = false;
+  Value literal;
+  size_t scope_index = 0;
+  size_t col = 0;
+};
+
+// A comparison whose operands resolved statically, attached to the FROM
+// depth at which it becomes evaluable.
+struct PushedCmp {
+  SqlCmpOp op = SqlCmpOp::kEq;
+  StaticOperand lhs;
+  StaticOperand rhs;
+};
+
+// An equality turned into an index probe: enumerate only the tuples of the
+// table bound at this depth whose `col` equals the (already available)
+// `other` operand.
+struct EquiProbe {
+  bool active = false;
+  size_t col = 0;
+  StaticOperand other;
+};
+
+struct FromPlan {
+  std::vector<std::vector<PushedCmp>> checks;  // by FROM depth
+  std::vector<EquiProbe> equi;                 // by FROM depth
+};
+
+void FlattenSqlAnd(const SqlCondition& c,
+                   std::vector<const SqlCondition*>* out) {
+  if (c.kind == SqlCondition::Kind::kAnd) {
+    FlattenSqlAnd(*c.left, out);
+    FlattenSqlAnd(*c.right, out);
+    return;
+  }
+  out->push_back(&c);
+}
+
+// Mirror of Operand's runtime resolution against the final scope layout.
+// Returns false when the operand is not statically resolvable (including the
+// qualified-alias-without-column case, which errors at runtime) — such
+// comparisons are left to the leaf WHERE evaluation.
+bool ResolveStatic(const SqlOperand& o, const Scope& scope, size_t base,
+                   const SqlSelect& sel,
+                   const std::vector<const RelationDecl*>& decls,
+                   StaticOperand* out) {
+  if (o.kind == SqlOperand::Kind::kLiteral) {
+    out->is_literal = true;
+    out->literal = o.literal;
+    return true;
+  }
+  if (o.kind != SqlOperand::Kind::kColumn) return false;
+  for (size_t i = sel.from.size(); i-- > 0;) {
+    if (!o.table.empty() &&
+        !EqualsIgnoreCaseAlias(sel.from[i].alias, o.table)) {
+      continue;
+    }
+    const auto& attrs = decls[i]->attributes;
+    for (size_t c = 0; c < attrs.size(); ++c) {
+      if (EqualsIgnoreCaseAlias(attrs[c], o.column)) {
+        out->is_literal = false;
+        out->scope_index = base + i;
+        out->col = c;
+        return true;
+      }
+    }
+    if (!o.table.empty()) return false;
+  }
+  for (size_t i = base; i-- > 0;) {
+    if (!o.table.empty() && !EqualsIgnoreCaseAlias(scope[i].alias, o.table)) {
+      continue;
+    }
+    const auto& attrs = scope[i].decl->attributes;
+    for (size_t c = 0; c < attrs.size(); ++c) {
+      if (EqualsIgnoreCaseAlias(attrs[c], o.column)) {
+        out->is_literal = false;
+        out->scope_index = i;
+        out->col = c;
+        return true;
+      }
+    }
+    if (!o.table.empty()) return false;
+  }
+  return false;
+}
+
+FromPlan PlanFrom(const SqlSelect& sel, const Scope& scope, size_t base,
+                  const std::vector<const RelationDecl*>& decls,
+                  bool allow_equi) {
+  FromPlan plan;
+  const size_t n = sel.from.size();
+  plan.checks.resize(n);
+  plan.equi.resize(n);
+  if (n == 0 || sel.where == nullptr) return plan;
+
+  std::vector<const SqlCondition*> conjuncts;
+  FlattenSqlAnd(*sel.where, &conjuncts);
+  for (const SqlCondition* c : conjuncts) {
+    if (c->kind != SqlCondition::Kind::kCmp) continue;
+    StaticOperand lhs, rhs;
+    if (!ResolveStatic(c->lhs, scope, base, sel, decls, &lhs)) continue;
+    if (!ResolveStatic(c->rhs, scope, base, sel, decls, &rhs)) continue;
+    auto depth_of = [&](const StaticOperand& so) -> size_t {
+      if (so.is_literal || so.scope_index < base) return 0;
+      return so.scope_index - base;
+    };
+    auto bound_at = [&](const StaticOperand& so, size_t d) {
+      return !so.is_literal && so.scope_index == base + d;
+    };
+    const size_t depth = std::max(depth_of(lhs), depth_of(rhs));
+    if (allow_equi && c->op == SqlCmpOp::kEq && !plan.equi[depth].active) {
+      const StaticOperand* here = nullptr;
+      const StaticOperand* other = nullptr;
+      if (bound_at(lhs, depth) && !bound_at(rhs, depth)) {
+        here = &lhs;
+        other = &rhs;
+      } else if (bound_at(rhs, depth) && !bound_at(lhs, depth)) {
+        here = &rhs;
+        other = &lhs;
+      }
+      if (here != nullptr) {
+        plan.equi[depth] = EquiProbe{true, here->col, *other};
+        continue;
+      }
+    }
+    plan.checks[depth].push_back(PushedCmp{c->op, lhs, rhs});
+  }
+  return plan;
+}
+
+Value StaticValue(const StaticOperand& so, const Scope& scope) {
+  return so.is_literal ? so.literal : (*scope[so.scope_index].tuple)[so.col];
+}
+
 class Evaluator {
  public:
-  Evaluator(const Database& db, SqlEvalMode mode) : db_(db), mode_(mode) {}
+  Evaluator(const Database& db, SqlEvalMode mode, const EvalOptions& options)
+      : db_(db), mode_(mode), options_(options), stats_(options.stats) {}
 
   Result<Relation> Query(const SqlQuery& q, const Scope& outer) {
     Relation out(0);
@@ -71,7 +238,11 @@ class Evaluator {
     }
     Relation out(arity);
 
-    // Nested-loop over the FROM product.
+    OpScope block(stats_, EvalOp::kSqlBlock);
+    uint64_t in = 0;
+    for (const Relation* r : rels) in += r->size();
+    block.CountIn(in);
+
     Scope scope = outer;
     const size_t base = scope.size();
     scope.resize(base + sel.from.size());
@@ -83,39 +254,92 @@ class Evaluator {
         mode_ == SqlEvalMode::kSqlMaybe && !in_subquery_;
     const TruthValue wanted =
         maybe_here ? TruthValue::kUnknown : TruthValue::kTrue;
+    auto leaf = [&]() -> Status {
+      if (sel.where != nullptr) {
+        INCDB_ASSIGN_OR_RETURN(TruthValue tv, Cond(*sel.where, scope));
+        if (tv != wanted) return Status::OK();
+      } else if (maybe_here) {
+        return Status::OK();
+      }
+      // Emit the row.
+      std::vector<Value> vals;
+      vals.reserve(arity);
+      if (sel.select_star) {
+        for (size_t i = base; i < scope.size(); ++i) {
+          for (const Value& v : scope[i].tuple->values()) vals.push_back(v);
+        }
+      } else {
+        for (const SqlSelectItem& item : sel.items) {
+          INCDB_ASSIGN_OR_RETURN(Value v, Operand(item.operand, scope));
+          vals.push_back(std::move(v));
+        }
+      }
+      out.Add(Tuple(std::move(vals)));
+      return Status::OK();
+    };
+    INCDB_RETURN_IF_ERROR(
+        EnumerateFrom(sel, decls, rels, &scope, base, maybe_here, &block,
+                      leaf));
+    block.CountOut(out.size());
+    return out;
+  }
+
+  // Runs the FROM nested loop with pushdown pruning (see the planning block
+  // above), invoking `leaf` with all rows bound. `maybe_here` selects
+  // FALSE-only pruning.
+  Status EnumerateFrom(const SqlSelect& sel,
+                       const std::vector<const RelationDecl*>& decls,
+                       const std::vector<const Relation*>& rels, Scope* scope,
+                       size_t base, bool maybe_here,
+                       OpScope* block,
+                       const std::function<Status()>& leaf) {
+    const size_t n = sel.from.size();
+    FromPlan plan;
+    if (options_.use_hash_kernels) {
+      plan = PlanFrom(sel, *scope, base, decls, /*allow_equi=*/!maybe_here);
+    } else {
+      plan.checks.resize(n);
+      plan.equi.resize(n);
+    }
+    uint64_t probes = 0;
     std::function<Status(size_t)> rec = [&](size_t idx) -> Status {
-      if (idx == sel.from.size()) {
-        if (sel.where != nullptr) {
-          INCDB_ASSIGN_OR_RETURN(TruthValue tv, Cond(*sel.where, scope));
-          if (tv != wanted) return Status::OK();
-        } else if (maybe_here) {
+      if (idx == n) return leaf();
+      auto descend = [&](const Tuple& t) -> Status {
+        (*scope)[base + idx] = ScopeEntry{sel.from[idx].alias, decls[idx], &t};
+        for (const PushedCmp& pc : plan.checks[idx]) {
+          // Statically resolved operands cannot fail to evaluate.
+          INCDB_ASSIGN_OR_RETURN(
+              TruthValue tv, Compare(pc.op, StaticValue(pc.lhs, *scope),
+                                     StaticValue(pc.rhs, *scope)));
+          if (maybe_here ? tv == TruthValue::kFalse
+                         : tv != TruthValue::kTrue) {
+            return Status::OK();
+          }
+        }
+        return rec(idx + 1);
+      };
+      if (plan.equi[idx].active) {
+        const EquiProbe& ep = plan.equi[idx];
+        const Value probe = StaticValue(ep.other, *scope);
+        ++probes;
+        // In 3VL a NULL probe never compares TRUE: no candidates at all.
+        if (mode_ != SqlEvalMode::kNaive && probe.is_null()) {
           return Status::OK();
         }
-        // Emit the row.
-        std::vector<Value> vals;
-        vals.reserve(arity);
-        if (sel.select_star) {
-          for (size_t i = base; i < scope.size(); ++i) {
-            for (const Value& v : scope[i].tuple->values()) vals.push_back(v);
-          }
-        } else {
-          for (const SqlSelectItem& item : sel.items) {
-            INCDB_ASSIGN_OR_RETURN(Value v, Operand(item.operand, scope));
-            vals.push_back(std::move(v));
-          }
-        }
-        out.Add(Tuple(std::move(vals)));
+        const ColumnIndex& index = ColumnIndexFor(rels[idx], ep.col);
+        auto it = index.find(probe);
+        if (it == index.end()) return Status::OK();
+        for (const Tuple* t : it->second) INCDB_RETURN_IF_ERROR(descend(*t));
         return Status::OK();
       }
       for (const Tuple& t : rels[idx]->tuples()) {
-        scope[base + idx] =
-            ScopeEntry{sel.from[idx].alias, decls[idx], &t};
-        INCDB_RETURN_IF_ERROR(rec(idx + 1));
+        INCDB_RETURN_IF_ERROR(descend(t));
       }
       return Status::OK();
     };
-    INCDB_RETURN_IF_ERROR(rec(0));
-    return out;
+    Status st = rec(0);
+    block->CountProbes(probes);
+    return st;
   }
 
   // --- Aggregation ---
@@ -274,35 +498,36 @@ class Evaluator {
     const size_t base = scope.size();
     scope.resize(base + sel.from.size());
 
-    std::function<Status(size_t)> rec = [&](size_t idx) -> Status {
-      if (idx == sel.from.size()) {
-        if (sel.where != nullptr) {
-          INCDB_ASSIGN_OR_RETURN(TruthValue tv, Cond(*sel.where, scope));
-          if (tv != TruthValue::kTrue) return Status::OK();
-        }
-        typename RowVec::value_type row;
-        for (const SqlOperand& g : sel.group_by) {
-          INCDB_ASSIGN_OR_RETURN(Value v, Operand(g, scope));
-          row.key.push_back(std::move(v));
-        }
-        for (const SqlSelectItem& item : sel.items) {
-          if (item.agg == AggFunc::kCountStar) {
-            row.inputs.push_back(Value::Int(0));  // placeholder
-          } else {
-            INCDB_ASSIGN_OR_RETURN(Value v, Operand(item.operand, scope));
-            row.inputs.push_back(std::move(v));
-          }
-        }
-        rows->push_back(std::move(row));
-        return Status::OK();
+    OpScope block(stats_, EvalOp::kSqlBlock);
+    uint64_t in = 0;
+    for (const Relation* r : rels) in += r->size();
+    block.CountIn(in);
+
+    auto leaf = [&]() -> Status {
+      if (sel.where != nullptr) {
+        INCDB_ASSIGN_OR_RETURN(TruthValue tv, Cond(*sel.where, scope));
+        if (tv != TruthValue::kTrue) return Status::OK();
       }
-      for (const Tuple& t : rels[idx]->tuples()) {
-        scope[base + idx] = ScopeEntry{sel.from[idx].alias, decls[idx], &t};
-        INCDB_RETURN_IF_ERROR(rec(idx + 1));
+      typename RowVec::value_type row;
+      for (const SqlOperand& g : sel.group_by) {
+        INCDB_ASSIGN_OR_RETURN(Value v, Operand(g, scope));
+        row.key.push_back(std::move(v));
       }
+      for (const SqlSelectItem& item : sel.items) {
+        if (item.agg == AggFunc::kCountStar) {
+          row.inputs.push_back(Value::Int(0));  // placeholder
+        } else {
+          INCDB_ASSIGN_OR_RETURN(Value v, Operand(item.operand, scope));
+          row.inputs.push_back(std::move(v));
+        }
+      }
+      rows->push_back(std::move(row));
       return Status::OK();
     };
-    return rec(0);
+    INCDB_RETURN_IF_ERROR(EnumerateFrom(sel, decls, rels, &scope, base,
+                                        /*maybe_here=*/false, &block, leaf));
+    block.CountOut(rows->size());
+    return Status::OK();
   }
 
   Result<Value> Operand(const SqlOperand& o, const Scope& scope) {
@@ -324,18 +549,6 @@ class Evaluator {
       }
     }
     return Status::NotFound("unresolved column " + o.ToString());
-  }
-
-  static bool EqualsIgnoreCaseAlias(const std::string& a,
-                                    const std::string& b) {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (std::tolower(static_cast<unsigned char>(a[i])) !=
-          std::tolower(static_cast<unsigned char>(b[i]))) {
-        return false;
-      }
-    }
-    return true;
   }
 
   Result<TruthValue> Compare(SqlCmpOp op, const Value& a, const Value& b) {
@@ -446,25 +659,53 @@ class Evaluator {
     return restore(Query(q, scope));
   }
 
+  // A per-column hash index over a relation's canonical tuples, built once
+  // per evaluator and shared by every probe (correlated subqueries re-probe
+  // the same index for each outer row).
+  using ColumnIndex =
+      std::unordered_map<Value, std::vector<const Tuple*>, ValueHash>;
+
+  const ColumnIndex& ColumnIndexFor(const Relation* rel, size_t col) {
+    const auto key = std::make_pair(rel, col);
+    auto it = column_indexes_.find(key);
+    if (it != column_indexes_.end()) return it->second;
+    ColumnIndex index;
+    for (const Tuple& t : rel->tuples()) index[t[col]].push_back(&t);
+    return column_indexes_.emplace(key, std::move(index)).first->second;
+  }
+
   const Database& db_;
   SqlEvalMode mode_;
+  EvalOptions options_;
+  EvalStats* stats_;
   bool in_subquery_ = false;
   std::map<const SqlQuery*, Relation> uncorrelated_cache_;
   std::set<const SqlQuery*> correlated_;
+  std::map<std::pair<const Relation*, size_t>, ColumnIndex> column_indexes_;
 };
 
 }  // namespace
 
 Result<Relation> EvalSql(const SqlQuery& q, const Database& db,
-                         SqlEvalMode mode) {
-  Evaluator ev(db, mode);
+                         SqlEvalMode mode, const EvalOptions& options) {
+  Evaluator ev(db, mode, options);
   return ev.Query(q, Scope{});
+}
+
+Result<Relation> EvalSql(const SqlQuery& q, const Database& db,
+                         SqlEvalMode mode) {
+  return EvalSql(q, db, mode, EvalOptions{});
+}
+
+Result<Relation> EvalSql(const std::string& sql, const Database& db,
+                         SqlEvalMode mode, const EvalOptions& options) {
+  INCDB_ASSIGN_OR_RETURN(SqlQuery q, ParseSql(sql));
+  return EvalSql(q, db, mode, options);
 }
 
 Result<Relation> EvalSql(const std::string& sql, const Database& db,
                          SqlEvalMode mode) {
-  INCDB_ASSIGN_OR_RETURN(SqlQuery q, ParseSql(sql));
-  return EvalSql(q, db, mode);
+  return EvalSql(sql, db, mode, EvalOptions{});
 }
 
 }  // namespace incdb

@@ -17,6 +17,7 @@
 
 #include "algebra/predicate.h"  // TruthValue
 #include "core/database.h"
+#include "engine/stats.h"
 #include "sql/ast.h"
 
 namespace incdb {
@@ -29,11 +30,19 @@ enum class SqlEvalMode {
 };
 
 /// Evaluates a query; output columns follow the SELECT list (or the
-/// concatenation of FROM-table columns for SELECT *).
+/// concatenation of FROM-table columns for SELECT *). The evaluator pushes
+/// statically-resolvable WHERE conjuncts into the FROM nested loop and
+/// serves pushed equalities from per-column hash indexes (disable with
+/// EvalOptions::use_hash_kernels = false); surviving rows still evaluate the
+/// full WHERE clause, so the answer is identical either way.
+Result<Relation> EvalSql(const SqlQuery& q, const Database& db,
+                         SqlEvalMode mode, const EvalOptions& options);
 Result<Relation> EvalSql(const SqlQuery& q, const Database& db,
                          SqlEvalMode mode);
 
 /// Convenience: parse-and-evaluate.
+Result<Relation> EvalSql(const std::string& sql, const Database& db,
+                         SqlEvalMode mode, const EvalOptions& options);
 Result<Relation> EvalSql(const std::string& sql, const Database& db,
                          SqlEvalMode mode);
 

@@ -81,13 +81,14 @@ Result<SqlQuery> RewriteWithNotNullFilters(const SqlQuery& q) {
 }
 
 Result<Relation> EvalSqlCertain(const SqlQuery& q, const Database& db,
-                                bool force) {
+                                bool force, const EvalOptions& options) {
   if (!force && !IsPositiveSqlQuery(q)) {
     return Status::Unsupported(
         "certain-answer evaluation requires a positive SQL query "
         "(no NOT / NOT IN / <> / order comparisons / IS NULL)");
   }
-  INCDB_ASSIGN_OR_RETURN(Relation naive, EvalSql(q, db, SqlEvalMode::kNaive));
+  INCDB_ASSIGN_OR_RETURN(Relation naive,
+                         EvalSql(q, db, SqlEvalMode::kNaive, options));
   Relation out(naive.arity());
   for (const Tuple& t : naive.tuples()) {
     if (!t.HasNull()) out.Add(t);
@@ -96,9 +97,9 @@ Result<Relation> EvalSqlCertain(const SqlQuery& q, const Database& db,
 }
 
 Result<Relation> EvalSqlCertain(const std::string& sql, const Database& db,
-                                bool force) {
+                                bool force, const EvalOptions& options) {
   INCDB_ASSIGN_OR_RETURN(SqlQuery q, ParseSql(sql));
-  return EvalSqlCertain(q, db, force);
+  return EvalSqlCertain(q, db, force, options);
 }
 
 }  // namespace incdb

@@ -28,9 +28,11 @@ Result<SqlQuery> RewriteWithNotNullFilters(const SqlQuery& q);
 /// filtering. kUnsupported for non-positive queries unless `force` is set
 /// (forced results carry no guarantee — used to measure the gap).
 Result<Relation> EvalSqlCertain(const SqlQuery& q, const Database& db,
-                                bool force = false);
+                                bool force = false,
+                                const EvalOptions& options = {});
 Result<Relation> EvalSqlCertain(const std::string& sql, const Database& db,
-                                bool force = false);
+                                bool force = false,
+                                const EvalOptions& options = {});
 
 }  // namespace incdb
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "algebra/eval.h"
 #include "algebra/parser.h"
 #include "logic/rule_parser.h"
 #include "sql/parser.h"
@@ -105,6 +106,23 @@ TEST_P(ParserRobustness, RaParserNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ParserRobustness,
                          ::testing::Range<uint64_t>(0, 25));
+
+TEST(ParserRobustnessEdge, ParsedDivisionWithBadArityEvaluatesToError) {
+  // User-supplied RA text can request any division; arity violations must
+  // come back as InvalidArgument from evaluation, never abort the process.
+  Database db;
+  db.MutableRelation("R", 2)->Add(Tuple{Value::Int(1), Value::Int(2)});
+  db.MutableRelation("S", 3)->Add(
+      Tuple{Value::Int(1), Value::Int(2), Value::Int(3)});
+  for (const char* text : {"R / S",    // divisor wider than dividend
+                           "R / R"}) {  // equal arity: empty quotient schema
+    auto parsed = ParseRA(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    auto evaled = EvalNaive(*parsed, db);
+    EXPECT_FALSE(evaled.ok()) << text;
+    EXPECT_EQ(evaled.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
 
 TEST(ParserRobustnessEdge, DegenerateInputs) {
   for (const std::string& s :
