@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "incdb.h"
@@ -24,6 +25,29 @@ inline void ReportEvalStats(benchmark::State& state,
       benchmark::Counter(static_cast<double>(stats.TotalTuplesIn()), rate);
   state.counters["tuples_out"] =
       benchmark::Counter(static_cast<double>(stats.TotalTuplesOut()), rate);
+}
+
+/// Wall-clock seconds of one call to `fn`; used for the serial baselines of
+/// the thread-sweep benchmarks.
+template <typename Fn>
+inline double SecondsOf(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Attaches the thread-sweep counters: the thread count and the speedup of
+/// this run's mean iteration over the serial baseline (>1 means the
+/// parallel path is faster; on a single-core host it hovers around 1).
+inline void ReportThreadScaling(benchmark::State& state, int threads,
+                                double serial_seconds,
+                                double mean_parallel_seconds) {
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(threads));
+  state.counters["speedup"] = benchmark::Counter(
+      mean_parallel_seconds > 0 ? serial_seconds / mean_parallel_seconds : 0);
 }
 
 /// Prints a header for the experiment's summary table. Summaries are

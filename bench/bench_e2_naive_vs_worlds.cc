@@ -127,4 +127,39 @@ void BM_WorldEnumeration(benchmark::State& state) {
 BENCHMARK(BM_WorldEnumeration)->DenseRange(2, 5, 1)->Unit(
     benchmark::kMillisecond);
 
+// Thread sweep over the parallel enumeration driver: same instance and
+// query at num_threads ∈ {1, 2, 4, 8}. "speedup" compares this run's mean
+// iteration against a serial baseline timed just before the loop; on a
+// single-core host it stays near 1 while still exercising the parallel
+// splitting, budgeting, and merge paths.
+void BM_WorldEnumerationThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Database db = DbWithNulls(4, 7);
+  auto q = JoinQuery();
+  EvalOptions serial;
+  serial.num_threads = 1;
+  const double serial_seconds = incdb_bench::SecondsOf([&] {
+    benchmark::DoNotOptimize(
+        CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld, {}, serial));
+  });
+  EvalOptions options;
+  options.num_threads = threads;
+  double total_seconds = 0;
+  for (auto _ : state) {
+    total_seconds += incdb_bench::SecondsOf([&] {
+      benchmark::DoNotOptimize(CertainAnswersEnum(
+          q, db, WorldSemantics::kClosedWorld, {}, options));
+    });
+  }
+  incdb_bench::ReportThreadScaling(
+      state, threads, serial_seconds,
+      total_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_WorldEnumerationThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -145,4 +145,38 @@ void BM_DivisionEnumerationSmall(benchmark::State& state) {
 BENCHMARK(BM_DivisionEnumerationSmall)->Arg(2)->Arg(3)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
+// Thread sweep over the same division ground truth: four nulls, enumerated
+// at num_threads ∈ {1, 2, 4, 8}. See BM_WorldEnumerationThreads (bench_e2)
+// for how "speedup" is computed.
+void BM_DivisionEnumerationThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Database db = Workload(4, 11, 0.9, /*max_nulls=*/4);
+  auto q = Query();
+  EvalOptions serial;
+  serial.num_threads = 1;
+  const double serial_seconds = incdb_bench::SecondsOf([&] {
+    benchmark::DoNotOptimize(
+        CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld, {}, serial));
+  });
+  EvalOptions options;
+  options.num_threads = threads;
+  double total_seconds = 0;
+  for (auto _ : state) {
+    total_seconds += incdb_bench::SecondsOf([&] {
+      benchmark::DoNotOptimize(CertainAnswersEnum(
+          q, db, WorldSemantics::kClosedWorld, {}, options));
+    });
+  }
+  state.SetLabel("nulls=" + std::to_string(db.Nulls().size()));
+  incdb_bench::ReportThreadScaling(
+      state, threads, serial_seconds,
+      total_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DivisionEnumerationThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

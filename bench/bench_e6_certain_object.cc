@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "bench_common.h"
 
 using namespace incdb;
@@ -102,5 +105,55 @@ void BM_GlbOrderingCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GlbOrderingCheck)->Arg(2)->Arg(8);
+
+// Thread sweep: the answer worlds feeding the glb come from the parallel
+// world-enumeration driver (64 worlds: three nulls over a domain of four).
+// The per-worker world lists are concatenated and sorted so the 4-world
+// sample handed to CertainObjectOwa is identical at every thread count —
+// the sweep isolates the enumeration, the glb cost is constant. "speedup"
+// as in bench_e2's BM_WorldEnumerationThreads.
+void BM_GlbFromEnumeratedWorlds(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Database db;
+  db.AddTuple("Ans", Tuple{Value::Int(1), Value::Int(2)});
+  db.AddTuple("Ans", Tuple{Value::Int(2), Value::Null(0)});
+  db.AddTuple("Ans", Tuple{Value::Null(1), Value::Int(3)});
+  db.AddTuple("Ans", Tuple{Value::Null(2), Value::Int(1)});
+  WorldEnumOptions opts;
+  opts.fresh_constants = 1;
+
+  auto enumerate = [&](int n_threads) {
+    std::vector<std::vector<Database>> per_worker(16);
+    (void)ForEachWorldCwaParallel(db, opts, n_threads,
+                                  [&](const Database& w, size_t wi) {
+                                    per_worker[wi].push_back(w);
+                                    return true;
+                                  });
+    std::vector<Database> worlds;
+    for (auto& ws : per_worker) {
+      for (auto& w : ws) worlds.push_back(std::move(w));
+    }
+    std::sort(worlds.begin(), worlds.end(),
+              [](const Database& a, const Database& b) {
+                return a.ToString() < b.ToString();
+              });
+    worlds.resize(std::min<size_t>(worlds.size(), 4));
+    return worlds;
+  };
+
+  const double serial_seconds = incdb_bench::SecondsOf([&] {
+    benchmark::DoNotOptimize(CertainObjectOwa(enumerate(1)));
+  });
+  double total_seconds = 0;
+  for (auto _ : state) {
+    total_seconds += incdb_bench::SecondsOf([&] {
+      benchmark::DoNotOptimize(CertainObjectOwa(enumerate(threads)));
+    });
+  }
+  incdb_bench::ReportThreadScaling(
+      state, threads, serial_seconds,
+      total_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GlbFromEnumeratedWorlds)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace

@@ -10,6 +10,7 @@
 //   modes   <SELECT ...>                   all three side by side
 //   ra      <algebra expr>                 e.g. ra proj{0}(R - S)
 //   stats   on|off                         per-operator counters after queries
+//   threads <n>                            worker threads (0 = auto, 1 = serial)
 //   help / quit
 //
 // All query commands run through the QueryEngine facade
@@ -94,6 +95,7 @@ void PrintRelation(const Relation& r) {
 }
 
 bool g_stats = false;
+int g_threads = 1;  // num_threads for every query; 1 = serial, 0 = auto
 
 // Runs one notion through the engine and prints the outcome under `label`.
 // Returns true when the answer was printed (vs an error).
@@ -115,6 +117,7 @@ QueryRequest SqlRequest(const std::string& sql, AnswerNotion notion) {
   QueryRequest req;
   req.sql_text = sql;
   req.notion = notion;
+  req.eval.num_threads = g_threads;
   return req;
 }
 
@@ -163,6 +166,7 @@ int main() {
           "  modes <SELECT ...>    all three evaluations\n"
           "  ra <algebra expr>     classify + evaluate algebra\n"
           "  stats on|off          per-operator counters after queries\n"
+          "  threads <n>           worker threads (0 = auto, 1 = serial)\n"
           "  quit\n");
       continue;
     }
@@ -257,11 +261,23 @@ int main() {
       std::printf("  stats %s\n", g_stats ? "on" : "off");
       continue;
     }
+    if (cmd == "threads") {
+      int n = 0;
+      if (std::sscanf(rest.c_str(), "%d", &n) != 1 || n < 0) {
+        std::printf("  usage: threads <n>   (0 = hardware concurrency)\n");
+        continue;
+      }
+      g_threads = n;
+      std::printf("  threads %d (%d worker%s)\n", n, ResolveNumThreads(n),
+                  ResolveNumThreads(n) == 1 ? "" : "s");
+      continue;
+    }
     if (cmd == "ra") {
       const QueryEngine engine(db);
       QueryRequest naive_req;
       naive_req.ra_text = rest;
       naive_req.notion = AnswerNotion::kNaive;
+      naive_req.eval.num_threads = g_threads;
       auto naive = engine.Run(naive_req);
       if (!naive.ok()) {
         std::printf("  %s\n", naive.status().ToString().c_str());
@@ -279,6 +295,7 @@ int main() {
         req.ra_text = rest;
         req.notion = AnswerNotion::kCertainNaive;
         req.semantics = sem;
+        req.eval.num_threads = g_threads;
         auto certain = engine.Run(req);
         if (certain.ok()) {
           std::printf("  [certain/%s] ", WorldSemanticsName(sem));

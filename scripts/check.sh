@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: build the library + tests in the normal configuration and
-# again with ASan/UBSan (INCDB_SANITIZE=ON), and run the full test suite
-# under both. Usage: scripts/check.sh [extra ctest args...]
+# CI entry point: build the library + tests in the normal configuration,
+# again with ASan/UBSan (INCDB_SANITIZE=ON), and again with TSan
+# (INCDB_SANITIZE=thread) to check the parallel execution layer for data
+# races. Runs the full test suite under all three.
+# Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,5 +25,8 @@ run_config build
 
 echo "== sanitize configuration (ASan + UBSan) =="
 run_config build-sanitize -DINCDB_SANITIZE=ON
+
+echo "== sanitize configuration (TSan) =="
+run_config build-tsan -DINCDB_SANITIZE=thread
 
 echo "All checks passed."

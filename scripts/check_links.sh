@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fails when a markdown file links to a relative path that does not exist.
+# External links (http/https/mailto) and pure in-page anchors (#...) are
+# skipped; anchors on relative links are stripped before the existence
+# check. Usage: scripts/check_links.sh [file.md ...] (defaults to every
+# tracked *.md in the repository).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(git ls-files '*.md')
+fi
+
+broken=0
+for f in "${files[@]}"; do
+  dir="$(dirname "$f")"
+  # Inline links only: [text](target). Reference-style links are rare here
+  # and external by convention.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"        # strip the anchor, keep the file part
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $f -> $target"
+      broken=1
+    fi
+  done < <(awk '/^[[:space:]]*```/ { in_code = !in_code; next } !in_code' "$f" |
+           sed -E 's/`[^`]*`//g' |
+           grep -oE '\[[^]]*\]\([^)]+\)' 2>/dev/null |
+           sed -E 's/^\[[^]]*\]\(([^) ]+)[^)]*\)$/\1/' || true)
+done
+
+if [ "$broken" -ne 0 ]; then
+  echo "Broken relative markdown links found." >&2
+  exit 1
+fi
+echo "All relative markdown links resolve."

@@ -1,8 +1,36 @@
 #include "algebra/certain.h"
 
+#include <vector>
+
 #include "algebra/eval.h"
+#include "util/thread_pool.h"
 
 namespace incdb {
+namespace {
+
+// Per-worker accumulator for the parallel enumeration drivers. Each worker
+// owns one slot (the parallel callbacks guarantee per-worker sequencing), so
+// no slot ever needs a lock; only the final merge reads across slots.
+struct WorkerAcc {
+  Relation acc;
+  bool first = true;
+  EvalStats stats;
+  Status error = Status::OK();
+};
+
+// Merges per-worker stats into the caller's sink in worker order and returns
+// the lowest-worker evaluation error, if any.
+Status MergeWorkerStats(std::vector<WorkerAcc>& workers,
+                        const EvalOptions& options) {
+  Status error = Status::OK();
+  for (WorkerAcc& w : workers) {
+    if (options.stats != nullptr) options.stats->Merge(w.stats);
+    if (error.ok() && !w.error.ok()) error = w.error;
+  }
+  return error;
+}
+
+}  // namespace
 
 Relation DropNullTuples(const Relation& r) {
   Relation out(r.arity());
@@ -48,6 +76,58 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
     }
   }
 
+  if (ResolveNumThreads(options.num_threads) > 1 && !db.Nulls().empty()) {
+    // Parallel driver: each worker intersects the answers of its own
+    // sub-space; the final answer is the intersection of the per-worker
+    // intersections, which equals the serial intersection over all worlds
+    // (∩ is associative-commutative, and Relation is canonical, so the
+    // result is bit-identical). Early exit: any empty worker intersection
+    // forces the global answer empty, so it stops every worker.
+    std::vector<WorkerAcc> workers(ParallelChunkCount(
+        options.num_threads, WorldDomain(db, opts).size(), /*grain=*/1));
+    Status st = ForEachWorldCwaParallel(
+        db, opts, options.num_threads,
+        [&](const Database& world, size_t wi) {
+          WorkerAcc& w = workers[wi];
+          EvalOptions worker_options = options;
+          worker_options.stats = &w.stats;
+          auto ans = EvalComplete(e, world, worker_options);
+          if (!ans.ok()) {
+            w.error = ans.status();
+            return false;
+          }
+          if (w.first) {
+            w.acc = *ans;
+            w.first = false;
+          } else {
+            Relation next(arity);
+            for (const Tuple& t : w.acc.tuples()) {
+              if (ans->Contains(t)) next.Add(t);
+            }
+            w.acc = std::move(next);
+          }
+          return !w.acc.empty() || w.first;
+        });
+    INCDB_RETURN_IF_ERROR(MergeWorkerStats(workers, options));
+    INCDB_RETURN_IF_ERROR(st);
+    bool any = false;
+    Relation acc(arity);
+    for (WorkerAcc& w : workers) {
+      if (w.first) continue;  // worker saw no world (stopped early / empty)
+      if (!any) {
+        acc = std::move(w.acc);
+        any = true;
+        continue;
+      }
+      Relation next(arity);
+      for (const Tuple& t : acc.tuples()) {
+        if (w.acc.Contains(t)) next.Add(t);
+      }
+      acc = std::move(next);
+    }
+    return acc;
+  }
+
   bool first = true;
   Relation acc(arity);
   Status eval_error = Status::OK();
@@ -79,6 +159,33 @@ Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
                                      const WorldEnumOptions& opts,
                                      const EvalOptions& options) {
   INCDB_ASSIGN_OR_RETURN(size_t arity, e->InferArity(db.schema()));
+  if (ResolveNumThreads(options.num_threads) > 1 && !db.Nulls().empty()) {
+    // Parallel driver: per-worker unions merged at the end. Union is
+    // associative-commutative and Relation canonicalizes, so the merged
+    // result is bit-identical to the serial union.
+    std::vector<WorkerAcc> workers(ParallelChunkCount(
+        options.num_threads, WorldDomain(db, opts).size(), /*grain=*/1));
+    for (WorkerAcc& w : workers) w.acc = Relation(arity);
+    Status st = ForEachWorldCwaParallel(
+        db, opts, options.num_threads,
+        [&](const Database& world, size_t wi) {
+          WorkerAcc& w = workers[wi];
+          EvalOptions worker_options = options;
+          worker_options.stats = &w.stats;
+          auto ans = EvalComplete(e, world, worker_options);
+          if (!ans.ok()) {
+            w.error = ans.status();
+            return false;
+          }
+          w.acc.AddAll(*ans);
+          return true;
+        });
+    INCDB_RETURN_IF_ERROR(MergeWorkerStats(workers, options));
+    INCDB_RETURN_IF_ERROR(st);
+    Relation acc(arity);
+    for (WorkerAcc& w : workers) acc.AddAll(w.acc);
+    return acc;
+  }
   Relation acc(arity);
   Status eval_error = Status::OK();
   Status st = ForEachWorldCwa(db, opts, [&](const Database& world) {

@@ -43,13 +43,18 @@ Result<Relation> CertainObjectNaive(const RAExprPtr& e, const Database& db,
 /// Ground-truth certain answers by world enumeration / monotonicity.
 /// Exponential in the number of nulls (CWA); kUnsupported for non-positive
 /// queries under OWA. EvalStats accumulate across all enumerated worlds.
+/// When `options.num_threads` resolves above 1 the worlds are enumerated on
+/// the thread pool (per-worker intersections merged at the end, per-worker
+/// stats merged into `options.stats`); the answer is bit-identical to the
+/// serial path at every thread count.
 Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
                                     WorldSemantics semantics,
                                     const WorldEnumOptions& opts = {},
                                     const EvalOptions& options = {});
 
 /// Possible answers: ⋃ { Q(D') | D' ∈ ⟦D⟧_cwa } by enumeration. Useful for
-/// "maybe" tuples in examples and tests.
+/// "maybe" tuples in examples and tests. Parallelizes like
+/// CertainAnswersEnum (per-worker unions), with bit-identical answers.
 Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
                                      const WorldEnumOptions& opts = {},
                                      const EvalOptions& options = {});

@@ -151,20 +151,20 @@ struct Rec {
         Relation ls, rs;
         INCDB_ASSIGN_OR_RETURN(const Relation* l, RunRef(e->left(), &ls));
         INCDB_ASSIGN_OR_RETURN(const Relation* r, RunRef(e->right(), &rs));
-        return HashDiff(*l, *r, stats);
+        return HashDiff(*l, *r, options);
       }
       case RAExpr::Kind::kIntersect: {
         Relation ls, rs;
         INCDB_ASSIGN_OR_RETURN(const Relation* l, RunRef(e->left(), &ls));
         INCDB_ASSIGN_OR_RETURN(const Relation* r, RunRef(e->right(), &rs));
-        return HashIntersect(*l, *r, stats);
+        return HashIntersect(*l, *r, options);
       }
       case RAExpr::Kind::kDivide: {
         Relation ls, rs;
         INCDB_ASSIGN_OR_RETURN(const Relation* l, RunRef(e->left(), &ls));
         INCDB_ASSIGN_OR_RETURN(const Relation* r, RunRef(e->right(), &rs));
         if (!options.use_hash_kernels) return DivideNestedLoop(*l, *r, stats);
-        return HashDivide(*l, *r, stats);
+        return HashDivide(*l, *r, options);
       }
       case RAExpr::Kind::kDelta: {
         OpScope scope(stats, EvalOp::kDelta);
@@ -192,7 +192,7 @@ struct Rec {
       JoinSplit split = SplitForEquiJoin(sel.predicate(), l->arity());
       if (!split.keys.empty()) {
         return HashJoin(*l, *r, split.keys, split.residual.get(), projection,
-                        stats);
+                        options);
       }
       INCDB_ASSIGN_OR_RETURN(Relation in, Product(*l, *r));
       return Filter(sel.predicate(), in, projection);
@@ -231,7 +231,7 @@ struct Rec {
 }  // namespace
 
 Result<Relation> DivideRelations(const Relation& r, const Relation& s) {
-  return HashDivide(r, s, nullptr);
+  return HashDivide(r, s);
 }
 
 Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db,

@@ -1,6 +1,9 @@
 #include "core/possible_worlds.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "util/thread_pool.h"
 
 namespace incdb {
 
@@ -75,6 +78,80 @@ Status ForEachWorldCwa(const Database& d, const WorldEnumOptions& opts,
   return ForEachValuation(d, opts, [&](const Valuation& v) {
     return fn(v.Apply(d));
   });
+}
+
+Status ForEachValuationParallel(
+    const Database& d, const WorldEnumOptions& opts, int num_threads,
+    const std::function<bool(const Valuation&, size_t worker)>& fn) {
+  const std::set<NullId> null_set = d.Nulls();
+  if (ResolveNumThreads(num_threads) <= 1 || null_set.empty()) {
+    return ForEachValuation(
+        d, opts, [&](const Valuation& v) { return fn(v, /*worker=*/0); });
+  }
+  const std::vector<Value> domain = WorldDomain(d, opts);
+  const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+  if (domain.empty()) {
+    return Status::InvalidArgument("empty world domain with nulls present");
+  }
+  // Force the lazy canonical forms of the shared instance on this thread:
+  // workers call v.Apply(d) (and callers' closures typically read d too),
+  // which must see only immutable state.
+  for (const auto& kv : d.relations()) kv.second.tuples();
+
+  // One budget across all sub-spaces (the per-enumeration counter of the
+  // serial driver would let k sub-spaces emit k·max_worlds worlds).
+  std::atomic<uint64_t> emitted{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> exhausted{false};
+  Status st = ParallelFor(
+      num_threads, domain.size(), /*grain=*/1,
+      [&](size_t begin, size_t end, size_t chunk) -> Status {
+        Valuation v;
+        std::vector<size_t> idx(nulls.size(), 0);
+        // Sub-space s: nulls[0] pinned to domain[s], odometer over the rest.
+        for (size_t s = begin; s < end; ++s) {
+          v.Bind(nulls[0], domain[s]);
+          std::fill(idx.begin(), idx.end(), 0);
+          for (;;) {
+            if (stop.load(std::memory_order_relaxed)) return Status::OK();
+            for (size_t i = 1; i < nulls.size(); ++i) {
+              v.Bind(nulls[i], domain[idx[i]]);
+            }
+            if (emitted.fetch_add(1, std::memory_order_relaxed) >=
+                opts.max_worlds) {
+              exhausted.store(true, std::memory_order_relaxed);
+              stop.store(true, std::memory_order_relaxed);
+              return Status::OK();
+            }
+            if (!fn(v, chunk)) {
+              stop.store(true, std::memory_order_relaxed);
+              return Status::OK();
+            }
+            size_t pos = 1;
+            while (pos < idx.size() && ++idx[pos] == domain.size()) {
+              idx[pos] = 0;
+              ++pos;
+            }
+            if (pos == idx.size()) break;
+          }
+        }
+        return Status::OK();
+      });
+  INCDB_RETURN_IF_ERROR(st);
+  if (exhausted.load()) {
+    return Status::ResourceExhausted(
+        "world enumeration exceeded max_worlds=" +
+        std::to_string(opts.max_worlds));
+  }
+  return Status::OK();
+}
+
+Status ForEachWorldCwaParallel(
+    const Database& d, const WorldEnumOptions& opts, int num_threads,
+    const std::function<bool(const Database&, size_t worker)>& fn) {
+  return ForEachValuationParallel(
+      d, opts, num_threads,
+      [&](const Valuation& v, size_t worker) { return fn(v.Apply(d), worker); });
 }
 
 Status ForEachWorldOwaBounded(

@@ -11,6 +11,13 @@
 // enumerates v(D) extended with subsets of a caller-supplied candidate tuple
 // pool (validation only — exact OWA certain answers for (U)CQs are computed
 // via the tableau duality in logic/containment.h).
+//
+// The *Parallel drivers split the valuation space by the first null's
+// assignment and enumerate the sub-spaces on the global thread pool
+// (util/thread_pool.h). They visit exactly the same set of valuations as the
+// serial functions, share one atomic max_worlds budget across all
+// sub-spaces, and propagate an early exit (a callback returning false) to
+// every worker.
 
 #ifndef INCDB_CORE_POSSIBLE_WORLDS_H_
 #define INCDB_CORE_POSSIBLE_WORLDS_H_
@@ -34,29 +41,63 @@ struct WorldEnumOptions {
   /// Extra constants that must be in the domain (e.g. constants mentioned by
   /// the query but absent from the instance).
   std::vector<Value> required_constants;
-  /// Safety valve: abort enumeration after this many worlds.
+  /// Safety valve: abort enumeration after this many worlds. The parallel
+  /// drivers charge all sub-spaces against one shared atomic budget, so the
+  /// serial and parallel paths abort after the same number of callback
+  /// invocations.
   uint64_t max_worlds = 50'000'000;
 };
 
 /// The finite constant domain used to instantiate nulls: Const(D) ∪ required
-/// ∪ {k fresh integer constants}.
+/// ∪ {k fresh integer constants}. Thread-compatible (pure function of its
+/// arguments); O(|D| log |D|).
 std::vector<Value> WorldDomain(const Database& d, const WorldEnumOptions& opts);
 
 /// Number of CWA worlds |domain|^#nulls (saturating at UINT64_MAX).
+/// Thread-compatible; O(|D| log |D| + #nulls).
 uint64_t CountWorldsCwa(const Database& d, const WorldEnumOptions& opts);
 
-/// Invokes `fn` on every valuation of Null(D) over the domain. Stops early if
-/// `fn` returns false. Returns ResourceExhausted if max_worlds is hit.
+/// Invokes `fn` on every valuation of Null(D) over the domain, on the
+/// calling thread. Stops early if `fn` returns false. Returns
+/// ResourceExhausted if max_worlds is hit. The Valuation passed to `fn` is
+/// reused between invocations — copy it to keep it.
+/// O(|domain|^#nulls · cost(fn)).
 Status ForEachValuation(const Database& d, const WorldEnumOptions& opts,
                         const std::function<bool(const Valuation&)>& fn);
 
-/// Invokes `fn` on every CWA world v(D). Stops early if `fn` returns false.
+/// Invokes `fn` on every CWA world v(D), on the calling thread. Stops early
+/// if `fn` returns false. O(|domain|^#nulls · (|D| + cost(fn))).
 Status ForEachWorldCwa(const Database& d, const WorldEnumOptions& opts,
                        const std::function<bool(const Database&)>& fn);
 
+/// Parallel ForEachValuation: the valuation space is split by the first
+/// null's assignment into |domain| sub-spaces, enumerated on up to
+/// `num_threads` workers (0 = hardware_concurrency; 1 falls back to the
+/// serial driver on the calling thread).
+///
+/// `fn(v, worker)` receives a dense worker index < ParallelChunkCount(...):
+/// invocations sharing a worker index are sequential, distinct indices run
+/// concurrently, so `fn` may accumulate into per-worker state without locks
+/// but must not touch shared mutable state. Returning false stops all
+/// workers (early exit); enumeration still returns OK in that case. The set
+/// of valuations visited (absent early exit) is exactly the serial one;
+/// only the visiting order differs. Returns ResourceExhausted when the
+/// shared budget hits opts.max_worlds — after exactly as many callback
+/// invocations as the serial driver would have made.
+Status ForEachValuationParallel(
+    const Database& d, const WorldEnumOptions& opts, int num_threads,
+    const std::function<bool(const Valuation&, size_t worker)>& fn);
+
+/// Parallel ForEachWorldCwa; same contract as ForEachValuationParallel with
+/// `fn` receiving the materialized world v(D) (worker-local, safe to move).
+Status ForEachWorldCwaParallel(
+    const Database& d, const WorldEnumOptions& opts, int num_threads,
+    const std::function<bool(const Database&, size_t worker)>& fn);
+
 /// Invokes `fn` on every v(D) ∪ E where E ranges over subsets of
 /// `candidate_tuples` (pairs of relation name and tuple; tuples must be
-/// complete). Validation-only approximation of ⟦D⟧_owa.
+/// complete). Validation-only approximation of ⟦D⟧_owa. Serial;
+/// O(|domain|^#nulls · 2^|candidates| · (|D| + cost(fn))).
 Status ForEachWorldOwaBounded(
     const Database& d, const WorldEnumOptions& opts,
     const std::vector<std::pair<std::string, Tuple>>& candidate_tuples,

@@ -1,6 +1,10 @@
 #include "engine/kernels.h"
 
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace incdb {
 namespace {
@@ -23,11 +27,84 @@ bool ColumnsEqual(const Tuple& a, const std::vector<size_t>& a_cols,
   return true;
 }
 
+// Probe-side chunk grain for the parallel plans: small enough to balance,
+// large enough that chunk bookkeeping is noise.
+constexpr size_t kProbeGrain = 1024;
+
+// True when `options` asks for the partitioned parallel plan over
+// `probe_rows` probe-side rows.
+bool UseParallelPlan(const EvalOptions& options, size_t probe_rows) {
+  return probe_rows >= options.parallel_row_threshold &&
+         ResolveNumThreads(options.num_threads) > 1;
+}
+
+// A hash table per build partition; partition of a key hash h is h % size().
+using PartitionedIndex =
+    std::vector<std::unordered_map<size_t, std::vector<const Tuple*>>>;
+
+// Hash-partitions `build` into ResolveNumThreads(options) tables built by
+// parallel workers. `hashes[i]` receives HashColumns(build[i], cols).
+PartitionedIndex BuildPartitioned(const std::vector<Tuple>& build,
+                                  const std::vector<size_t>& cols,
+                                  const EvalOptions& options,
+                                  std::vector<size_t>* hashes) {
+  const size_t parts =
+      static_cast<size_t>(ResolveNumThreads(options.num_threads));
+  hashes->resize(build.size());
+  // Hash every build row in parallel; writes are disjoint per chunk.
+  (void)ParallelFor(options.num_threads, build.size(), kProbeGrain,
+                    [&](size_t begin, size_t end, size_t) -> Status {
+                      for (size_t i = begin; i < end; ++i) {
+                        (*hashes)[i] = HashColumns(build[i], cols);
+                      }
+                      return Status::OK();
+                    });
+  // Serial scatter of row indices, then per-partition parallel build: each
+  // partition's table is touched by exactly one worker.
+  std::vector<std::vector<uint32_t>> rows_of(parts);
+  for (size_t i = 0; i < build.size(); ++i) {
+    rows_of[(*hashes)[i] % parts].push_back(static_cast<uint32_t>(i));
+  }
+  PartitionedIndex tables(parts);
+  (void)ParallelFor(options.num_threads, parts, /*grain=*/1,
+                    [&](size_t begin, size_t end, size_t) -> Status {
+                      for (size_t p = begin; p < end; ++p) {
+                        tables[p].reserve(rows_of[p].size());
+                        for (uint32_t i : rows_of[p]) {
+                          tables[p][(*hashes)[i]].push_back(&build[i]);
+                        }
+                      }
+                      return Status::OK();
+                    });
+  return tables;
+}
+
+// Per-chunk output of a parallel probe: tuples plus the chunk's counters.
+struct ProbeChunk {
+  std::vector<Tuple> out;
+  uint64_t probes = 0;
+  uint64_t emitted = 0;
+};
+
+// Merges per-chunk outputs in chunk order (Relation canonicalizes, so the
+// merged relation is bit-identical to the serial scan's) and accounts the
+// summed counters to `scope`.
+void MergeProbeChunks(std::vector<ProbeChunk>& chunks, Relation* out,
+                      OpScope* scope) {
+  for (ProbeChunk& c : chunks) {
+    for (Tuple& t : c.out) out->Add(std::move(t));
+    scope->CountProbes(c.probes);
+    scope->CountOut(c.emitted);
+  }
+}
+
 }  // namespace
 
 Relation HashJoin(const Relation& l, const Relation& r,
                   const std::vector<JoinKey>& keys, const Predicate* residual,
-                  const std::vector<size_t>* projection, EvalStats* stats) {
+                  const std::vector<size_t>* projection,
+                  const EvalOptions& options) {
+  EvalStats* stats = options.stats;
   OpScope scope(stats, EvalOp::kHashJoin);
   const size_t out_arity =
       projection != nullptr ? projection->size() : l.arity() + r.arity();
@@ -45,16 +122,56 @@ Relation HashJoin(const Relation& l, const Relation& r,
   // order either way; build on r, probe with l (r is indexed once, matching
   // the canonical "build the inner" plan).
   const std::vector<Tuple>& build = r.tuples();
+  const std::vector<Tuple>& probe = l.tuples();
+  scope.CountIn(probe.size() + build.size());
+
+  if (UseParallelPlan(options, probe.size())) {
+    // Partitioned build + parallel probe. Both relations are canonical now
+    // (tuples() above ran on this thread), so workers only read.
+    std::vector<size_t> build_hashes;
+    PartitionedIndex tables =
+        BuildPartitioned(build, r_cols, options, &build_hashes);
+    const size_t parts = tables.size();
+    std::vector<ProbeChunk> chunks(
+        ParallelChunkCount(options.num_threads, probe.size(), kProbeGrain));
+    (void)ParallelFor(
+        options.num_threads, probe.size(), kProbeGrain,
+        [&](size_t begin, size_t end, size_t ci) -> Status {
+          ProbeChunk& c = chunks[ci];
+          for (size_t i = begin; i < end; ++i) {
+            const Tuple& a = probe[i];
+            ++c.probes;
+            const size_t h = HashColumns(a, l_cols);
+            const auto& table = tables[h % parts];
+            auto it = table.find(h);
+            if (it == table.end()) continue;
+            for (const Tuple* b : it->second) {
+              if (!ColumnsEqual(a, l_cols, *b, r_cols)) continue;
+              Tuple joined = a.Concat(*b);
+              if (residual != nullptr && !residual->EvalNaive(joined)) {
+                continue;
+              }
+              ++c.emitted;
+              c.out.push_back(projection != nullptr
+                                  ? joined.Project(*projection)
+                                  : std::move(joined));
+            }
+          }
+          return Status::OK();
+        });
+    MergeProbeChunks(chunks, &out, &scope);
+    return out;
+  }
+
   std::unordered_map<size_t, std::vector<const Tuple*>> table;
   table.reserve(build.size());
   for (const Tuple& b : build) {
     table[HashColumns(b, r_cols)].push_back(&b);
   }
 
-  scope.CountIn(l.tuples().size() + build.size());
   uint64_t probes = 0;
   uint64_t emitted = 0;
-  for (const Tuple& a : l.tuples()) {
+  for (const Tuple& a : probe) {
     ++probes;
     auto it = table.find(HashColumns(a, l_cols));
     if (it == table.end()) continue;
@@ -75,41 +192,68 @@ Relation HashJoin(const Relation& l, const Relation& r,
   return out;
 }
 
-Relation HashDiff(const Relation& l, const Relation& r, EvalStats* stats) {
-  OpScope scope(stats, EvalOp::kDiff);
+namespace {
+
+// Shared implementation of the indexed set ops: keeps l-tuples whose
+// membership in r equals `keep_members`.
+Relation HashSetOp(const Relation& l, const Relation& r, bool keep_members,
+                   EvalOp op, const EvalOptions& options) {
+  OpScope scope(options.stats, op);
   const auto& index = r.HashIndex();
+  const std::vector<Tuple>& rows = l.tuples();
   Relation out(l.arity());
-  scope.CountIn(l.tuples().size() + r.tuples().size());
-  for (const Tuple& t : l.tuples()) {
-    if (index.count(t) == 0) out.Add(t);
+  scope.CountIn(rows.size() + r.tuples().size());
+
+  if (UseParallelPlan(options, rows.size())) {
+    // r's index and l's canonical form were built above on this thread;
+    // workers perform read-only probes and fill disjoint chunks.
+    std::vector<ProbeChunk> chunks(
+        ParallelChunkCount(options.num_threads, rows.size(), kProbeGrain));
+    (void)ParallelFor(options.num_threads, rows.size(), kProbeGrain,
+                      [&](size_t begin, size_t end, size_t ci) -> Status {
+                        ProbeChunk& c = chunks[ci];
+                        for (size_t i = begin; i < end; ++i) {
+                          ++c.probes;
+                          if ((index.count(rows[i]) > 0) == keep_members) {
+                            c.out.push_back(rows[i]);
+                          }
+                        }
+                        return Status::OK();
+                      });
+    for (ProbeChunk& c : chunks) c.emitted = 0;  // CountOut from result size
+    MergeProbeChunks(chunks, &out, &scope);
+    scope.CountOut(out.tuples().size());
+    return out;
   }
-  scope.CountProbes(l.tuples().size());
+
+  for (const Tuple& t : rows) {
+    if ((index.count(t) > 0) == keep_members) out.Add(t);
+  }
+  scope.CountProbes(rows.size());
   scope.CountOut(out.tuples().size());
   return out;
+}
+
+}  // namespace
+
+Relation HashDiff(const Relation& l, const Relation& r,
+                  const EvalOptions& options) {
+  return HashSetOp(l, r, /*keep_members=*/false, EvalOp::kDiff, options);
 }
 
 Relation HashIntersect(const Relation& l, const Relation& r,
-                       EvalStats* stats) {
-  OpScope scope(stats, EvalOp::kIntersect);
-  const auto& index = r.HashIndex();
-  Relation out(l.arity());
-  scope.CountIn(l.tuples().size() + r.tuples().size());
-  for (const Tuple& t : l.tuples()) {
-    if (index.count(t) > 0) out.Add(t);
-  }
-  scope.CountProbes(l.tuples().size());
-  scope.CountOut(out.tuples().size());
-  return out;
+                       const EvalOptions& options) {
+  return HashSetOp(l, r, /*keep_members=*/true, EvalOp::kIntersect, options);
 }
 
 Result<Relation> HashDivide(const Relation& r, const Relation& s,
-                            EvalStats* stats) {
+                            const EvalOptions& options) {
   if (s.arity() == 0 || s.arity() >= r.arity()) {
     return Status::InvalidArgument(
         "division requires 0 < arity(divisor) < arity(dividend); got " +
         std::to_string(s.arity()) + " and " + std::to_string(r.arity()));
   }
-  OpScope scope(stats, EvalOp::kDivide);
+  OpScope scope(options.stats, EvalOp::kDivide);
   const size_t m = r.arity() - s.arity();
   std::vector<size_t> head_cols(m), tail_cols(s.arity()), s_cols(s.arity());
   for (size_t i = 0; i < m; ++i) head_cols[i] = i;

@@ -8,9 +8,18 @@
 // can confirm the work done is proportional to input + matches, not to the
 // cross product.
 //
+// Above `EvalOptions::parallel_row_threshold` probe-side rows (and with
+// `num_threads` resolving above 1) the join and set-op kernels switch to a
+// partitioned parallel plan: the build side is hash-partitioned and indexed
+// by parallel workers, the probe side is split into contiguous chunks probed
+// concurrently, and per-chunk outputs are merged in chunk order into the
+// canonical Relation — so results are bit-identical to the serial plan at
+// every thread count.
+//
 // Semantics are naïve throughout: marked nulls are ordinary values and join
 // syntactically (⊥_3 matches ⊥_3 only). Every kernel is property-tested
-// against the straightforward nested-loop reference implementation.
+// against the straightforward nested-loop reference implementation, and the
+// parallel plans against the serial ones.
 
 #ifndef INCDB_ENGINE_KERNELS_H_
 #define INCDB_ENGINE_KERNELS_H_
@@ -38,29 +47,36 @@ struct JoinKey {
 /// (a ++ b).Project(*projection) — the π is fused into the emit and the
 /// concatenation is never materialized for non-matching pairs.
 ///
-/// Expected cost O(|r| + |l| + matches); probes counted = |l|.
+/// Not thread-safe on shared mutable relations (canonicalizes l and r
+/// lazily); distinct calls on distinct data may run concurrently. Expected
+/// cost O(|r| + |l| + matches), divided by the worker count on the
+/// partitioned parallel plan; probes counted = |l|.
 Relation HashJoin(const Relation& l, const Relation& r,
                   const std::vector<JoinKey>& keys, const Predicate* residual,
                   const std::vector<size_t>* projection,
-                  EvalStats* stats = nullptr);
+                  const EvalOptions& options = {});
 
-/// l − r with O(1) membership probes against r's hash index.
+/// l − r with O(1) membership probes against r's hash index. Thread-safety
+/// and parallel plan as HashJoin; expected cost O(|l| + |r|).
 Relation HashDiff(const Relation& l, const Relation& r,
-                  EvalStats* stats = nullptr);
+                  const EvalOptions& options = {});
 
-/// l ∩ r with O(1) membership probes against r's hash index.
+/// l ∩ r with O(1) membership probes against r's hash index. Thread-safety
+/// and parallel plan as HashJoin; expected cost O(|l| + |r|).
 Relation HashIntersect(const Relation& l, const Relation& r,
-                       EvalStats* stats = nullptr);
+                       const EvalOptions& options = {});
 
 /// r ÷ s by counting: the canonical (sorted) tuple order keeps each head's
 /// tuples contiguous, so one pass over r probes each tuple's tail against a
 /// hash index of the (deduplicated) divisor and a head divides s iff its
 /// run matched |s| tails. Validates the division arity constraint
-/// 0 < arity(s) < arity(r) instead of aborting.
+/// 0 < arity(s) < arity(r) instead of aborting. Always serial (the single
+/// pass is already memory-bound); not thread-safe on shared mutable
+/// relations.
 ///
 /// Expected cost O(|r| + |s|); probes counted = |r|.
 Result<Relation> HashDivide(const Relation& r, const Relation& s,
-                            EvalStats* stats = nullptr);
+                            const EvalOptions& options = {});
 
 }  // namespace incdb
 

@@ -87,13 +87,29 @@ class EvalStats {
 };
 
 /// Options threaded through every evaluator.
+///
+/// The tuning knobs (`use_hash_kernels`, `num_threads`,
+/// `parallel_row_threshold`) never change answers — only how they are
+/// computed. See docs/TUTORIAL.md §"Tuning" for the one-stop description.
 struct EvalOptions {
-  /// When non-null, per-operator counters are accumulated here.
+  /// When non-null, per-operator counters are accumulated here. Parallel
+  /// evaluators give each worker a private EvalStats and merge them into
+  /// this sink before returning, so totals stay correct (wall-time counters
+  /// then sum the workers' self times, i.e. report CPU time, not elapsed).
   EvalStats* stats = nullptr;
   /// When false, evaluators use their straightforward nested-loop
   /// implementations (the reference semantics the kernels are property-
   /// tested against).
   bool use_hash_kernels = true;
+  /// Worker threads for the parallel paths (world enumeration, partitioned
+  /// kernel probes). 0 = auto (hardware_concurrency); 1 runs everything on
+  /// the calling thread, preserving the pre-parallel behavior exactly.
+  /// Results are bit-identical at every setting.
+  int num_threads = 0;
+  /// Kernels only parallelize when the probe side has at least this many
+  /// rows; below it, fan-out costs more than the scan. Tests lower it to
+  /// force the parallel code paths onto small inputs.
+  size_t parallel_row_threshold = 4096;
 };
 
 /// RAII scope that attributes wall time and counters to one operator.

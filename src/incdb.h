@@ -7,7 +7,7 @@
 //   PODS 2014.
 //
 // Layering (bottom-up):
-//   util/     — Status/Result, strings, deterministic PRNG
+//   util/     — Status/Result, strings, deterministic PRNG, thread pool
 //   core/     — values, marked nulls, relations, databases, valuations,
 //               OWA/CWA/WCWA semantics, homomorphisms, information
 //               orderings, direct products, possible-world enumeration
@@ -74,6 +74,7 @@
 #include "util/random.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "workload/generators.h"
 
 #endif  // INCDB_INCDB_H_

@@ -1,0 +1,148 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace incdb {
+namespace {
+
+// Set while a thread is executing ThreadPool::WorkerLoop. thread_local so
+// ParallelFor can detect nesting without consulting any pool instance.
+thread_local bool t_in_worker = false;
+
+Status RunChunkBody(
+    const std::function<Status(size_t, size_t, size_t)>& body, size_t begin,
+    size_t end, size_t chunk) {
+  try {
+    return body(begin, end, chunk);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in parallel chunk: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-std exception in parallel chunk");
+  }
+}
+
+}  // namespace
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads >= 1) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int n = std::max(1, num_workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: workers must outlive every static destructor that
+  // might still evaluate queries. Sized to at least 8 so num_threads
+  // requests above hardware_concurrency (thread-sweep benches, race tests
+  // on small machines) still get real interleaving; idle workers only cost
+  // a blocked thread each.
+  static ThreadPool* pool = new ThreadPool(
+      std::max(8, ResolveNumThreads(/*num_threads=*/0)));
+  return *pool;
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+size_t ParallelChunkCount(int num_threads, size_t n, size_t grain) {
+  if (n == 0) return 0;
+  const size_t threads =
+      static_cast<size_t>(std::max(1, ResolveNumThreads(num_threads)));
+  const size_t min_chunk = std::max<size_t>(1, grain);
+  // Chunk size: even split over `threads`, but never below the grain.
+  const size_t chunk_size = std::max(min_chunk, (n + threads - 1) / threads);
+  return (n + chunk_size - 1) / chunk_size;
+}
+
+Status ParallelFor(int num_threads, size_t n, size_t grain,
+                   const std::function<Status(size_t begin, size_t end,
+                                              size_t chunk)>& body) {
+  if (n == 0) return Status::OK();
+  const size_t chunks = ParallelChunkCount(num_threads, n, grain);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+
+  if (chunks == 1 || ResolveNumThreads(num_threads) == 1 ||
+      ThreadPool::InWorker()) {
+    // Inline path: serial, in chunk order. Also the nested-parallelism path:
+    // a pool worker must not block on tasks that need pool workers.
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * chunk_size;
+      const size_t end = std::min(n, begin + chunk_size);
+      INCDB_RETURN_IF_ERROR(RunChunkBody(body, begin, end, c));
+    }
+    return Status::OK();
+  }
+
+  struct Rendezvous {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  };
+  Rendezvous rv;
+  rv.remaining = chunks;
+  std::vector<Status> statuses(chunks);
+
+  ThreadPool& pool = ThreadPool::Global();
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    pool.Submit([&, begin, end, c] {
+      Status st = RunChunkBody(body, begin, end, c);
+      std::lock_guard<std::mutex> lock(rv.mu);
+      statuses[c] = std::move(st);
+      if (--rv.remaining == 0) rv.done.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(rv.mu);
+    rv.done.wait(lock, [&] { return rv.remaining == 0; });
+  }
+  // Lowest-indexed failure wins, independent of completion order.
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace incdb

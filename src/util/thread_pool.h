@@ -1,0 +1,113 @@
+// A small fixed-size thread pool and a chunked ParallelFor on top of it.
+//
+// This is the parallel substrate of the engine (possible-world enumeration,
+// the partitioned hash kernels). Design constraints, in order:
+//
+//  * Determinism first. ParallelFor splits [0, n) into contiguous chunks
+//    whose boundaries depend only on (n, num_threads, grain) — never on the
+//    worker count of the pool or on scheduling — so callers that merge
+//    per-chunk results in chunk order get bit-identical output on every run
+//    and at every thread count.
+//  * No work stealing, no task dependencies: chunks are independent, the
+//    caller blocks until all chunks finish.
+//  * No exceptions cross the API (the library-wide rule): a chunk body
+//    returns Status, and anything it throws is captured and converted to a
+//    kInternal Status. When several chunks fail, the error of the
+//    lowest-indexed chunk is returned, again for determinism.
+//  * No nested deadlock: ParallelFor called from inside a pool worker runs
+//    its chunks inline on the calling thread, in chunk order.
+
+#ifndef INCDB_UTIL_THREAD_POOL_H_
+#define INCDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace incdb {
+
+/// Resolves a `num_threads` knob to an actual thread count: values >= 1 are
+/// taken literally; 0 (the "auto" default used by EvalOptions) and negative
+/// values resolve to std::thread::hardware_concurrency() (at least 1).
+/// Thread-safe; O(1).
+int ResolveNumThreads(int num_threads);
+
+/// A fixed set of worker threads draining one FIFO task queue.
+///
+/// Thread-safe: Submit may be called from any thread, including pool
+/// workers. Tasks must not block on other tasks (there is no work stealing
+/// to rescue a blocked worker); ParallelFor respects this by running nested
+/// parallel sections inline.
+class ThreadPool {
+ public:
+  /// Starts `num_workers` (clamped to >= 1) threads immediately.
+  explicit ThreadPool(int num_workers);
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. The task runs exactly once, on some worker thread.
+  /// Thread-safe; O(1) plus queue contention.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, created on first use with
+  /// max(8, hardware_concurrency()) workers — the floor keeps thread-count
+  /// sweeps above the core count meaningful on small machines. Never
+  /// destroyed (workers exit with the process), so it is safe to use from
+  /// static destructors.
+  static ThreadPool& Global();
+
+  /// True when the calling thread is a worker of any ThreadPool. Used by
+  /// ParallelFor to degrade nested parallelism to inline execution.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(begin, end, chunk)` over a partition of [0, n) into at most
+/// `num_threads` contiguous chunks of at least `grain` items (the last chunk
+/// may be smaller). Chunk boundaries are a pure function of (n, num_threads,
+/// grain); chunk indices are dense in [0, num_chunks).
+///
+/// Execution: chunks run concurrently on ThreadPool::Global() and the call
+/// blocks until every chunk finished. The whole call runs inline (serially,
+/// in chunk order) when the resolved thread count is 1, when a single chunk
+/// covers the range, or when the caller is itself a pool worker.
+///
+/// Error handling: `body` returns Status; thrown exceptions are captured as
+/// kInternal. All chunks run to completion even after a failure (there is no
+/// cancellation at this layer — callers wanting early exit share an
+/// std::atomic<bool> inside `body`); the Status of the lowest-indexed failed
+/// chunk is returned.
+///
+/// `body` must be safe to call concurrently from distinct threads for
+/// distinct chunks. Cost: O(n/num_threads) wall per chunk plus one
+/// mutex/condvar rendezvous.
+Status ParallelFor(int num_threads, size_t n, size_t grain,
+                   const std::function<Status(size_t begin, size_t end,
+                                              size_t chunk)>& body);
+
+/// Number of chunks ParallelFor will use for (n, num_threads, grain) — for
+/// callers that pre-size per-chunk accumulators. Deterministic; O(1).
+size_t ParallelChunkCount(int num_threads, size_t n, size_t grain);
+
+}  // namespace incdb
+
+#endif  // INCDB_UTIL_THREAD_POOL_H_

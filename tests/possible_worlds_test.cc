@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <set>
+
 namespace incdb {
 namespace {
 
@@ -102,6 +106,156 @@ TEST(ForEachWorldOwaBoundedTest, AddsCandidateSubsets) {
   ASSERT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ(count, 4u);   // 1 valuation × 2^2 subsets
   EXPECT_EQ(with_s, 2u);
+}
+
+// A small instance with three nulls across two relations so the parallel
+// drivers have a non-trivial valuation space (domain 5, 125 worlds).
+Database ThreeNullDb() {
+  Database d;
+  d.AddTuple("R", Tuple{Value::Int(1), Value::Null(0)});
+  d.AddTuple("R", Tuple{Value::Null(1), Value::Int(2)});
+  d.AddTuple("S", Tuple{Value::Null(2)});
+  return d;
+}
+
+TEST(ParallelWorldEnumTest, VisitsExactlyTheSerialValuationSet) {
+  Database d = ThreeNullDb();
+  WorldEnumOptions opts;
+  std::set<std::string> serial;
+  ASSERT_TRUE(ForEachValuation(d, opts, [&](const Valuation& v) {
+                serial.insert(v.ToString());
+                return true;
+              }).ok());
+  ASSERT_EQ(serial.size(), CountWorldsCwa(d, opts));
+
+  for (int threads : {2, 4, 7}) {
+    std::mutex mu;
+    std::set<std::string> parallel;
+    size_t duplicates = 0;
+    Status st = ForEachValuationParallel(
+        d, opts, threads, [&](const Valuation& v, size_t) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!parallel.insert(v.ToString()).second) ++duplicates;
+          return true;
+        });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(duplicates, 0u) << threads << " threads";
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelWorldEnumTest, ParallelWorldsMatchSerialWorlds) {
+  Database d = ThreeNullDb();
+  WorldEnumOptions opts;
+  std::set<std::string> serial;
+  ASSERT_TRUE(ForEachWorldCwa(d, opts, [&](const Database& w) {
+                serial.insert(w.ToString());
+                return true;
+              }).ok());
+
+  std::mutex mu;
+  std::set<std::string> parallel;
+  Status st = ForEachWorldCwaParallel(
+      d, opts, 4, [&](const Database& w, size_t) {
+        EXPECT_TRUE(w.IsComplete());
+        std::lock_guard<std::mutex> lock(mu);
+        parallel.insert(w.ToString());
+        return true;
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelWorldEnumTest, WorkerIndicesAreDenseAndSequencedPerWorker) {
+  Database d = ThreeNullDb();
+  WorldEnumOptions opts;
+  // Per-worker counters, written without locks: the contract says
+  // invocations sharing a worker index never overlap.
+  std::vector<size_t> per_worker(64, 0);
+  std::atomic<size_t> total{0};
+  Status st = ForEachValuationParallel(
+      d, opts, 4, [&](const Valuation&, size_t worker) {
+        EXPECT_LT(worker, per_worker.size());
+        ++per_worker[worker];
+        total.fetch_add(1);
+        return true;
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(total.load(), CountWorldsCwa(d, opts));
+  size_t summed = 0;
+  for (size_t c : per_worker) summed += c;
+  EXPECT_EQ(summed, total.load());
+}
+
+TEST(ParallelWorldEnumTest, SerialAndParallelShareOneWorldBudget) {
+  Database d = ThreeNullDb();  // 125 worlds
+  WorldEnumOptions opts;
+  opts.max_worlds = 10;
+
+  uint64_t serial_calls = 0;
+  Status serial = ForEachValuation(d, opts, [&](const Valuation&) {
+    ++serial_calls;
+    return true;
+  });
+  EXPECT_EQ(serial.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(serial_calls, opts.max_worlds);
+
+  for (int threads : {2, 4, 7}) {
+    std::atomic<uint64_t> parallel_calls{0};
+    Status parallel = ForEachValuationParallel(
+        d, opts, threads, [&](const Valuation&, size_t) {
+          parallel_calls.fetch_add(1);
+          return true;
+        });
+    // One shared atomic budget across all sub-spaces: the parallel driver
+    // makes exactly as many callback invocations as the serial one before
+    // reporting exhaustion, at every thread count.
+    EXPECT_EQ(parallel.code(), StatusCode::kResourceExhausted)
+        << threads << " threads: " << parallel.ToString();
+    EXPECT_EQ(parallel_calls.load(), opts.max_worlds) << threads << " threads";
+  }
+}
+
+TEST(ParallelWorldEnumTest, EarlyExitStopsAllWorkersAndReturnsOk) {
+  Database d = ThreeNullDb();
+  WorldEnumOptions opts;
+  std::atomic<uint64_t> calls{0};
+  Status st = ForEachValuationParallel(
+      d, opts, 4, [&](const Valuation&, size_t) {
+        calls.fetch_add(1);
+        return false;  // stop everything after the first world each
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // Each worker stops after at most one world once the stop flag is up.
+  EXPECT_LT(calls.load(), CountWorldsCwa(d, opts));
+}
+
+TEST(ParallelWorldEnumTest, SingleThreadAndNoNullsFallBackToSerial) {
+  // num_threads = 1 must behave exactly like the serial driver.
+  Database d = ThreeNullDb();
+  WorldEnumOptions opts;
+  size_t count = 0;  // no lock needed: serial fallback
+  ASSERT_TRUE(ForEachValuationParallel(d, opts, 1,
+                                       [&](const Valuation&, size_t worker) {
+                                         EXPECT_EQ(worker, 0u);
+                                         ++count;
+                                         return true;
+                                       })
+                  .ok());
+  EXPECT_EQ(count, CountWorldsCwa(d, opts));
+
+  // A complete database has one world regardless of the thread count.
+  Database complete;
+  complete.AddTuple("R", Tuple{Value::Int(1)});
+  size_t worlds = 0;
+  ASSERT_TRUE(ForEachWorldCwaParallel(complete, {}, 8,
+                                      [&](const Database& w, size_t) {
+                                        EXPECT_EQ(w, complete);
+                                        ++worlds;
+                                        return true;
+                                      })
+                  .ok());
+  EXPECT_EQ(worlds, 1u);
 }
 
 TEST(ForEachWorldOwaBoundedTest, RejectsNullCandidates) {

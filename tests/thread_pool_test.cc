@@ -1,0 +1,122 @@
+// Unit tests for the parallel substrate (util/thread_pool.h): chunking
+// determinism, error and exception capture, nested-parallelism safety.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace incdb {
+namespace {
+
+TEST(ResolveNumThreadsTest, PositivePassesThroughZeroMeansHardware) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+  EXPECT_GE(ResolveNumThreads(0), 1);
+  EXPECT_GE(ResolveNumThreads(-3), 1);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasksAndDrainsOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.num_workers(), 3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool drains the queue and joins the workers
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnceAtEveryThreadCount) {
+  for (int threads : {1, 2, 3, 8, 13}) {
+    constexpr size_t n = 1000;
+    std::vector<std::atomic<int>> seen(n);
+    Status st = ParallelFor(threads, n, /*grain=*/7,
+                            [&](size_t begin, size_t end, size_t) -> Status {
+                              for (size_t i = begin; i < end; ++i) {
+                                seen[i].fetch_add(1);
+                              }
+                              return Status::OK();
+                            });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "index " << i << " at " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkingIsDeterministicAndDense) {
+  // Boundaries depend only on (n, num_threads, grain): collect them twice.
+  for (int run = 0; run < 2; ++run) {
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> ranges;
+    std::set<size_t> chunk_ids;
+    Status st = ParallelFor(4, 103, /*grain=*/10,
+                            [&](size_t begin, size_t end, size_t c) -> Status {
+                              std::lock_guard<std::mutex> lock(mu);
+                              ranges.insert({begin, end});
+                              chunk_ids.insert(c);
+                              return Status::OK();
+                            });
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(ranges.size(), ParallelChunkCount(4, 103, 10));
+    EXPECT_EQ(chunk_ids.size(), ranges.size());
+    EXPECT_EQ(*chunk_ids.begin(), 0u);
+    EXPECT_EQ(*chunk_ids.rbegin(), ranges.size() - 1);
+  }
+}
+
+TEST(ParallelForTest, ChunkCountRespectsThreadAndGrainBounds) {
+  EXPECT_EQ(ParallelChunkCount(4, 0, 1), 0u);
+  EXPECT_EQ(ParallelChunkCount(4, 3, 1), 3u);   // never more chunks than items
+  EXPECT_EQ(ParallelChunkCount(4, 100, 1), 4u); // never more than threads
+  EXPECT_EQ(ParallelChunkCount(8, 100, 50), 2u);  // grain floors chunk size
+  EXPECT_EQ(ParallelChunkCount(1, 100, 1), 1u);
+}
+
+TEST(ParallelForTest, LowestChunkErrorWins) {
+  Status st = ParallelFor(
+      8, 80, /*grain=*/10, [&](size_t, size_t, size_t c) -> Status {
+        if (c == 5) return Status::Internal("chunk five");
+        if (c == 2) return Status::InvalidArgument("chunk two");
+        return Status::OK();
+      });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "chunk two");
+}
+
+TEST(ParallelForTest, ExceptionsBecomeInternalStatus) {
+  Status st = ParallelFor(4, 40, /*grain=*/10,
+                          [&](size_t, size_t, size_t c) -> Status {
+                            if (c == 1) throw std::runtime_error("boom");
+                            return Status::OK();
+                          });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  std::atomic<size_t> total{0};
+  Status st = ParallelFor(
+      4, 8, /*grain=*/1, [&](size_t begin, size_t end, size_t) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          INCDB_RETURN_IF_ERROR(ParallelFor(
+              4, 16, /*grain=*/1, [&](size_t b, size_t e, size_t) -> Status {
+                total.fetch_add(e - b);
+                return Status::OK();
+              }));
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+}  // namespace
+}  // namespace incdb
