@@ -50,6 +50,22 @@ inline void ReportThreadScaling(benchmark::State& state, int threads,
       mean_parallel_seconds > 0 ? serial_seconds / mean_parallel_seconds : 0);
 }
 
+/// Attaches the optimizer/subplan-cache sweep counters: which knobs were on
+/// (`opt`, `cache`), the subplan-cache hits per iteration, and the speedup of
+/// this run's mean iteration over a both-knobs-off baseline timed inline just
+/// before the loop (>1 means the knobs pay for themselves).
+inline void ReportOptCacheSweep(benchmark::State& state, bool optimize,
+                                bool cache, const incdb::EvalStats& stats,
+                                double off_seconds, double mean_seconds) {
+  state.counters["opt"] = benchmark::Counter(optimize ? 1 : 0);
+  state.counters["cache"] = benchmark::Counter(cache ? 1 : 0);
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(stats.cache_hits()),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["speedup"] = benchmark::Counter(
+      mean_seconds > 0 ? off_seconds / mean_seconds : 0);
+}
+
 /// Prints a header for the experiment's summary table. Summaries are
 /// emitted once, before the timing benchmarks, from a global initializer.
 inline void TableHeader(const char* experiment, const char* claim,

@@ -9,6 +9,8 @@
 //   certain <SELECT ...>                   certain answers (positive only)
 //   modes   <SELECT ...>                   all three side by side
 //   ra      <algebra expr>                 e.g. ra proj{0}(R - S)
+//   explain [naive|enum] <query>           pre/post-optimization plan, answer,
+//                                          per-operator + subplan-cache stats
 //   stats   on|off                         per-operator counters after queries
 //   threads <n>                            worker threads (0 = auto, 1 = serial)
 //   help / quit
@@ -165,6 +167,11 @@ int main() {
           "  sql|maybe|naive|certain <SELECT ...>\n"
           "  modes <SELECT ...>    all three evaluations\n"
           "  ra <algebra expr>     classify + evaluate algebra\n"
+          "  explain [naive|enum] <query>   plans before/after optimization,\n"
+          "                        answer, operator and subplan-cache stats\n"
+          "                        (enum = certain answers by enumeration);\n"
+          "                        query is SQL when it starts with SELECT,\n"
+          "                        algebra otherwise\n"
           "  stats on|off          per-operator counters after queries\n"
           "  threads <n>           worker threads (0 = auto, 1 = serial)\n"
           "  quit\n");
@@ -270,6 +277,61 @@ int main() {
       g_threads = n;
       std::printf("  threads %d (%d worker%s)\n", n, ResolveNumThreads(n),
                   ResolveNumThreads(n) == 1 ? "" : "s");
+      continue;
+    }
+    if (cmd == "explain") {
+      std::istringstream rs(rest);
+      std::string first;
+      rs >> first;
+      AnswerNotion notion = AnswerNotion::kNaive;
+      std::string query = rest;
+      if (EqualsIgnoreCase(first, "enum") || EqualsIgnoreCase(first, "naive")) {
+        if (EqualsIgnoreCase(first, "enum")) {
+          notion = AnswerNotion::kCertainEnum;
+        }
+        std::getline(rs, query);
+        query = Trim(query);
+      }
+      if (query.empty()) {
+        std::printf("  usage: explain [naive|enum] <SELECT ...|algebra>\n");
+        continue;
+      }
+      const QueryEngine engine(db);
+      QueryRequest req;
+      if (EqualsIgnoreCase(query.substr(0, 6), "select")) {
+        req.sql_text = query;
+      } else {
+        req.ra_text = query;
+      }
+      req.notion = notion;
+      req.eval.num_threads = g_threads;
+      auto resp = engine.Run(req);
+      if (!resp.ok()) {
+        std::printf("  %s\n", resp.status().ToString().c_str());
+        continue;
+      }
+      if (resp->fragment.has_value()) {
+        std::printf("  class:     %s\n", QueryClassName(*resp->fragment));
+      }
+      if (resp->plan != nullptr) {
+        std::printf("  plan:      %s\n", resp->plan->ToString().c_str());
+      }
+      if (resp->optimized_plan != nullptr) {
+        std::printf("  optimized: %s\n",
+                    resp->optimized_plan->ToString().c_str());
+      } else {
+        std::printf("  optimized: (query ran through the SQL evaluator)\n");
+      }
+      std::printf("  [%s] ", AnswerNotionName(notion));
+      PrintRelation(resp->relation);
+      std::printf("%s", resp->stats.ToString().c_str());
+      if (notion == AnswerNotion::kCertainEnum) {
+        std::printf("  subplan cache: %llu hit%s / %llu miss%s\n",
+                    static_cast<unsigned long long>(resp->stats.cache_hits()),
+                    resp->stats.cache_hits() == 1 ? "" : "s",
+                    static_cast<unsigned long long>(resp->stats.cache_misses()),
+                    resp->stats.cache_misses() == 1 ? "" : "es");
+      }
       continue;
     }
     if (cmd == "ra") {

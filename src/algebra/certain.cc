@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "algebra/eval.h"
+#include "algebra/optimize.h"
+#include "engine/subplan_cache.h"
 #include "util/thread_pool.h"
 
 namespace incdb {
@@ -28,6 +30,25 @@ Status MergeWorkerStats(std::vector<WorkerAcc>& workers,
     if (error.ok() && !w.error.ok()) error = w.error;
   }
   return error;
+}
+
+// Per-driver plan preparation: algebraic optimization (once, not per world)
+// and world-invariant subplan caching. Guards and fragment checks run on the
+// caller's original expression; both rewrites preserve answers exactly.
+// `cached_subplans` receives the number of spliced subplan results — the
+// drivers count that many cache hits for every world they evaluate.
+Result<RAExprPtr> PrepareEnumPlan(const RAExprPtr& e, const Database& db,
+                                  const EvalOptions& options,
+                                  size_t* cached_subplans) {
+  RAExprPtr plan = e;
+  if (options.optimize) plan = Optimize(plan, db);
+  if (options.cache_subplans && !db.Nulls().empty()) {
+    INCDB_ASSIGN_OR_RETURN(PreparedPlan prep,
+                           PrepareWorldInvariantPlan(plan, db, options));
+    plan = prep.plan;
+    *cached_subplans = prep.cached_subplans;
+  }
+  return plan;
 }
 
 }  // namespace
@@ -76,6 +97,10 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
     }
   }
 
+  size_t cached_subplans = 0;
+  INCDB_ASSIGN_OR_RETURN(RAExprPtr plan,
+                         PrepareEnumPlan(e, db, options, &cached_subplans));
+
   if (ResolveNumThreads(options.num_threads) > 1 && !db.Nulls().empty()) {
     // Parallel driver: each worker intersects the answers of its own
     // sub-space; the final answer is the intersection of the per-worker
@@ -83,6 +108,7 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
     // (∩ is associative-commutative, and Relation is canonical, so the
     // result is bit-identical). Early exit: any empty worker intersection
     // forces the global answer empty, so it stops every worker.
+    ForcePlanLiterals(plan);  // workers must only read literal lazy state
     std::vector<WorkerAcc> workers(ParallelChunkCount(
         options.num_threads, WorldDomain(db, opts).size(), /*grain=*/1));
     Status st = ForEachWorldCwaParallel(
@@ -91,11 +117,12 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
           WorkerAcc& w = workers[wi];
           EvalOptions worker_options = options;
           worker_options.stats = &w.stats;
-          auto ans = EvalComplete(e, world, worker_options);
+          auto ans = EvalComplete(plan, world, worker_options);
           if (!ans.ok()) {
             w.error = ans.status();
             return false;
           }
+          w.stats.CountCacheHits(cached_subplans);
           if (w.first) {
             w.acc = *ans;
             w.first = false;
@@ -132,11 +159,12 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
   Relation acc(arity);
   Status eval_error = Status::OK();
   Status st = ForEachWorldCwa(db, opts, [&](const Database& world) {
-    auto ans = EvalComplete(e, world, options);
+    auto ans = EvalComplete(plan, world, options);
     if (!ans.ok()) {
       eval_error = ans.status();
       return false;
     }
+    if (options.stats != nullptr) options.stats->CountCacheHits(cached_subplans);
     if (first) {
       acc = *ans;
       first = false;
@@ -159,10 +187,14 @@ Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
                                      const WorldEnumOptions& opts,
                                      const EvalOptions& options) {
   INCDB_ASSIGN_OR_RETURN(size_t arity, e->InferArity(db.schema()));
+  size_t cached_subplans = 0;
+  INCDB_ASSIGN_OR_RETURN(RAExprPtr plan,
+                         PrepareEnumPlan(e, db, options, &cached_subplans));
   if (ResolveNumThreads(options.num_threads) > 1 && !db.Nulls().empty()) {
     // Parallel driver: per-worker unions merged at the end. Union is
     // associative-commutative and Relation canonicalizes, so the merged
     // result is bit-identical to the serial union.
+    ForcePlanLiterals(plan);  // workers must only read literal lazy state
     std::vector<WorkerAcc> workers(ParallelChunkCount(
         options.num_threads, WorldDomain(db, opts).size(), /*grain=*/1));
     for (WorkerAcc& w : workers) w.acc = Relation(arity);
@@ -172,11 +204,12 @@ Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
           WorkerAcc& w = workers[wi];
           EvalOptions worker_options = options;
           worker_options.stats = &w.stats;
-          auto ans = EvalComplete(e, world, worker_options);
+          auto ans = EvalComplete(plan, world, worker_options);
           if (!ans.ok()) {
             w.error = ans.status();
             return false;
           }
+          w.stats.CountCacheHits(cached_subplans);
           w.acc.AddAll(*ans);
           return true;
         });
@@ -189,11 +222,12 @@ Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
   Relation acc(arity);
   Status eval_error = Status::OK();
   Status st = ForEachWorldCwa(db, opts, [&](const Database& world) {
-    auto ans = EvalComplete(e, world, options);
+    auto ans = EvalComplete(plan, world, options);
     if (!ans.ok()) {
       eval_error = ans.status();
       return false;
     }
+    if (options.stats != nullptr) options.stats->CountCacheHits(cached_subplans);
     acc.AddAll(*ans);
     return true;
   });

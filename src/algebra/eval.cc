@@ -8,45 +8,9 @@
 namespace incdb {
 namespace {
 
-// Flattens the top-level AND spine of a predicate into conjuncts.
-void FlattenAnd(const PredicatePtr& p, std::vector<PredicatePtr>* out) {
-  if (p->kind() == Predicate::Kind::kAnd) {
-    FlattenAnd(p->left(), out);
-    FlattenAnd(p->right(), out);
-    return;
-  }
-  out->push_back(p);
-}
-
-// Partition of a selection predicate over a product whose left input has
-// arity `left_arity`: cross-boundary column equalities become join keys,
-// everything else is re-ANDed into the residual (null when empty).
-struct JoinSplit {
-  std::vector<JoinKey> keys;
-  PredicatePtr residual;
-};
-
-JoinSplit SplitForEquiJoin(const PredicatePtr& pred, size_t left_arity) {
-  std::vector<PredicatePtr> conjuncts;
-  FlattenAnd(pred, &conjuncts);
-  JoinSplit split;
-  for (const PredicatePtr& c : conjuncts) {
-    if (c->kind() == Predicate::Kind::kCmp && c->op() == CmpOp::kEq &&
-        c->lhs().kind == Term::Kind::kColumn &&
-        c->rhs().kind == Term::Kind::kColumn) {
-      size_t a = c->lhs().column;
-      size_t b = c->rhs().column;
-      if (a > b) std::swap(a, b);
-      if (a < left_arity && b >= left_arity) {
-        split.keys.push_back(JoinKey{a, b - left_arity});
-        continue;
-      }
-    }
-    split.residual =
-        split.residual ? Predicate::And(split.residual, c) : c;
-  }
-  return split;
-}
+// SplitForEquiJoin (the σ-over-× → hash-join peephole's key extraction)
+// lives in engine/kernels.h, shared with the plan optimizer and the subplan
+// cache's index pre-builder.
 
 // Reference nested-loop division; kept as the semantics the hash kernel is
 // property-tested against and used when hash kernels are disabled.
@@ -98,6 +62,9 @@ struct Rec {
       scope.CountOut(r.size());
       return &r;
     }
+    // Literals (including cached subplan results substituted by the subplan
+    // cache) are used in place, so their hash and column indexes survive.
+    if (e->kind() == RAExpr::Kind::kConstRel) return &e->literal();
     INCDB_ASSIGN_OR_RETURN(*storage, Run(e));
     return storage;
   }

@@ -93,10 +93,15 @@ Status ForEachValuationParallel(
   if (domain.empty()) {
     return Status::InvalidArgument("empty world domain with nulls present");
   }
-  // Force the lazy canonical forms of the shared instance on this thread:
-  // workers call v.Apply(d) (and callers' closures typically read d too),
-  // which must see only immutable state.
-  for (const auto& kv : d.relations()) kv.second.tuples();
+  // Force the lazy canonical forms and completeness memos of the shared
+  // instance on this thread: workers call v.Apply(d) (and callers' closures
+  // typically read d too), which must see only immutable state. With the
+  // memo warm, Apply's copy-on-write fast path for complete relations is a
+  // pure read.
+  for (const auto& kv : d.relations()) {
+    kv.second.tuples();
+    kv.second.IsComplete();
+  }
 
   // One budget across all sub-spaces (the per-enumeration counter of the
   // serial driver would let k sub-spaces emit k·max_worlds worlds).

@@ -1,43 +1,127 @@
 #include "core/relation.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
 #include "util/status.h"
 
 namespace incdb {
 
 Relation::Relation(size_t arity, std::vector<Tuple> tuples)
-    : arity_(arity), tuples_(std::move(tuples)), dirty_(true) {
-  for (const Tuple& t : tuples_) {
+    : arity_(arity),
+      tuples_(std::make_shared<std::vector<Tuple>>(std::move(tuples))),
+      dirty_(true) {
+  for (const Tuple& t : *tuples_) {
     INCDB_CHECK_MSG(t.arity() == arity_, "tuple arity mismatch");
   }
 }
 
+Relation::Relation(const Relation& o) : arity_(o.arity_) {
+  // Shared storage must be canonical so either side can read it lazily
+  // without writing; canonicalize while `o` still owns it uniquely.
+  o.EnsureCanonical();
+  tuples_ = o.tuples_;
+  index_ = o.index_;
+  col_indexes_ = o.col_indexes_;
+  complete_.store(o.complete_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  version_ = o.version_;
+}
+
+Relation& Relation::operator=(const Relation& o) {
+  if (this == &o) return *this;
+  o.EnsureCanonical();
+  arity_ = o.arity_;
+  tuples_ = o.tuples_;
+  dirty_ = false;
+  index_ = o.index_;
+  col_indexes_ = o.col_indexes_;
+  complete_.store(o.complete_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  version_ = o.version_;
+  return *this;
+}
+
+Relation::Relation(Relation&& o) noexcept
+    : arity_(o.arity_),
+      tuples_(std::move(o.tuples_)),
+      dirty_(o.dirty_),
+      index_(std::move(o.index_)),
+      col_indexes_(std::move(o.col_indexes_)),
+      version_(o.version_) {
+  complete_.store(o.complete_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  o.dirty_ = false;
+  o.complete_.store(-1, std::memory_order_relaxed);
+}
+
+Relation& Relation::operator=(Relation&& o) noexcept {
+  if (this == &o) return *this;
+  arity_ = o.arity_;
+  tuples_ = std::move(o.tuples_);
+  dirty_ = o.dirty_;
+  index_ = std::move(o.index_);
+  col_indexes_ = std::move(o.col_indexes_);
+  complete_.store(o.complete_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  version_ = o.version_;
+  o.dirty_ = false;
+  o.complete_.store(-1, std::memory_order_relaxed);
+  return *this;
+}
+
+const std::vector<Tuple>& Relation::EmptyTuples() {
+  static const std::vector<Tuple> empty;
+  return empty;
+}
+
 void Relation::EnsureCanonical() const {
   if (!dirty_) return;
-  std::sort(tuples_.begin(), tuples_.end());
-  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+  // dirty_ implies uniquely owned storage (mutators clone before writing),
+  // so sorting in place cannot be observed through another relation.
+  std::sort(tuples_->begin(), tuples_->end());
+  tuples_->erase(std::unique(tuples_->begin(), tuples_->end()),
+                 tuples_->end());
   dirty_ = false;
 }
 
-size_t Relation::size() const {
-  EnsureCanonical();
-  return tuples_.size();
+void Relation::EnsureUniqueStorage() {
+  if (tuples_ == nullptr) {
+    tuples_ = std::make_shared<std::vector<Tuple>>();
+  } else if (tuples_.use_count() > 1) {
+    tuples_ = std::make_shared<std::vector<Tuple>>(*tuples_);
+  }
 }
+
+size_t Relation::size() const { return tuples().size(); }
 
 void Relation::Add(Tuple t) {
   INCDB_CHECK_MSG(t.arity() == arity_, "tuple arity mismatch");
-  tuples_.push_back(std::move(t));
+  EnsureUniqueStorage();
+  if (t.HasNull()) {
+    complete_.store(0, std::memory_order_relaxed);
+  }
+  // A null-free tuple cannot invalidate a positive memo; leave it.
+  tuples_->push_back(std::move(t));
   dirty_ = true;
   index_.reset();
+  col_indexes_.reset();
+  ++version_;
 }
 
 void Relation::AddAll(const Relation& other) {
   INCDB_CHECK_MSG(other.arity() == arity_, "relation arity mismatch");
-  for (const Tuple& t : other.tuples()) tuples_.push_back(t);
+  const std::vector<Tuple>& src = other.tuples();  // canonicalizes other
+  EnsureUniqueStorage();
+  if (!other.IsComplete()) {
+    complete_.store(0, std::memory_order_relaxed);
+  }
+  tuples_->reserve(tuples_->size() + src.size());
+  for (const Tuple& t : src) tuples_->push_back(t);
   dirty_ = true;
   index_.reset();
+  col_indexes_.reset();
+  ++version_;
 }
 
 const std::unordered_set<Tuple, TupleHash>& Relation::HashIndex() const {
@@ -45,11 +129,39 @@ const std::unordered_set<Tuple, TupleHash>& Relation::HashIndex() const {
     // Built from the raw vector: duplicates collapse in the set, so the
     // index does not require (or trigger) canonicalization.
     auto idx = std::make_shared<std::unordered_set<Tuple, TupleHash>>();
-    idx->reserve(tuples_.size());
-    for (const Tuple& t : tuples_) idx->insert(t);
+    if (tuples_ != nullptr) {
+      idx->reserve(tuples_->size());
+      for (const Tuple& t : *tuples_) idx->insert(t);
+    }
     index_ = std::move(idx);
   }
   return *index_;
+}
+
+const TupleRowIndex& Relation::BuildColumnIndex(
+    const std::vector<size_t>& cols) const {
+  // Row ids refer to the canonical order, so probes and tuples() agree.
+  const std::vector<Tuple>& rows = tuples();
+  if (col_indexes_ == nullptr) {
+    col_indexes_ =
+        std::make_shared<std::map<std::vector<size_t>, TupleRowIndex>>();
+  }
+  auto [it, inserted] = col_indexes_->try_emplace(cols);
+  if (inserted) {
+    it->second.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      it->second[HashColumns(rows[i], cols)].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+  return it->second;
+}
+
+const TupleRowIndex* Relation::FindColumnIndex(
+    const std::vector<size_t>& cols) const {
+  if (col_indexes_ == nullptr) return nullptr;
+  auto it = col_indexes_->find(cols);
+  return it == col_indexes_->end() ? nullptr : &it->second;
 }
 
 bool Relation::Contains(const Tuple& t) const {
@@ -57,15 +169,27 @@ bool Relation::Contains(const Tuple& t) const {
 }
 
 const std::vector<Tuple>& Relation::tuples() const {
+  if (tuples_ == nullptr) return EmptyTuples();
   EnsureCanonical();
-  return tuples_;
+  return *tuples_;
 }
 
 bool Relation::IsComplete() const {
-  for (const Tuple& t : tuples()) {
-    if (t.HasNull()) return false;
+  int8_t memo = complete_.load(std::memory_order_relaxed);
+  if (memo < 0) {
+    // Computed over the raw vector — duplicates and order are irrelevant.
+    memo = 1;
+    if (tuples_ != nullptr) {
+      for (const Tuple& t : *tuples_) {
+        if (t.HasNull()) {
+          memo = 0;
+          break;
+        }
+      }
+    }
+    complete_.store(memo, std::memory_order_relaxed);
   }
-  return true;
+  return memo == 1;
 }
 
 bool Relation::IsCoddTable() const {
@@ -99,6 +223,7 @@ std::set<Value> Relation::Constants() const {
 }
 
 Relation Relation::CompletePart() const {
+  if (IsComplete()) return *this;  // share storage
   Relation out(arity_);
   for (const Tuple& t : tuples()) {
     if (!t.HasNull()) out.Add(t);

@@ -5,23 +5,40 @@
 // makes set-equality, subset tests and iteration deterministic while keeping
 // bulk loads O(n log n).
 //
+// Tuple storage is copy-on-write: copying a relation canonicalizes it once
+// and then shares the underlying vector, so the per-world database copies of
+// the enumeration drivers are O(1) for every relation no valuation changes.
+// Storage reachable from more than one relation is always canonical; mutators
+// clone before writing, so copies never observe each other's changes.
+//
 // Membership is served by a lazily built hash-set index (expected O(1) per
 // probe). The index is an immutable snapshot shared across copies and
 // invalidated by mutation, so copying a relation never copies the index and
-// repeated probes against a stable relation build it exactly once.
+// repeated probes against a stable relation build it exactly once. Column
+// indexes (for equi-join and division probes against a pinned relation) are
+// built explicitly via BuildColumnIndex and shared the same way.
 
 #ifndef INCDB_CORE_RELATION_H_
 #define INCDB_CORE_RELATION_H_
 
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/tuple.h"
 
 namespace incdb {
+
+/// Hash index keyed by the values at a fixed column list: HashColumns(t,
+/// cols) → row indices into tuples() whose columns hash there (collisions
+/// included; confirm with ColumnsEqual).
+using TupleRowIndex = std::unordered_map<size_t, std::vector<uint32_t>>;
 
 /// A set of same-arity tuples; the unit of incomplete data (a naïve table).
 class Relation {
@@ -31,6 +48,14 @@ class Relation {
 
   /// Builds a relation from tuples; all must have arity `arity`.
   Relation(size_t arity, std::vector<Tuple> tuples);
+
+  // Copies share the (canonicalized) tuple storage and every cached index;
+  // moves steal them. Mutating either side afterwards is safe (copy-on-
+  // write) but, like all mutation, requires external synchronization.
+  Relation(const Relation& o);
+  Relation& operator=(const Relation& o);
+  Relation(Relation&& o) noexcept;
+  Relation& operator=(Relation&& o) noexcept;
 
   size_t arity() const { return arity_; }
 
@@ -51,10 +76,20 @@ class Relation {
   /// next mutation; the returned reference is invalidated by mutation.
   const std::unordered_set<Tuple, TupleHash>& HashIndex() const;
 
+  /// Builds (or returns the cached) hash index keyed by the values at
+  /// `cols`, with row ids into tuples(). Not thread-safe — call it on the
+  /// owning thread before sharing the relation; afterwards FindColumnIndex
+  /// is a read-only lookup safe under concurrent readers.
+  const TupleRowIndex& BuildColumnIndex(const std::vector<size_t>& cols) const;
+
+  /// The column index previously built for `cols`, or nullptr. Never builds.
+  const TupleRowIndex* FindColumnIndex(const std::vector<size_t>& cols) const;
+
   /// Canonical (sorted, deduplicated) tuple list.
   const std::vector<Tuple>& tuples() const;
 
-  /// True if no tuple contains a null.
+  /// True if no tuple contains a null. Memoized (O(n) once per content);
+  /// copies inherit the memo. Safe under concurrent readers.
   bool IsComplete() const;
 
   /// True if every null occurring in the relation occurs exactly once
@@ -70,6 +105,16 @@ class Relation {
   /// The subset of tuples without nulls (D_cmpl in the paper).
   Relation CompletePart() const;
 
+  /// Bumped on every mutation; used (with IsComplete) to stamp cached
+  /// evaluation results that depend on this relation's content.
+  uint64_t version() const { return version_; }
+
+  /// True when both relations share the same underlying tuple storage
+  /// (copy-on-write aliasing; empty relations never share).
+  bool SharesStorageWith(const Relation& o) const {
+    return tuples_ != nullptr && tuples_ == o.tuples_;
+  }
+
   bool operator==(const Relation& o) const;
   bool operator!=(const Relation& o) const { return !(*this == o); }
 
@@ -81,12 +126,26 @@ class Relation {
 
  private:
   void EnsureCanonical() const;
+  // Clones shared storage (and allocates empty storage) before a mutation.
+  void EnsureUniqueStorage();
+  static const std::vector<Tuple>& EmptyTuples();
 
   size_t arity_;
-  mutable std::vector<Tuple> tuples_;
+  // Shared copy-on-write tuple storage; null means "no tuples". Invariant:
+  // storage reachable from more than one Relation is canonical.
+  mutable std::shared_ptr<std::vector<Tuple>> tuples_;
   mutable bool dirty_ = false;
   // Immutable membership snapshot; shared by copies, reset on mutation.
   mutable std::shared_ptr<const std::unordered_set<Tuple, TupleHash>> index_;
+  // Explicitly built column indexes (BuildColumnIndex); shared by copies,
+  // reset on mutation. Row ids refer to the canonical tuple order.
+  mutable std::shared_ptr<std::map<std::vector<size_t>, TupleRowIndex>>
+      col_indexes_;
+  // Memoized IsComplete: -1 unknown, 0 has nulls, 1 complete. Atomic so
+  // concurrent readers of a shared relation may race to fill it benignly
+  // (both compute the same value).
+  mutable std::atomic<int8_t> complete_{-1};
+  uint64_t version_ = 0;
 };
 
 }  // namespace incdb

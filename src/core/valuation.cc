@@ -42,6 +42,11 @@ Tuple Valuation::Apply(const Tuple& t) const {
 }
 
 Relation Valuation::Apply(const Relation& r) const {
+  // A valuation only substitutes for nulls, so a complete relation (or any
+  // relation under the empty valuation) maps to itself; the returned copy
+  // shares the tuple storage (copy-on-write) instead of rebuilding it. The
+  // tuple set is identical either way.
+  if (map_.empty() || r.IsComplete()) return r;
   Relation out(r.arity());
   for (const Tuple& t : r.tuples()) out.Add(Apply(t));
   return out;

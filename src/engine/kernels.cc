@@ -9,23 +9,9 @@
 namespace incdb {
 namespace {
 
-// Key of a tuple under a column list, hashed like a Tuple of the projected
-// values (without materializing the projection for probes).
-size_t HashColumns(const Tuple& t, const std::vector<size_t>& cols) {
-  size_t h = 0x345678;
-  for (size_t c : cols) {
-    h = h * 1000003 ^ t[c].Hash();
-  }
-  return h ^ cols.size();
-}
-
-bool ColumnsEqual(const Tuple& a, const std::vector<size_t>& a_cols,
-                  const Tuple& b, const std::vector<size_t>& b_cols) {
-  for (size_t i = 0; i < a_cols.size(); ++i) {
-    if (!(a[a_cols[i]] == b[b_cols[i]])) return false;
-  }
-  return true;
-}
+// HashColumns / ColumnsEqual live in core/tuple.h so that the column indexes
+// cached on a Relation (BuildColumnIndex) hash exactly like the kernels'
+// probes.
 
 // Probe-side chunk grain for the parallel plans: small enough to balance,
 // large enough that chunk bookkeeping is noise.
@@ -98,7 +84,38 @@ void MergeProbeChunks(std::vector<ProbeChunk>& chunks, Relation* out,
   }
 }
 
+// Flattens the top-level AND spine of a predicate into conjuncts.
+void FlattenAnd(const PredicatePtr& p, std::vector<PredicatePtr>* out) {
+  if (p->kind() == Predicate::Kind::kAnd) {
+    FlattenAnd(p->left(), out);
+    FlattenAnd(p->right(), out);
+    return;
+  }
+  out->push_back(p);
+}
+
 }  // namespace
+
+JoinSplit SplitForEquiJoin(const PredicatePtr& pred, size_t left_arity) {
+  std::vector<PredicatePtr> conjuncts;
+  FlattenAnd(pred, &conjuncts);
+  JoinSplit split;
+  for (const PredicatePtr& c : conjuncts) {
+    if (c->kind() == Predicate::Kind::kCmp && c->op() == CmpOp::kEq &&
+        c->lhs().kind == Term::Kind::kColumn &&
+        c->rhs().kind == Term::Kind::kColumn) {
+      size_t a = c->lhs().column;
+      size_t b = c->rhs().column;
+      if (a > b) std::swap(a, b);
+      if (a < left_arity && b >= left_arity) {
+        split.keys.push_back(JoinKey{a, b - left_arity});
+        continue;
+      }
+    }
+    split.residual = split.residual ? Predicate::And(split.residual, c) : c;
+  }
+  return split;
+}
 
 Relation HashJoin(const Relation& l, const Relation& r,
                   const std::vector<JoinKey>& keys, const Predicate* residual,
@@ -125,12 +142,30 @@ Relation HashJoin(const Relation& l, const Relation& r,
   const std::vector<Tuple>& probe = l.tuples();
   scope.CountIn(probe.size() + build.size());
 
+  // A column index cached on the build relation (subplan cache: built once
+  // on the driver thread, probed read-only here) replaces the per-call
+  // build phase entirely. Row ids refer to r's canonical tuple vector.
+  const TupleRowIndex* cached = r.FindColumnIndex(r_cols);
+
+  // Tries a ++ b against the residual and emits into `c`.
+  auto try_match = [&](const Tuple& a, const Tuple& b, ProbeChunk& c) {
+    if (!ColumnsEqual(a, l_cols, b, r_cols)) return;  // hash collision
+    Tuple joined = a.Concat(b);
+    if (residual != nullptr && !residual->EvalNaive(joined)) return;
+    ++c.emitted;
+    c.out.push_back(projection != nullptr ? joined.Project(*projection)
+                                          : std::move(joined));
+  };
+
   if (UseParallelPlan(options, probe.size())) {
-    // Partitioned build + parallel probe. Both relations are canonical now
-    // (tuples() above ran on this thread), so workers only read.
+    // Partitioned build (skipped when a cached index exists) + parallel
+    // probe. Both relations are canonical now (tuples() above ran on this
+    // thread), so workers only read.
     std::vector<size_t> build_hashes;
-    PartitionedIndex tables =
-        BuildPartitioned(build, r_cols, options, &build_hashes);
+    PartitionedIndex tables;
+    if (cached == nullptr) {
+      tables = BuildPartitioned(build, r_cols, options, &build_hashes);
+    }
     const size_t parts = tables.size();
     std::vector<ProbeChunk> chunks(
         ParallelChunkCount(options.num_threads, probe.size(), kProbeGrain));
@@ -142,19 +177,15 @@ Relation HashJoin(const Relation& l, const Relation& r,
             const Tuple& a = probe[i];
             ++c.probes;
             const size_t h = HashColumns(a, l_cols);
-            const auto& table = tables[h % parts];
-            auto it = table.find(h);
-            if (it == table.end()) continue;
-            for (const Tuple* b : it->second) {
-              if (!ColumnsEqual(a, l_cols, *b, r_cols)) continue;
-              Tuple joined = a.Concat(*b);
-              if (residual != nullptr && !residual->EvalNaive(joined)) {
-                continue;
-              }
-              ++c.emitted;
-              c.out.push_back(projection != nullptr
-                                  ? joined.Project(*projection)
-                                  : std::move(joined));
+            if (cached != nullptr) {
+              auto it = cached->find(h);
+              if (it == cached->end()) continue;
+              for (uint32_t bi : it->second) try_match(a, build[bi], c);
+            } else {
+              const auto& table = tables[h % parts];
+              auto it = table.find(h);
+              if (it == table.end()) continue;
+              for (const Tuple* b : it->second) try_match(a, *b, c);
             }
           }
           return Status::OK();
@@ -164,31 +195,30 @@ Relation HashJoin(const Relation& l, const Relation& r,
   }
 
   std::unordered_map<size_t, std::vector<const Tuple*>> table;
-  table.reserve(build.size());
-  for (const Tuple& b : build) {
-    table[HashColumns(b, r_cols)].push_back(&b);
-  }
-
-  uint64_t probes = 0;
-  uint64_t emitted = 0;
-  for (const Tuple& a : probe) {
-    ++probes;
-    auto it = table.find(HashColumns(a, l_cols));
-    if (it == table.end()) continue;
-    for (const Tuple* b : it->second) {
-      if (!ColumnsEqual(a, l_cols, *b, r_cols)) continue;  // hash collision
-      Tuple joined = a.Concat(*b);
-      if (residual != nullptr && !residual->EvalNaive(joined)) continue;
-      ++emitted;
-      if (projection != nullptr) {
-        out.Add(joined.Project(*projection));
-      } else {
-        out.Add(std::move(joined));
-      }
+  if (cached == nullptr) {
+    table.reserve(build.size());
+    for (const Tuple& b : build) {
+      table[HashColumns(b, r_cols)].push_back(&b);
     }
   }
-  scope.CountProbes(probes);
-  scope.CountOut(emitted);
+
+  ProbeChunk serial;
+  for (const Tuple& a : probe) {
+    ++serial.probes;
+    const size_t h = HashColumns(a, l_cols);
+    if (cached != nullptr) {
+      auto it = cached->find(h);
+      if (it == cached->end()) continue;
+      for (uint32_t bi : it->second) try_match(a, build[bi], serial);
+    } else {
+      auto it = table.find(h);
+      if (it == table.end()) continue;
+      for (const Tuple* b : it->second) try_match(a, *b, serial);
+    }
+  }
+  for (Tuple& t : serial.out) out.Add(std::move(t));
+  scope.CountProbes(serial.probes);
+  scope.CountOut(serial.emitted);
   return out;
 }
 
@@ -267,12 +297,36 @@ Result<Relation> HashDivide(const Relation& r, const Relation& s,
   // hash index of the divisor: a head divides s iff its run contains |s|
   // divisor tails. No head table and no materialized projections on the way.
   const std::vector<Tuple>& divisor = s.tuples();  // canonical: deduplicated
+  // A cached column index on the divisor (world-invariant subplan cache)
+  // saves rebuilding the per-call index; row ids refer to `divisor`.
+  const TupleRowIndex* cached = s.FindColumnIndex(s_cols);
   std::unordered_map<size_t, std::vector<const Tuple*>> divisor_index;
-  divisor_index.reserve(divisor.size());
-  for (const Tuple& d : divisor) {
-    divisor_index[HashColumns(d, s_cols)].push_back(&d);
+  if (cached == nullptr) {
+    divisor_index.reserve(divisor.size());
+    for (const Tuple& d : divisor) {
+      divisor_index[HashColumns(d, s_cols)].push_back(&d);
+    }
   }
   scope.CountIn(r.tuples().size() + divisor.size());
+
+  // True when rows[j]'s tail appears in the divisor.
+  auto tail_in_divisor = [&](const Tuple& row) {
+    const size_t h = HashColumns(row, tail_cols);
+    if (cached != nullptr) {
+      auto it = cached->find(h);
+      if (it == cached->end()) return false;
+      for (uint32_t di : it->second) {
+        if (ColumnsEqual(row, tail_cols, divisor[di], s_cols)) return true;
+      }
+      return false;
+    }
+    auto it = divisor_index.find(h);
+    if (it == divisor_index.end()) return false;
+    for (const Tuple* d : it->second) {
+      if (ColumnsEqual(row, tail_cols, *d, s_cols)) return true;
+    }
+    return false;
+  };
 
   const std::vector<Tuple>& rows = r.tuples();
   Relation out(m);
@@ -285,14 +339,7 @@ Result<Relation> HashDivide(const Relation& r, const Relation& s,
            ColumnsEqual(rows[j], head_cols, rows[i], head_cols);
          ++j) {
       ++probes;
-      auto it = divisor_index.find(HashColumns(rows[j], tail_cols));
-      if (it == divisor_index.end()) continue;
-      for (const Tuple* d : it->second) {
-        if (ColumnsEqual(rows[j], tail_cols, *d, s_cols)) {
-          ++matched;
-          break;
-        }
-      }
+      if (tail_in_divisor(rows[j])) ++matched;
     }
     if (matched == divisor.size()) out.Add(rows[i].Project(head_cols));
     i = j;

@@ -40,6 +40,19 @@ struct JoinKey {
   size_t right_col;
 };
 
+/// Partition of a selection predicate over a product whose left input has
+/// arity `left_arity`: cross-boundary column equalities become join keys,
+/// everything else is re-ANDed into the residual (null when empty).
+struct JoinSplit {
+  std::vector<JoinKey> keys;
+  PredicatePtr residual;
+};
+
+/// Splits the top-level AND-conjuncts of `pred` for the equi-join kernel.
+/// Shared by the evaluators' σ-over-× peephole, the plan optimizer, and the
+/// subplan cache (which pre-builds the matching column index).
+JoinSplit SplitForEquiJoin(const PredicatePtr& pred, size_t left_arity);
+
 /// Build/probe hash equi-join: all tuples a ++ b with a ∈ l, b ∈ r,
 /// a[k.left_col] == b[k.right_col] for every key (syntactic equality —
 /// nulls are values), and `residual` (may be null: no further filter)

@@ -5,6 +5,7 @@
 #include "algebra/certain.h"
 #include "algebra/eval.h"
 #include "algebra/eval_3vl.h"
+#include "algebra/optimize.h"
 #include "algebra/parser.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
@@ -72,6 +73,7 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
   if (ra_view != nullptr) {
     resp.fragment = Classify(ra_view);
     resp.naive_guarantee = NaiveEvaluationWorks(ra_view, request.semantics);
+    resp.plan = ra_view;
   }
 
   auto finish = [&](Result<Relation> r) -> Result<QueryResponse> {
@@ -103,6 +105,16 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
         ra = ra_view;
         break;
     }
+  }
+
+  // Optimize RA plans once here; the drivers see `optimize = false` so the
+  // enumeration paths don't re-run the rewriter. The optimized plan answers
+  // bit-identically (and classifies identically — checked by Optimize), so
+  // the fragment/guarantee fields above still describe it.
+  if (ra != nullptr && opts.optimize) {
+    resp.optimized_plan = Optimize(ra, db_);
+    ra = resp.optimized_plan;
+    opts.optimize = false;
   }
 
   switch (request.notion) {

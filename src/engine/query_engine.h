@@ -70,6 +70,13 @@ struct QueryResponse {
   /// Whether naïve evaluation computes certain answers for this query under
   /// the requested semantics (equation (4) of the paper).
   bool naive_guarantee = false;
+  /// The RA form of the query as written/translated (null when the SQL
+  /// query has no RA translation).
+  RAExprPtr plan;
+  /// The plan actually executed after the algebraic optimizer ran (null
+  /// when the query ran through the SQL evaluator or `eval.optimize` was
+  /// off). Equal answers are guaranteed; `explain` prints both.
+  RAExprPtr optimized_plan;
   /// Per-operator counters for this run (always collected).
   EvalStats stats;
 };

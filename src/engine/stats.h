@@ -71,6 +71,8 @@ class EvalStats {
 
   void Merge(const EvalStats& o) {
     for (size_t i = 0; i < kNumEvalOps; ++i) ops_[i].Merge(o.ops_[i]);
+    cache_hits_ += o.cache_hits_;
+    cache_misses_ += o.cache_misses_;
   }
   void Reset() { *this = EvalStats(); }
 
@@ -79,11 +81,21 @@ class EvalStats {
   uint64_t TotalTuplesOut() const;
   uint64_t TotalNanos() const;
 
+  /// World-invariant subplan cache: results reused instead of re-evaluated
+  /// (one hit per cached subplan per additional world) / distinct subplans
+  /// evaluated and stored.
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  void CountCacheHits(uint64_t n) { cache_hits_ += n; }
+  void CountCacheMisses(uint64_t n) { cache_misses_ += n; }
+
   /// Multi-line table of the operators with non-zero counters.
   std::string ToString() const;
 
  private:
   std::array<OpCounters, kNumEvalOps> ops_{};
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 /// Options threaded through every evaluator.
@@ -110,6 +122,16 @@ struct EvalOptions {
   /// rows; below it, fan-out costs more than the scan. Tests lower it to
   /// force the parallel code paths onto small inputs.
   size_t parallel_row_threshold = 4096;
+  /// Run the algebraic plan optimizer (selection/projection pushdown, σσ
+  /// collapse, greedy join ordering) before evaluating RA plans. Semantics-
+  /// and fragment-preserving: answers are bit-identical either way.
+  bool optimize = true;
+  /// In the enumeration drivers (CertainAnswersEnum / PossibleAnswersEnum),
+  /// evaluate world-invariant subplans — subtrees whose scans are all
+  /// null-free relations — once, and share the results (with their hash
+  /// indexes) across all worlds and workers. Answers are bit-identical
+  /// either way; `stats` reports hits/misses.
+  bool cache_subplans = true;
 };
 
 /// RAII scope that attributes wall time and counters to one operator.

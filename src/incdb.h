@@ -32,6 +32,7 @@
 #include "algebra/eval.h"
 #include "algebra/parser.h"
 #include "algebra/eval_3vl.h"
+#include "algebra/optimize.h"
 #include "algebra/predicate.h"
 #include "constraints/fd.h"
 #include "core/core_of.h"
@@ -53,6 +54,7 @@
 #include "engine/kernels.h"
 #include "engine/query_engine.h"
 #include "engine/stats.h"
+#include "engine/subplan_cache.h"
 #include "exchange/chase.h"
 #include "exchange/general_chase.h"
 #include "exchange/mapping.h"

@@ -101,5 +101,87 @@ TEST(RelationTest, AddAllMergesSets) {
   EXPECT_EQ(a.size(), 2u);
 }
 
+TEST(RelationTest, IsCompleteMemoInvalidatesOnMutation) {
+  Relation r(2);
+  r.Add(T2(1, 2));
+  EXPECT_TRUE(r.IsComplete());
+  // Adding a null tuple must flip the memoized answer immediately.
+  r.Add(Tuple{Value::Int(3), Value::Null(0)});
+  EXPECT_FALSE(r.IsComplete());
+  // And stays false after further null-free additions.
+  r.Add(T2(4, 5));
+  EXPECT_FALSE(r.IsComplete());
+
+  Relation s(1);
+  s.Add(Tuple{Value::Null(1)});
+  EXPECT_FALSE(s.IsComplete());
+  Relation via_addall(1);
+  via_addall.Add(Tuple{Value::Int(1)});
+  EXPECT_TRUE(via_addall.IsComplete());
+  via_addall.AddAll(s);  // merging an incomplete relation taints the memo
+  EXPECT_FALSE(via_addall.IsComplete());
+}
+
+TEST(RelationTest, CopySharesStorageUntilMutation) {
+  Relation a(2);
+  a.Add(T2(1, 2));
+  a.Add(T2(3, 4));
+  a.tuples();  // canonicalize
+
+  Relation b = a;
+  EXPECT_TRUE(b.SharesStorageWith(a));
+  EXPECT_EQ(b, a);
+
+  // Mutating the copy must not disturb the original (copy-on-write).
+  b.Add(T2(5, 6));
+  EXPECT_FALSE(b.SharesStorageWith(a));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(a.Contains(T2(1, 2)));
+  EXPECT_FALSE(a.Contains(T2(5, 6)));
+}
+
+TEST(RelationTest, VersionAdvancesOnMutationOnly) {
+  Relation r(2);
+  const uint64_t v0 = r.version();
+  r.Add(T2(1, 2));
+  EXPECT_GT(r.version(), v0);
+  const uint64_t v1 = r.version();
+  r.tuples();  // reads don't bump the version
+  (void)r.IsComplete();
+  EXPECT_EQ(r.version(), v1);
+  Relation copy = r;
+  EXPECT_EQ(copy.version(), v1);
+}
+
+TEST(RelationTest, ColumnIndexIsBuiltFoundAndInvalidated) {
+  Relation r(2);
+  r.Add(T2(1, 10));
+  r.Add(T2(2, 10));
+  r.Add(T2(3, 20));
+
+  EXPECT_EQ(r.FindColumnIndex({1}), nullptr);  // not built yet
+  const TupleRowIndex& idx = r.BuildColumnIndex({1});
+  ASSERT_EQ(r.FindColumnIndex({1}), &idx);
+  EXPECT_EQ(r.FindColumnIndex({0}), nullptr);  // other columns unaffected
+
+  // Row ids in each bucket point into the canonical tuple vector.
+  size_t indexed_rows = 0;
+  for (const auto& [hash, rows] : idx) {
+    for (uint32_t row : rows) {
+      ASSERT_LT(row, r.tuples().size());
+      ++indexed_rows;
+    }
+  }
+  EXPECT_EQ(indexed_rows, r.tuples().size());
+
+  // A copy shares the index; mutation drops it on the mutated side only.
+  Relation copy = r;
+  EXPECT_EQ(copy.FindColumnIndex({1}), &idx);
+  copy.Add(T2(4, 30));
+  EXPECT_EQ(copy.FindColumnIndex({1}), nullptr);
+  EXPECT_NE(r.FindColumnIndex({1}), nullptr);
+}
+
 }  // namespace
 }  // namespace incdb
