@@ -76,6 +76,40 @@ void BM_DiffNaiveForced(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffNaiveForced)->DenseRange(2, 8, 1);
 
+// Thread sweep over the difference ground truth: same instance and query at
+// num_threads ∈ {1, 2, 4, 8}. See BM_WorldEnumerationThreads (bench_e2) for
+// how "speedup" is computed.
+void BM_DiffCertainEnumerationThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Database db = SmallDb(3, 7, 0.3);
+  auto q = DiffQuery();
+  EvalOptions serial;
+  serial.num_threads = 1;
+  const double serial_seconds = incdb_bench::SecondsOf([&] {
+    benchmark::DoNotOptimize(
+        CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld, {}, serial));
+  });
+  EvalOptions options;
+  options.num_threads = threads;
+  double total_seconds = 0;
+  for (auto _ : state) {
+    total_seconds += incdb_bench::SecondsOf([&] {
+      benchmark::DoNotOptimize(CertainAnswersEnum(
+          q, db, WorldSemantics::kClosedWorld, {}, options));
+    });
+  }
+  state.SetLabel("nulls=" + std::to_string(db.Nulls().size()));
+  incdb_bench::ReportThreadScaling(
+      state, threads, serial_seconds,
+      total_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DiffCertainEnumerationThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 // Optimizer/subplan-cache sweep for a difference query whose right side is
 // an expensive world-invariant subtree: π_{0}(R0 − σ_{#0≠#1}(R1)) with a
 // 5-row null-carrying R0 and a 1024-row complete R1. Per world the uncached
@@ -147,5 +181,68 @@ BENCHMARK(BM_DiffOptCache)
     ->Args({0, 1})
     ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
+
+// Delta-eval sweep: the asymmetric difference shape with a 200-row
+// null-carrying left side. The subplan cache already splices the complete
+// σ(R1) subtree, but the classic driver still re-runs the ~200-row diff in
+// every world; the differential path adjusts only the tuple whose null
+// changed. Two marked nulls over the 32-value domain give 34² worlds.
+Database DeltaDiffDb() {
+  Database db;
+  Relation* r0 = db.MutableRelation("R0", 2);
+  r0->Add(Tuple{Value::Int(7), Value::Int(7)});  // diagonal: always certain
+  for (int64_t i = 0; i < 200; ++i) {
+    r0->Add(Tuple{Value::Int(i % 32), Value::Int((i / 32) * 5 % 32)});
+  }
+  r0->Add(Tuple{Value::Null(0), Value::Int(3)});
+  r0->Add(Tuple{Value::Int(5), Value::Null(1)});
+  Relation* r1 = db.MutableRelation("R1", 2);
+  for (int64_t a = 0; a < 32; ++a) {
+    for (int64_t b = 0; b < 32; ++b) {
+      r1->Add(Tuple{Value::Int(a), Value::Int(b)});
+    }
+  }
+  return db;
+}
+
+// arg encodes delta_eval on/off; see BM_WorldEnumerationDelta (bench_e2)
+// for how "speedup" is computed.
+void BM_DiffDelta(benchmark::State& state) {
+  const bool delta = state.range(0) != 0;
+  Database db = DeltaDiffDb();
+  auto q = RAExpr::Project(
+      {0},
+      RAExpr::Diff(
+          RAExpr::Scan("R0"),
+          RAExpr::Select(Predicate::Ne(Term::Column(0), Term::Column(1)),
+                         RAExpr::Scan("R1"))));
+  EvalOptions off;
+  off.delta_eval = false;
+  off.num_threads = 1;
+  auto run_off = [&] {
+    benchmark::DoNotOptimize(
+        CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld, {}, off));
+  };
+  run_off();  // warm the lazy canonicalization before timing the baseline
+  const double off_seconds = incdb_bench::SecondsOf(run_off);
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  options.delta_eval = delta;
+  options.num_threads = 1;
+  double total_seconds = 0;
+  for (auto _ : state) {
+    total_seconds += incdb_bench::SecondsOf([&] {
+      benchmark::DoNotOptimize(
+          CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld, {},
+                             options));
+    });
+  }
+  state.SetLabel("nulls=" + std::to_string(db.Nulls().size()));
+  incdb_bench::ReportDeltaSweep(
+      state, delta, stats, off_seconds,
+      total_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DiffDelta)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -10,9 +10,11 @@
 //   modes   <SELECT ...>                   all three side by side
 //   ra      <algebra expr>                 e.g. ra proj{0}(R - S)
 //   explain [naive|enum] <query>           pre/post-optimization plan, answer,
-//                                          per-operator + subplan-cache stats
+//                                          per-operator + subplan-cache +
+//                                          delta-eval stats
 //   stats   on|off                         per-operator counters after queries
 //   threads <n>                            worker threads (0 = auto, 1 = serial)
+//   delta   on|off                         differential world enumeration
 //   help / quit
 //
 // All query commands run through the QueryEngine facade
@@ -98,6 +100,7 @@ void PrintRelation(const Relation& r) {
 
 bool g_stats = false;
 int g_threads = 1;  // num_threads for every query; 1 = serial, 0 = auto
+bool g_delta = true;  // differential world enumeration (EvalOptions::delta_eval)
 
 // Runs one notion through the engine and prints the outcome under `label`.
 // Returns true when the answer was printed (vs an error).
@@ -120,6 +123,7 @@ QueryRequest SqlRequest(const std::string& sql, AnswerNotion notion) {
   req.sql_text = sql;
   req.notion = notion;
   req.eval.num_threads = g_threads;
+  req.eval.delta_eval = g_delta;
   return req;
 }
 
@@ -174,6 +178,7 @@ int main() {
           "                        algebra otherwise\n"
           "  stats on|off          per-operator counters after queries\n"
           "  threads <n>           worker threads (0 = auto, 1 = serial)\n"
+          "  delta on|off          differential world enumeration\n"
           "  quit\n");
       continue;
     }
@@ -268,6 +273,11 @@ int main() {
       std::printf("  stats %s\n", g_stats ? "on" : "off");
       continue;
     }
+    if (cmd == "delta") {
+      g_delta = EqualsIgnoreCase(rest, "on");
+      std::printf("  delta %s\n", g_delta ? "on" : "off");
+      continue;
+    }
     if (cmd == "threads") {
       int n = 0;
       if (std::sscanf(rest.c_str(), "%d", &n) != 1 || n < 0) {
@@ -305,6 +315,7 @@ int main() {
       }
       req.notion = notion;
       req.eval.num_threads = g_threads;
+      req.eval.delta_eval = g_delta;
       auto resp = engine.Run(req);
       if (!resp.ok()) {
         std::printf("  %s\n", resp.status().ToString().c_str());
@@ -331,6 +342,12 @@ int main() {
                     resp->stats.cache_hits() == 1 ? "" : "s",
                     static_cast<unsigned long long>(resp->stats.cache_misses()),
                     resp->stats.cache_misses() == 1 ? "" : "es");
+        std::printf(
+            "  delta eval:    %llu world%s applied / %llu fallback%s\n",
+            static_cast<unsigned long long>(resp->stats.delta_applied()),
+            resp->stats.delta_applied() == 1 ? "" : "s",
+            static_cast<unsigned long long>(resp->stats.delta_fallbacks()),
+            resp->stats.delta_fallbacks() == 1 ? "" : "s");
       }
       continue;
     }

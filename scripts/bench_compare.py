@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs benchmark-by-benchmark.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.20]
+
+Prints the per-benchmark CPU-time delta and exits nonzero if any benchmark
+present in both files regressed by more than the threshold (default +20%
+CPU time). Benchmarks present in only one file are reported but never fail
+the run; aggregate rows (mean/median/stddev repetitions) are ignored.
+"""
+
+import argparse
+import json
+import sys
+
+# google-benchmark stamps every entry with its time_unit; normalize to ns.
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_cpu_times(path):
+    """Returns {benchmark name: cpu time in ns} for the JSON file at `path`."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Repetition aggregates ("_mean" etc.) carry run_type "aggregate";
+        # plain runs either say "iteration" or omit the field entirely.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        unit = _UNIT_TO_NS.get(bench.get("time_unit", "ns"), 1.0)
+        times[bench["name"]] = float(bench["cpu_time"]) * unit
+    return times
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return "%.3f %s" % (ns / scale, unit)
+    return "%.0f ns" % ns
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two google-benchmark JSON files by CPU time.")
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="fail when CPU time grows by more than this fraction "
+             "(default: 0.20)")
+    args = parser.parse_args(argv)
+
+    base = load_cpu_times(args.baseline)
+    cur = load_cpu_times(args.current)
+
+    width = max((len(n) for n in set(base) | set(cur)), default=4)
+    print("%-*s  %14s  %14s  %s" % (
+        width, "benchmark", "baseline", "current", "delta"))
+    regressions = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print("%-*s  %14s  %14s  added" % (
+                width, name, "-", fmt_ns(cur[name])))
+            continue
+        if name not in cur:
+            print("%-*s  %14s  %14s  removed" % (
+                width, name, fmt_ns(base[name]), "-"))
+            continue
+        delta = (cur[name] - base[name]) / base[name] if base[name] else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, delta))
+        print("%-*s  %14s  %14s  %+6.1f%%%s" % (
+            width, name, fmt_ns(base[name]), fmt_ns(cur[name]),
+            100.0 * delta, flag))
+
+    if regressions:
+        print()
+        print("%d benchmark(s) regressed by more than %.0f%% CPU time:" % (
+            len(regressions), 100.0 * args.threshold))
+        for name, delta in regressions:
+            print("  %s  (+%.1f%%)" % (name, 100.0 * delta))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

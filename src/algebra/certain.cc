@@ -1,9 +1,13 @@
 #include "algebra/certain.h"
 
+#include <memory>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "algebra/eval.h"
 #include "algebra/optimize.h"
+#include "engine/delta_eval.h"
 #include "engine/subplan_cache.h"
 #include "util/thread_pool.h"
 
@@ -49,6 +53,50 @@ Result<RAExprPtr> PrepareEnumPlan(const RAExprPtr& e, const Database& db,
     *cached_subplans = prep.cached_subplans;
   }
   return plan;
+}
+
+// True when the delta-evaluation path should drive enumeration for this
+// plan: the knob is on, there is more than one world, and the plan compiles
+// differentially (no Δ). The probe Build also forces the scanned relations'
+// lazy state on the calling thread, which the parallel paths rely on.
+bool DeltaEligible(const RAExprPtr& plan, const Database& db,
+                   const EvalOptions& options) {
+  if (!options.delta_eval || db.Nulls().empty()) return false;
+  EvalOptions probe_options = options;
+  probe_options.stats = nullptr;
+  DeltaEvaluator probe;
+  return probe.Build(plan, db, probe_options).ok();
+}
+
+// Per-worker state for the parallel delta drivers: each worker owns one
+// DeltaEvaluator (built lazily on the worker's first callback, i.e. at its
+// chain start) plus its partial answer.
+struct DeltaWorker {
+  std::unique_ptr<DeltaEvaluator> de;
+  // Certain driver: the candidate tuples still present in every world the
+  // worker has seen. Possible driver: unused (acc holds the union).
+  std::unordered_set<Tuple, TupleHash> alive;
+  Relation acc;
+  bool started = false;
+  EvalStats stats;
+  Status error = Status::OK();
+};
+
+// Folds each worker's evaluator counters into its stats slot, merges the
+// slots into the caller's sink in worker order, and returns the
+// lowest-worker error, if any.
+Status MergeDeltaWorkerStats(std::vector<DeltaWorker>& workers,
+                             const EvalOptions& options) {
+  Status error = Status::OK();
+  for (DeltaWorker& w : workers) {
+    if (w.de != nullptr) {
+      w.stats.CountDeltaApplied(w.de->deltas_applied());
+      w.stats.CountDeltaFallbacks(w.de->node_fallbacks());
+    }
+    if (options.stats != nullptr) options.stats->Merge(w.stats);
+    if (error.ok() && !w.error.ok()) error = w.error;
+  }
+  return error;
 }
 
 }  // namespace
@@ -100,17 +148,79 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
   size_t cached_subplans = 0;
   INCDB_ASSIGN_OR_RETURN(RAExprPtr plan,
                          PrepareEnumPlan(e, db, options, &cached_subplans));
+  const bool delta = DeltaEligible(plan, db, options);
+  // Delta was requested but the plan is not differentiable (contains Δ):
+  // count one fallback per world evaluated the classic way.
+  const bool delta_fallback =
+      options.delta_eval && !db.Nulls().empty() && !delta;
 
   if (ResolveNumThreads(options.num_threads) > 1 && !db.Nulls().empty()) {
+    ForcePlanLiterals(plan);  // workers must only read literal lazy state
+    const size_t chunks = ParallelChunkCount(
+        options.num_threads, WorldDomain(db, opts).size(), /*grain=*/1);
+    if (delta) {
+      // Parallel delta driver: one Gray chain per worker. The worker seeds
+      // its candidate set from its chain's first world and thereafter only
+      // kills candidates reported removed by ApplyDelta — an incremental
+      // intersection (a tuple absent from any earlier world of the chain
+      // can never re-enter). Early exit matches the classic driver: an
+      // empty worker set stops every worker.
+      std::vector<DeltaWorker> workers(chunks);
+      Status st = ForEachValuationGrayParallel(
+          db, opts, options.num_threads,
+          [&](const Valuation& v, const ValuationDelta& d, size_t wi) {
+            DeltaWorker& w = workers[wi];
+            Status s;
+            if (!d.has_delta) {
+              w.de = std::make_unique<DeltaEvaluator>();
+              EvalOptions worker_options = options;
+              worker_options.stats = &w.stats;
+              s = w.de->Build(plan, db, worker_options);
+              if (s.ok()) s = w.de->Initialize(v);
+              if (!s.ok()) {
+                w.error = s;
+                return false;
+              }
+              const Relation out = w.de->Output();
+              for (const Tuple& t : out.tuples()) w.alive.insert(t);
+              w.started = true;
+            } else {
+              s = w.de->ApplyDelta(d);
+              if (!s.ok()) {
+                w.error = s;
+                return false;
+              }
+              for (const Tuple& t : w.de->removed()) w.alive.erase(t);
+            }
+            w.stats.CountCacheHits(cached_subplans);
+            return !w.alive.empty();
+          });
+      INCDB_RETURN_IF_ERROR(MergeDeltaWorkerStats(workers, options));
+      INCDB_RETURN_IF_ERROR(st);
+      bool any = false;
+      Relation acc(arity);
+      for (DeltaWorker& w : workers) {
+        if (!w.started) continue;  // worker saw no world
+        if (!any) {
+          for (const Tuple& t : w.alive) acc.Add(t);
+          any = true;
+          continue;
+        }
+        Relation next(arity);
+        for (const Tuple& t : acc.tuples()) {
+          if (w.alive.count(t) > 0) next.Add(t);
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
     // Parallel driver: each worker intersects the answers of its own
     // sub-space; the final answer is the intersection of the per-worker
     // intersections, which equals the serial intersection over all worlds
     // (∩ is associative-commutative, and Relation is canonical, so the
     // result is bit-identical). Early exit: any empty worker intersection
     // forces the global answer empty, so it stops every worker.
-    ForcePlanLiterals(plan);  // workers must only read literal lazy state
-    std::vector<WorkerAcc> workers(ParallelChunkCount(
-        options.num_threads, WorldDomain(db, opts).size(), /*grain=*/1));
+    std::vector<WorkerAcc> workers(chunks);
     Status st = ForEachWorldCwaParallel(
         db, opts, options.num_threads,
         [&](const Database& world, size_t wi) {
@@ -123,6 +233,7 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
             return false;
           }
           w.stats.CountCacheHits(cached_subplans);
+          if (delta_fallback) w.stats.CountDeltaFallbacks(1);
           if (w.first) {
             w.acc = *ans;
             w.first = false;
@@ -155,6 +266,57 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
     return acc;
   }
 
+  if (delta) {
+    // Serial delta driver: seed the candidate set from the chain's first
+    // world, then kill candidates as ApplyDelta reports them removed.
+    DeltaEvaluator de;
+    INCDB_RETURN_IF_ERROR(de.Build(plan, db, options));
+    std::unordered_set<Tuple, TupleHash> alive;
+    bool started = false;
+    Status eval_error = Status::OK();
+    Status st = ForEachValuationGray(
+        db, opts, [&](const Valuation& v, const ValuationDelta& d) {
+          Status s;
+          if (!d.has_delta) {
+            s = de.Initialize(v);
+            if (!s.ok()) {
+              eval_error = s;
+              return false;
+            }
+            if (!started) {
+              const Relation out = de.Output();
+              for (const Tuple& t : out.tuples()) alive.insert(t);
+              started = true;
+            } else {
+              for (auto it = alive.begin(); it != alive.end();) {
+                it = de.Contains(*it) ? std::next(it) : alive.erase(it);
+              }
+            }
+          } else {
+            s = de.ApplyDelta(d);
+            if (!s.ok()) {
+              eval_error = s;
+              return false;
+            }
+            for (const Tuple& t : de.removed()) alive.erase(t);
+          }
+          if (options.stats != nullptr) {
+            options.stats->CountCacheHits(cached_subplans);
+          }
+          // Early exit: an empty intersection can only stay empty.
+          return !alive.empty();
+        });
+    if (options.stats != nullptr) {
+      options.stats->CountDeltaApplied(de.deltas_applied());
+      options.stats->CountDeltaFallbacks(de.node_fallbacks());
+    }
+    INCDB_RETURN_IF_ERROR(eval_error);
+    INCDB_RETURN_IF_ERROR(st);
+    Relation acc(arity);
+    for (const Tuple& t : alive) acc.Add(t);
+    return acc;
+  }
+
   bool first = true;
   Relation acc(arity);
   Status eval_error = Status::OK();
@@ -164,7 +326,10 @@ Result<Relation> CertainAnswersEnum(const RAExprPtr& e, const Database& db,
       eval_error = ans.status();
       return false;
     }
-    if (options.stats != nullptr) options.stats->CountCacheHits(cached_subplans);
+    if (options.stats != nullptr) {
+      options.stats->CountCacheHits(cached_subplans);
+      if (delta_fallback) options.stats->CountDeltaFallbacks(1);
+    }
     if (first) {
       acc = *ans;
       first = false;
@@ -190,13 +355,56 @@ Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
   size_t cached_subplans = 0;
   INCDB_ASSIGN_OR_RETURN(RAExprPtr plan,
                          PrepareEnumPlan(e, db, options, &cached_subplans));
+  const bool delta = DeltaEligible(plan, db, options);
+  const bool delta_fallback =
+      options.delta_eval && !db.Nulls().empty() && !delta;
   if (ResolveNumThreads(options.num_threads) > 1 && !db.Nulls().empty()) {
+    ForcePlanLiterals(plan);  // workers must only read literal lazy state
+    const size_t chunks = ParallelChunkCount(
+        options.num_threads, WorldDomain(db, opts).size(), /*grain=*/1);
+    if (delta) {
+      // Parallel delta driver: the union only grows, so each worker adds
+      // its chain's first output once and thereafter only the tuples
+      // ApplyDelta reports inserted.
+      std::vector<DeltaWorker> workers(chunks);
+      for (DeltaWorker& w : workers) w.acc = Relation(arity);
+      Status st = ForEachValuationGrayParallel(
+          db, opts, options.num_threads,
+          [&](const Valuation& v, const ValuationDelta& d, size_t wi) {
+            DeltaWorker& w = workers[wi];
+            Status s;
+            if (!d.has_delta) {
+              w.de = std::make_unique<DeltaEvaluator>();
+              EvalOptions worker_options = options;
+              worker_options.stats = &w.stats;
+              s = w.de->Build(plan, db, worker_options);
+              if (s.ok()) s = w.de->Initialize(v);
+              if (!s.ok()) {
+                w.error = s;
+                return false;
+              }
+              w.acc.AddAll(w.de->Output());
+            } else {
+              s = w.de->ApplyDelta(d);
+              if (!s.ok()) {
+                w.error = s;
+                return false;
+              }
+              for (const Tuple& t : w.de->added()) w.acc.Add(t);
+            }
+            w.stats.CountCacheHits(cached_subplans);
+            return true;
+          });
+      INCDB_RETURN_IF_ERROR(MergeDeltaWorkerStats(workers, options));
+      INCDB_RETURN_IF_ERROR(st);
+      Relation acc(arity);
+      for (DeltaWorker& w : workers) acc.AddAll(w.acc);
+      return acc;
+    }
     // Parallel driver: per-worker unions merged at the end. Union is
     // associative-commutative and Relation canonicalizes, so the merged
     // result is bit-identical to the serial union.
-    ForcePlanLiterals(plan);  // workers must only read literal lazy state
-    std::vector<WorkerAcc> workers(ParallelChunkCount(
-        options.num_threads, WorldDomain(db, opts).size(), /*grain=*/1));
+    std::vector<WorkerAcc> workers(chunks);
     for (WorkerAcc& w : workers) w.acc = Relation(arity);
     Status st = ForEachWorldCwaParallel(
         db, opts, options.num_threads,
@@ -210,6 +418,7 @@ Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
             return false;
           }
           w.stats.CountCacheHits(cached_subplans);
+          if (delta_fallback) w.stats.CountDeltaFallbacks(1);
           w.acc.AddAll(*ans);
           return true;
         });
@@ -217,6 +426,44 @@ Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
     INCDB_RETURN_IF_ERROR(st);
     Relation acc(arity);
     for (WorkerAcc& w : workers) acc.AddAll(w.acc);
+    return acc;
+  }
+  if (delta) {
+    // Serial delta driver: add the chain's first output, then only the
+    // per-step insertions.
+    DeltaEvaluator de;
+    INCDB_RETURN_IF_ERROR(de.Build(plan, db, options));
+    Relation acc(arity);
+    Status eval_error = Status::OK();
+    Status st = ForEachValuationGray(
+        db, opts, [&](const Valuation& v, const ValuationDelta& d) {
+          Status s;
+          if (!d.has_delta) {
+            s = de.Initialize(v);
+            if (!s.ok()) {
+              eval_error = s;
+              return false;
+            }
+            acc.AddAll(de.Output());
+          } else {
+            s = de.ApplyDelta(d);
+            if (!s.ok()) {
+              eval_error = s;
+              return false;
+            }
+            for (const Tuple& t : de.added()) acc.Add(t);
+          }
+          if (options.stats != nullptr) {
+            options.stats->CountCacheHits(cached_subplans);
+          }
+          return true;
+        });
+    if (options.stats != nullptr) {
+      options.stats->CountDeltaApplied(de.deltas_applied());
+      options.stats->CountDeltaFallbacks(de.node_fallbacks());
+    }
+    INCDB_RETURN_IF_ERROR(eval_error);
+    INCDB_RETURN_IF_ERROR(st);
     return acc;
   }
   Relation acc(arity);
@@ -227,7 +474,10 @@ Result<Relation> PossibleAnswersEnum(const RAExprPtr& e, const Database& db,
       eval_error = ans.status();
       return false;
     }
-    if (options.stats != nullptr) options.stats->CountCacheHits(cached_subplans);
+    if (options.stats != nullptr) {
+      options.stats->CountCacheHits(cached_subplans);
+      if (delta_fallback) options.stats->CountDeltaFallbacks(1);
+    }
     acc.AddAll(*ans);
     return true;
   });

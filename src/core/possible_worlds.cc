@@ -80,6 +80,171 @@ Status ForEachWorldCwa(const Database& d, const WorldEnumOptions& opts,
   });
 }
 
+Status ForEachWorldCwaScratch(const Database& d, const WorldEnumOptions& opts,
+                              const std::function<bool(const Database&)>& fn) {
+  // Complete relations never change under a valuation: the scratch world
+  // shares their storage copy-on-write once, and only the null-carrying
+  // relations are rebuilt per valuation.
+  Database scratch = d;
+  std::vector<std::pair<std::string, const Relation*>> incomplete;
+  for (const auto& kv : d.relations()) {
+    if (!kv.second.IsComplete()) incomplete.emplace_back(kv.first, &kv.second);
+  }
+  return ForEachValuation(d, opts, [&](const Valuation& v) {
+    for (const auto& [name, base] : incomplete) {
+      *scratch.MutableRelation(name, base->arity()) = v.Apply(*base);
+    }
+    return fn(scratch);
+  });
+}
+
+namespace {
+
+// One digit of a mixed-radix reflected Gray counter: `null` ranges over
+// domain[offset .. offset + size).
+struct GrayDigit {
+  NullId null;
+  size_t offset;
+  size_t size;
+};
+
+// Runs one reflected mixed-radix Gray chain over `digits`: binds every
+// digit's starting value into a valuation, emits it with has_delta == false,
+// then advances one digit per step. The step rule is the standard reflected
+// construction — advance the lowest digit whose direction keeps it in range;
+// digits that would leave their range flip direction and pass the carry up —
+// which visits every combination exactly once and changes exactly one digit
+// per step. Stops when `emit` returns false or the space is exhausted.
+void RunGrayChain(
+    const std::vector<GrayDigit>& digits, const std::vector<Value>& domain,
+    const std::function<bool(const Valuation&, const ValuationDelta&)>& emit) {
+  Valuation v;
+  std::vector<size_t> pos(digits.size(), 0);
+  std::vector<int> dir(digits.size(), 1);
+  for (const GrayDigit& g : digits) v.Bind(g.null, domain[g.offset]);
+  if (!emit(v, ValuationDelta{})) return;
+  for (;;) {
+    size_t i = 0;
+    for (; i < digits.size(); ++i) {
+      const int64_t next = static_cast<int64_t>(pos[i]) + dir[i];
+      if (next >= 0 && next < static_cast<int64_t>(digits[i].size)) {
+        ValuationDelta delta;
+        delta.has_delta = true;
+        delta.null_id = digits[i].null;
+        delta.old_value = domain[digits[i].offset + pos[i]];
+        pos[i] = static_cast<size_t>(next);
+        delta.new_value = domain[digits[i].offset + pos[i]];
+        v.Bind(delta.null_id, delta.new_value);
+        if (!emit(v, delta)) return;
+        break;
+      }
+      dir[i] = -dir[i];  // reflect this digit; carry moves up
+    }
+    if (i == digits.size()) return;  // every digit reflected: done
+  }
+}
+
+}  // namespace
+
+Status ForEachValuationGray(
+    const Database& d, const WorldEnumOptions& opts,
+    const std::function<bool(const Valuation&, const ValuationDelta&)>& fn) {
+  const std::vector<Value> domain = WorldDomain(d, opts);
+  const std::set<NullId> null_set = d.Nulls();
+  const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+  if (nulls.empty()) {
+    fn(Valuation(), ValuationDelta{});
+    return Status::OK();
+  }
+  if (domain.empty()) {
+    return Status::InvalidArgument("empty world domain with nulls present");
+  }
+  std::vector<GrayDigit> digits;
+  digits.reserve(nulls.size());
+  for (NullId n : nulls) digits.push_back(GrayDigit{n, 0, domain.size()});
+  uint64_t emitted = 0;
+  bool exhausted = false;
+  RunGrayChain(digits, domain,
+               [&](const Valuation& v, const ValuationDelta& delta) {
+                 if (++emitted > opts.max_worlds) {
+                   exhausted = true;
+                   return false;
+                 }
+                 return fn(v, delta);
+               });
+  if (exhausted) {
+    return Status::ResourceExhausted(
+        "world enumeration exceeded max_worlds=" +
+        std::to_string(opts.max_worlds));
+  }
+  return Status::OK();
+}
+
+Status ForEachValuationGrayParallel(
+    const Database& d, const WorldEnumOptions& opts, int num_threads,
+    const std::function<bool(const Valuation&, const ValuationDelta&,
+                             size_t worker)>& fn) {
+  const std::set<NullId> null_set = d.Nulls();
+  if (ResolveNumThreads(num_threads) <= 1 || null_set.empty()) {
+    return ForEachValuationGray(
+        d, opts, [&](const Valuation& v, const ValuationDelta& delta) {
+          return fn(v, delta, /*worker=*/0);
+        });
+  }
+  const std::vector<Value> domain = WorldDomain(d, opts);
+  const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+  if (domain.empty()) {
+    return Status::InvalidArgument("empty world domain with nulls present");
+  }
+  // Same pre-forcing as ForEachValuationParallel: workers (and caller
+  // closures) only read immutable shared state.
+  for (const auto& kv : d.relations()) {
+    kv.second.tuples();
+    kv.second.IsComplete();
+  }
+
+  std::atomic<uint64_t> emitted{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> exhausted{false};
+  Status st = ParallelFor(
+      num_threads, domain.size(), /*grain=*/1,
+      [&](size_t begin, size_t end, size_t chunk) -> Status {
+        // One continuous Gray chain per chunk: the first null is the chain's
+        // own digit restricted to domain[begin, end), so crossing from one
+        // sub-space to the next is itself a single-null step.
+        std::vector<GrayDigit> digits;
+        digits.reserve(nulls.size());
+        digits.push_back(GrayDigit{nulls[0], begin, end - begin});
+        for (size_t i = 1; i < nulls.size(); ++i) {
+          digits.push_back(GrayDigit{nulls[i], 0, domain.size()});
+        }
+        RunGrayChain(
+            digits, domain,
+            [&](const Valuation& v, const ValuationDelta& delta) {
+              if (stop.load(std::memory_order_relaxed)) return false;
+              if (emitted.fetch_add(1, std::memory_order_relaxed) >=
+                  opts.max_worlds) {
+                exhausted.store(true, std::memory_order_relaxed);
+                stop.store(true, std::memory_order_relaxed);
+                return false;
+              }
+              if (!fn(v, delta, chunk)) {
+                stop.store(true, std::memory_order_relaxed);
+                return false;
+              }
+              return true;
+            });
+        return Status::OK();
+      });
+  INCDB_RETURN_IF_ERROR(st);
+  if (exhausted.load()) {
+    return Status::ResourceExhausted(
+        "world enumeration exceeded max_worlds=" +
+        std::to_string(opts.max_worlds));
+  }
+  return Status::OK();
+}
+
 Status ForEachValuationParallel(
     const Database& d, const WorldEnumOptions& opts, int num_threads,
     const std::function<bool(const Valuation&, size_t worker)>& fn) {

@@ -18,6 +18,12 @@
 // serial functions, share one atomic max_worlds budget across all
 // sub-spaces, and propagate an early exit (a callback returning false) to
 // every worker.
+//
+// The *Gray drivers visit the same valuation set in mixed-radix reflected
+// Gray-code order, so consecutive worlds differ in exactly one null's
+// binding. The single-null step is reported as a ValuationDelta, which is
+// what lets the delta-evaluation layer (engine/delta_eval.h) re-evaluate a
+// plan incrementally instead of from scratch per world.
 
 #ifndef INCDB_CORE_POSSIBLE_WORLDS_H_
 #define INCDB_CORE_POSSIBLE_WORLDS_H_
@@ -69,6 +75,51 @@ Status ForEachValuation(const Database& d, const WorldEnumOptions& opts,
 /// if `fn` returns false. O(|domain|^#nulls · (|D| + cost(fn))).
 Status ForEachWorldCwa(const Database& d, const WorldEnumOptions& opts,
                        const std::function<bool(const Database&)>& fn);
+
+/// ForEachWorldCwa variant that applies each valuation in place over one
+/// reusable world buffer instead of materializing a fresh Database per
+/// world: complete relations are shared copy-on-write once, and only the
+/// null-carrying relations are rebuilt per world. Budget accounting and
+/// early-exit behavior are bit-identical to the copying overload; the
+/// Database reference passed to `fn` is reused between invocations — copy
+/// what you need to keep.
+Status ForEachWorldCwaScratch(const Database& d, const WorldEnumOptions& opts,
+                              const std::function<bool(const Database&)>& fn);
+
+/// The single-null difference between a Gray-chain world and its
+/// predecessor: the valuation handed to the callback alongside this delta
+/// rebinds exactly `null_id`, from `old_value` to `new_value`. The first
+/// valuation of a chain has no predecessor: `has_delta` is false and the
+/// remaining fields are meaningless.
+struct ValuationDelta {
+  bool has_delta = false;
+  NullId null_id = 0;
+  Value old_value;
+  Value new_value;
+};
+
+/// ForEachValuation in mixed-radix reflected Gray-code order: visits exactly
+/// the same set of valuations as ForEachValuation (each one once), but
+/// consecutive valuations differ in a single null's binding, reported to
+/// `fn` as a ValuationDelta (has_delta == false only on the very first
+/// world). Budget and early-exit semantics are identical to
+/// ForEachValuation: at most opts.max_worlds callback invocations, then
+/// ResourceExhausted; `fn` returning false stops with OK.
+Status ForEachValuationGray(
+    const Database& d, const WorldEnumOptions& opts,
+    const std::function<bool(const Valuation&, const ValuationDelta&)>& fn);
+
+/// Parallel Gray driver. Like ForEachValuationParallel the space is split by
+/// the first null's assignment into contiguous domain ranges, but each
+/// worker runs ONE continuous Gray chain covering its whole range (the first
+/// null is just another Gray digit, restricted to the range), so a worker
+/// sees exactly one has_delta == false callback and per-chain state needs
+/// rebuilding once per worker, not once per sub-space. Worker-index,
+/// shared-budget, and early-exit semantics match ForEachValuationParallel.
+Status ForEachValuationGrayParallel(
+    const Database& d, const WorldEnumOptions& opts, int num_threads,
+    const std::function<bool(const Valuation&, const ValuationDelta&,
+                             size_t worker)>& fn);
 
 /// Parallel ForEachValuation: the valuation space is split by the first
 /// null's assignment into |domain| sub-spaces, enumerated on up to

@@ -57,7 +57,10 @@ struct QueryRequest {
   bool force = false;
   /// Enumeration bounds for kCertainEnum / kPossible.
   WorldEnumOptions world_options;
-  /// Stats hook and kernel toggles, threaded through every evaluator.
+  /// Stats hook and kernel toggles, threaded through every evaluator. For
+  /// kCertainEnum / kPossible this includes `eval.delta_eval` (differential
+  /// world enumeration; the response's stats then report delta_applied /
+  /// delta_fallbacks alongside the subplan-cache counters).
   EvalOptions eval;
 };
 

@@ -97,6 +97,13 @@ std::string EvalStats::ToString() const {
                   static_cast<unsigned long long>(cache_misses_));
     out += line;
   }
+  if (delta_applied_ != 0 || delta_fallbacks_ != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  delta-eval     applied %llu  fallbacks %llu\n",
+                  static_cast<unsigned long long>(delta_applied_),
+                  static_cast<unsigned long long>(delta_fallbacks_));
+    out += line;
+  }
   return out;
 }
 

@@ -73,6 +73,8 @@ class EvalStats {
     for (size_t i = 0; i < kNumEvalOps; ++i) ops_[i].Merge(o.ops_[i]);
     cache_hits_ += o.cache_hits_;
     cache_misses_ += o.cache_misses_;
+    delta_applied_ += o.delta_applied_;
+    delta_fallbacks_ += o.delta_fallbacks_;
   }
   void Reset() { *this = EvalStats(); }
 
@@ -89,6 +91,17 @@ class EvalStats {
   void CountCacheHits(uint64_t n) { cache_hits_ += n; }
   void CountCacheMisses(uint64_t n) { cache_misses_ += n; }
 
+  /// Differential enumeration: worlds answered by applying one single-null
+  /// delta instead of re-evaluating the plan / full re-evaluations the delta
+  /// path fell back to (node-level recomputes, plus one per world for plans
+  /// the delta evaluator rejects, e.g. those containing Δ). The split
+  /// between the two depends on how the Gray chains were partitioned, so
+  /// totals can differ across `num_threads` settings — answers never do.
+  uint64_t delta_applied() const { return delta_applied_; }
+  uint64_t delta_fallbacks() const { return delta_fallbacks_; }
+  void CountDeltaApplied(uint64_t n) { delta_applied_ += n; }
+  void CountDeltaFallbacks(uint64_t n) { delta_fallbacks_ += n; }
+
   /// Multi-line table of the operators with non-zero counters.
   std::string ToString() const;
 
@@ -96,6 +109,8 @@ class EvalStats {
   std::array<OpCounters, kNumEvalOps> ops_{};
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  uint64_t delta_applied_ = 0;
+  uint64_t delta_fallbacks_ = 0;
 };
 
 /// Options threaded through every evaluator.
@@ -132,6 +147,14 @@ struct EvalOptions {
   /// indexes) across all worlds and workers. Answers are bit-identical
   /// either way; `stats` reports hits/misses.
   bool cache_subplans = true;
+  /// In the enumeration drivers, walk the world space in Gray-code order
+  /// and re-evaluate plans differentially — each single-null step patches
+  /// every operator's materialized output instead of recomputing it
+  /// (engine/delta_eval.h). Plans the delta evaluator rejects (those
+  /// containing Δ) fall back to per-world evaluation. Answers are
+  /// bit-identical either way; `stats` reports delta_applied /
+  /// delta_fallbacks.
+  bool delta_eval = true;
 };
 
 /// RAII scope that attributes wall time and counters to one operator.

@@ -51,6 +51,7 @@
 #include "ctables/ctable.h"
 #include "ctables/ctable_algebra.h"
 #include "cqa/repairs.h"
+#include "engine/delta_eval.h"
 #include "engine/kernels.h"
 #include "engine/query_engine.h"
 #include "engine/stats.h"

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <string>
+#include <vector>
 
 namespace incdb {
 namespace {
@@ -256,6 +258,193 @@ TEST(ParallelWorldEnumTest, SingleThreadAndNoNullsFallBackToSerial) {
                                       })
                   .ok());
   EXPECT_EQ(worlds, 1u);
+}
+
+TEST(ScratchWorldEnumTest, VisitsTheSameWorldSequenceAsTheCopyingDriver) {
+  Database d = ThreeNullDb();
+  WorldEnumOptions opts;
+  std::vector<std::string> copying;
+  ASSERT_TRUE(ForEachWorldCwa(d, opts, [&](const Database& w) {
+                copying.push_back(w.ToString());
+                return true;
+              }).ok());
+  std::vector<std::string> scratch;
+  ASSERT_TRUE(ForEachWorldCwaScratch(d, opts, [&](const Database& w) {
+                EXPECT_TRUE(w.IsComplete());
+                scratch.push_back(w.ToString());
+                return true;
+              }).ok());
+  EXPECT_EQ(scratch, copying);
+}
+
+TEST(ScratchWorldEnumTest, BudgetAndEarlyExitAreBitIdenticalToCopying) {
+  Database d = ThreeNullDb();  // 125 worlds
+
+  // Budget: both overloads abort with ResourceExhausted after exactly
+  // max_worlds callback invocations.
+  WorldEnumOptions budget_opts;
+  budget_opts.max_worlds = 10;
+  uint64_t copying_calls = 0;
+  Status copying = ForEachWorldCwa(d, budget_opts, [&](const Database&) {
+    ++copying_calls;
+    return true;
+  });
+  uint64_t scratch_calls = 0;
+  Status scratch = ForEachWorldCwaScratch(d, budget_opts, [&](const Database&) {
+    ++scratch_calls;
+    return true;
+  });
+  EXPECT_EQ(scratch.code(), copying.code());
+  EXPECT_EQ(copying.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scratch_calls, copying_calls);
+  EXPECT_EQ(scratch_calls, budget_opts.max_worlds);
+
+  // Early exit: a false return stops with OK after the same number of
+  // callbacks, and the worlds seen so far are the same.
+  WorldEnumOptions opts;
+  std::vector<std::string> copying_seen, scratch_seen;
+  ASSERT_TRUE(ForEachWorldCwa(d, opts, [&](const Database& w) {
+                copying_seen.push_back(w.ToString());
+                return copying_seen.size() < 7;
+              }).ok());
+  ASSERT_TRUE(ForEachWorldCwaScratch(d, opts, [&](const Database& w) {
+                scratch_seen.push_back(w.ToString());
+                return scratch_seen.size() < 7;
+              }).ok());
+  EXPECT_EQ(scratch_seen, copying_seen);
+}
+
+// Applies `delta` to a copy of `v` and checks it yields `next`; the Gray
+// drivers promise every consecutive pair differs in exactly that one null.
+void ExpectDeltaConnects(const Valuation& prev, const ValuationDelta& delta,
+                         const Valuation& next) {
+  ASSERT_TRUE(prev.IsBound(delta.null_id));
+  EXPECT_EQ(prev.Lookup(delta.null_id), delta.old_value);
+  EXPECT_NE(delta.old_value, delta.new_value);
+  Valuation patched = prev;
+  patched.Bind(delta.null_id, delta.new_value);
+  EXPECT_EQ(patched.ToString(), next.ToString());
+}
+
+TEST(GrayWorldEnumTest, VisitsTheSerialValuationMultisetOneStepApart) {
+  Database d = ThreeNullDb();
+  WorldEnumOptions opts;
+  std::multiset<std::string> plain;
+  ASSERT_TRUE(ForEachValuation(d, opts, [&](const Valuation& v) {
+                plain.insert(v.ToString());
+                return true;
+              }).ok());
+
+  std::multiset<std::string> gray;
+  Valuation prev;
+  size_t chain_starts = 0;
+  Status st = ForEachValuationGray(
+      d, opts, [&](const Valuation& v, const ValuationDelta& delta) {
+        gray.insert(v.ToString());
+        if (delta.has_delta) {
+          ExpectDeltaConnects(prev, delta, v);
+        } else {
+          ++chain_starts;
+        }
+        prev = v;
+        return true;
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // Exactly the same valuation *multiset* (each visited once), one serial
+  // chain, and every step a single-null delta.
+  EXPECT_EQ(gray, plain);
+  EXPECT_EQ(chain_starts, 1u);
+}
+
+TEST(GrayWorldEnumTest, ParallelChainsCoverTheSerialSetOneStartPerWorker) {
+  Database d = ThreeNullDb();
+  WorldEnumOptions opts;
+  std::multiset<std::string> serial;
+  ASSERT_TRUE(ForEachValuation(d, opts, [&](const Valuation& v) {
+                serial.insert(v.ToString());
+                return true;
+              }).ok());
+
+  for (int threads : {2, 4, 7}) {
+    std::mutex mu;
+    std::multiset<std::string> gray;
+    // Per-worker chain state, written without locks (per-worker sequencing).
+    std::vector<Valuation> prev(64);
+    std::vector<size_t> starts(64, 0);
+    Status st = ForEachValuationGrayParallel(
+        d, opts, threads,
+        [&](const Valuation& v, const ValuationDelta& delta, size_t worker) {
+          EXPECT_LT(worker, prev.size());
+          if (delta.has_delta) {
+            ExpectDeltaConnects(prev[worker], delta, v);
+          } else {
+            ++starts[worker];
+          }
+          prev[worker] = v;
+          std::lock_guard<std::mutex> lock(mu);
+          gray.insert(v.ToString());
+          return true;
+        });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(gray, serial) << threads << " threads";
+    // ONE continuous Gray chain per worker: every worker that ran saw
+    // exactly one has_delta == false callback.
+    for (size_t c : starts) EXPECT_LE(c, 1u) << threads << " threads";
+  }
+}
+
+TEST(GrayWorldEnumTest, SharesTheWorldBudgetAndPropagatesEarlyExit) {
+  Database d = ThreeNullDb();  // 125 worlds
+  WorldEnumOptions opts;
+  opts.max_worlds = 10;
+
+  uint64_t serial_calls = 0;
+  Status serial = ForEachValuationGray(
+      d, opts, [&](const Valuation&, const ValuationDelta&) {
+        ++serial_calls;
+        return true;
+      });
+  EXPECT_EQ(serial.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(serial_calls, opts.max_worlds);
+
+  for (int threads : {2, 4, 7}) {
+    std::atomic<uint64_t> parallel_calls{0};
+    Status parallel = ForEachValuationGrayParallel(
+        d, opts, threads, [&](const Valuation&, const ValuationDelta&, size_t) {
+          parallel_calls.fetch_add(1);
+          return true;
+        });
+    EXPECT_EQ(parallel.code(), StatusCode::kResourceExhausted)
+        << threads << " threads: " << parallel.ToString();
+    EXPECT_EQ(parallel_calls.load(), opts.max_worlds) << threads << " threads";
+  }
+
+  // Early exit: false stops everything with OK, before the space is done.
+  WorldEnumOptions unbounded;
+  std::atomic<uint64_t> calls{0};
+  Status st = ForEachValuationGrayParallel(
+      d, unbounded, 4, [&](const Valuation&, const ValuationDelta&, size_t) {
+        calls.fetch_add(1);
+        return false;
+      });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_LT(calls.load(), CountWorldsCwa(d, unbounded));
+}
+
+TEST(GrayWorldEnumTest, NoNullsYieldOneDeltalessWorld) {
+  Database complete;
+  complete.AddTuple("R", Tuple{Value::Int(1)});
+  size_t count = 0;
+  ASSERT_TRUE(ForEachValuationGray(complete, {},
+                                   [&](const Valuation& v,
+                                       const ValuationDelta& delta) {
+                                     EXPECT_EQ(v.size(), 0u);
+                                     EXPECT_FALSE(delta.has_delta);
+                                     ++count;
+                                     return true;
+                                   })
+                  .ok());
+  EXPECT_EQ(count, 1u);
 }
 
 TEST(ForEachWorldOwaBoundedTest, RejectsNullCandidates) {

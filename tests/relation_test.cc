@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace incdb {
 namespace {
 
@@ -181,6 +183,57 @@ TEST(RelationTest, ColumnIndexIsBuiltFoundAndInvalidated) {
   copy.Add(T2(4, 30));
   EXPECT_EQ(copy.FindColumnIndex({1}), nullptr);
   EXPECT_NE(r.FindColumnIndex({1}), nullptr);
+}
+
+TEST(RelationTest, PostBuildMutationInvalidatesMemoAndIndexesTogether) {
+  // Regression for the delta-eval provenance index: the scan compiler reads
+  // tuples(), IsComplete(), and prebuilt column indexes after arbitrary
+  // earlier mutations. A stale memo or index surviving a post-build
+  // mutation would silently corrupt the provenance it derives.
+  Relation r(2);
+  r.Add(T2(1, 10));
+  r.Add(T2(2, 20));
+
+  // Force every piece of derived state.
+  EXPECT_TRUE(r.IsComplete());
+  EXPECT_TRUE(r.Contains(T2(1, 10)));  // builds the hash-set index
+  const TupleRowIndex& idx = r.BuildColumnIndex({0});
+  ASSERT_EQ(r.FindColumnIndex({0}), &idx);
+  const uint64_t before = r.version();
+
+  // Mutate through Add: all derived state must drop or update at once.
+  r.Add(Tuple{Value::Int(3), Value::Null(7)});
+  EXPECT_GT(r.version(), before);
+  EXPECT_FALSE(r.IsComplete());
+  EXPECT_EQ(r.FindColumnIndex({0}), nullptr);
+  EXPECT_TRUE(r.Contains(Tuple{Value::Int(3), Value::Null(7)}));
+  EXPECT_EQ(r.HashIndex().size(), r.size());
+  EXPECT_EQ(r.Nulls(), (std::set<NullId>{7}));
+
+  // Rebuild the index on the new content and mutate through AddAll.
+  const TupleRowIndex& idx2 = r.BuildColumnIndex({0});
+  size_t indexed_rows = 0;
+  for (const auto& [hash, rows] : idx2) indexed_rows += rows.size();
+  EXPECT_EQ(indexed_rows, r.tuples().size());
+  Relation more(2);
+  more.Add(T2(4, 40));
+  const uint64_t v2 = r.version();
+  r.AddAll(more);
+  EXPECT_GT(r.version(), v2);
+  EXPECT_EQ(r.FindColumnIndex({0}), nullptr);
+  EXPECT_FALSE(r.IsComplete());  // null tuple still present
+  EXPECT_EQ(r.HashIndex().size(), r.size());
+
+  // A copy taken before a mutation keeps the old derived state; only the
+  // mutated side invalidates.
+  const TupleRowIndex& idx3 = r.BuildColumnIndex({1});
+  (void)r.IsComplete();
+  Relation snapshot = r;
+  r.Add(T2(5, 50));
+  EXPECT_EQ(snapshot.FindColumnIndex({1}), &idx3);
+  EXPECT_EQ(r.FindColumnIndex({1}), nullptr);
+  EXPECT_FALSE(snapshot.Contains(T2(5, 50)));
+  EXPECT_TRUE(r.Contains(T2(5, 50)));
 }
 
 }  // namespace
