@@ -18,7 +18,12 @@ _UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_cpu_times(path):
-    """Returns {benchmark name: cpu time in ns} for the JSON file at `path`."""
+    """Returns {benchmark name: cpu time in ns} for the JSON file at `path`.
+
+    Malformed entries (missing name/cpu_time — e.g. a run interrupted
+    mid-write or an error entry) are skipped with a warning rather than
+    aborting the whole comparison.
+    """
     with open(path) as f:
         doc = json.load(f)
     times = {}
@@ -27,8 +32,20 @@ def load_cpu_times(path):
         # plain runs either say "iteration" or omit the field entirely.
         if bench.get("run_type", "iteration") != "iteration":
             continue
+        name = bench.get("name")
+        cpu_time = bench.get("cpu_time")
+        if name is None or cpu_time is None:
+            print("warning: %s: skipping malformed benchmark entry %r" % (
+                path, bench.get("name", bench)), file=sys.stderr)
+            continue
+        try:
+            cpu_ns = float(cpu_time)
+        except (TypeError, ValueError):
+            print("warning: %s: skipping %s (non-numeric cpu_time %r)" % (
+                path, name, cpu_time), file=sys.stderr)
+            continue
         unit = _UNIT_TO_NS.get(bench.get("time_unit", "ns"), 1.0)
-        times[bench["name"]] = float(bench["cpu_time"]) * unit
+        times[name] = cpu_ns * unit
     return times
 
 

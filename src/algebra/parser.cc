@@ -78,6 +78,7 @@ class RAParser {
       INCDB_RETURN_IF_ERROR(Expect(')'));
       return e;
     }
+    if (PeekNonSpace() == '{') return RelLiteral();
     INCDB_ASSIGN_OR_RETURN(std::string word, Identifier());
     const std::string lower = ToLower(word);
     if (lower == "delta") return RAExpr::Delta();
@@ -113,6 +114,61 @@ class RAParser {
     }
     // A relation name.
     return RAExpr::Scan(word);
+  }
+
+  // Relation literal, round-tripping Relation::ToString():
+  //   literal := '{' [ tuple (',' tuple)* ] '}'
+  //   tuple   := '(' value (',' value)* ')'
+  //   value   := integer | 'string' | _k (marked null)
+  // The empty literal `{}` has arity 0 (the Boolean false relation); empty
+  // relations of higher arity have no literal syntax — name one in the
+  // database instead.
+  Result<RAExprPtr> RelLiteral() {
+    INCDB_RETURN_IF_ERROR(Expect('{'));
+    SkipSpace();
+    if (Accept('}')) return RAExpr::ConstRel(Relation(0));
+    std::vector<Tuple> tuples;
+    size_t arity = 0;
+    for (;;) {
+      INCDB_RETURN_IF_ERROR(Expect('('));
+      std::vector<Value> vals;
+      for (;;) {
+        INCDB_ASSIGN_OR_RETURN(Value v, LiteralValue());
+        vals.push_back(std::move(v));
+        SkipSpace();
+        if (Accept(')')) break;
+        INCDB_RETURN_IF_ERROR(Expect(','));
+      }
+      if (tuples.empty()) {
+        arity = vals.size();
+      } else if (vals.size() != arity) {
+        return Err("relation literal tuples have mixed arities");
+      }
+      tuples.push_back(Tuple(std::move(vals)));
+      SkipSpace();
+      if (Accept('}')) break;
+      INCDB_RETURN_IF_ERROR(Expect(','));
+    }
+    return RAExpr::ConstRel(Relation(arity, std::move(tuples)));
+  }
+
+  Result<Value> LiteralValue() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '_') {
+      ++pos_;
+      INCDB_ASSIGN_OR_RETURN(int64_t n, Integer());
+      if (n < 0) return Err("negative null id");
+      return Value::Null(static_cast<NullId>(n));
+    }
+    if (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != '\'') s += text_[pos_++];
+      INCDB_RETURN_IF_ERROR(Expect('\''));
+      return Value::Str(std::move(s));
+    }
+    INCDB_ASSIGN_OR_RETURN(int64_t n, Integer());
+    return Value::Int(n);
   }
 
   // --- predicates ---

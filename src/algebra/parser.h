@@ -3,8 +3,10 @@
 //
 //   expr    := term ( ('U' | '-' | '&') term )*        left-assoc, same prec
 //   term    := factor ( ('x' | '/') factor )*          product / division
-//   factor  := Name | DELTA
+//   factor  := Name | DELTA | literal
 //            | sel[ pred ](expr) | proj{ i, j, ... }(expr) | ( expr )
+//   literal := { (v, v), ... }                         relation constant
+//              with v an integer, a 'string', or a marked null _k
 //   pred    := disjunctions/conjunctions of comparisons over #col and
 //              constants, with NOT and IS NULL:
 //                #0 = 5, #1 <> #2, #0 < 3 AND (#1 = 'x' OR #2 IS NULL)

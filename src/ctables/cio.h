@@ -1,0 +1,39 @@
+// Text serialization for c-table databases, extending the naïve dump format
+// of core/io.h with a condition column and per-table global conditions:
+//
+//   # incdb c-table dump
+//   ctable R0(c0, c1)
+//   global ~(_0 = 1)
+//   1, _0 :: _0 = 2
+//   2, 3
+//
+// A row's condition follows `::`; omitted means `true`. The `global` line
+// (optional, at most one per table, before any row) sets the table's global
+// condition. Conditions use the rendering of Condition::ToString() —
+// `true`, `false`, `v = v`, `~(c)`, `(c & c)`, `(c | c)` — with values in
+// the core/io.h syntax (ints, 'strings', _k nulls), so shared marked nulls
+// round-trip exactly and serialize→parse→serialize is the identity.
+
+#ifndef INCDB_CTABLES_CIO_H_
+#define INCDB_CTABLES_CIO_H_
+
+#include <string>
+
+#include "ctables/ctable.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Serializes a c-database (schema + conditioned rows) to the dump format.
+std::string DumpCDatabase(const CDatabase& db);
+
+/// Parses a dump back into a c-database. Errors carry 1-based line numbers.
+Result<CDatabase> LoadCDatabase(const std::string& text);
+
+/// Parses one condition in the Condition::ToString() syntax. Exposed for
+/// tests and the fuzzing corpus loader.
+Result<ConditionPtr> ParseCondition(const std::string& text);
+
+}  // namespace incdb
+
+#endif  // INCDB_CTABLES_CIO_H_

@@ -76,6 +76,7 @@ class CDatabase {
   explicit CDatabase(Schema schema) : schema_(std::move(schema)) {}
 
   const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
 
   CTable* MutableTable(const std::string& name, size_t arity_hint = 0);
   const CTable& GetTable(const std::string& name) const;

@@ -21,7 +21,9 @@
 //   exchange/ — st-tgd schema mappings and the naïve chase
 //   repr/     — certainty as object (glb) and as knowledge (theory), domain
 //               laws of the paper's abstract representation systems
-//   workload/ — deterministic workload generators
+//   workload/ — deterministic workload generators (naïve and c-table)
+//   testing/  — differential fuzzing harness: random plan generator,
+//               multi-configuration oracle, case shrinking, .inc corpus
 
 #ifndef INCDB_INCDB_H_
 #define INCDB_INCDB_H_
@@ -47,6 +49,7 @@
 #include "core/tuple.h"
 #include "core/valuation.h"
 #include "core/value.h"
+#include "ctables/cio.h"
 #include "ctables/condition.h"
 #include "ctables/ctable.h"
 #include "ctables/ctable_algebra.h"
@@ -73,6 +76,11 @@
 #include "sql/parser.h"
 #include "sql/rewrite.h"
 #include "sql/to_algebra.h"
+#include "testing/corpus.h"
+#include "testing/fuzz_gen.h"
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+#include "testing/shrink.h"
 #include "views/views.h"
 #include "util/random.h"
 #include "util/status.h"

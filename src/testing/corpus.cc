@@ -1,0 +1,102 @@
+#include "testing/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "algebra/parser.h"
+#include "core/io.h"
+#include "util/strings.h"
+
+namespace incdb {
+
+std::string DumpFuzzCase(const FuzzCase& fuzz_case) {
+  std::ostringstream out;
+  out << "# incdb fuzz case\n";
+  out << "query " << fuzz_case.plan->ToString() << "\n\n";
+  out << DumpDatabase(fuzz_case.db);
+  return out.str();
+}
+
+Result<FuzzCase> ParseFuzzCase(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string query_text;
+  std::ostringstream db_text;
+  size_t line_no = 0;
+  size_t query_line = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.rfind("query ", 0) == 0) {
+      if (!query_text.empty()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "line " + std::to_string(line_no) +
+                          ": duplicate query directive");
+      }
+      query_text = Trim(trimmed.substr(6));
+      query_line = line_no;
+      // Keep a blank placeholder so LoadDatabase line numbers stay aligned
+      // with the original file.
+      db_text << "\n";
+      continue;
+    }
+    db_text << line << "\n";
+  }
+  if (query_text.empty()) {
+    return Status(StatusCode::kInvalidArgument, "missing query directive");
+  }
+  FuzzCase out;
+  auto plan = ParseRA(query_text);
+  if (!plan.ok()) {
+    return Status(plan.status().code(), "line " + std::to_string(query_line) +
+                                            ": " + plan.status().message());
+  }
+  out.plan = std::move(plan).value();
+  INCDB_ASSIGN_OR_RETURN(out.db, LoadDatabase(db_text.str()));
+  return out;
+}
+
+Status WriteFuzzCaseFile(const FuzzCase& fuzz_case, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cannot open for writing: " + path);
+  }
+  out << DumpFuzzCase(fuzz_case);
+  out.close();
+  if (!out) {
+    return Status(StatusCode::kInternal, "write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<FuzzCase> ReadFuzzCaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "cannot open: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = ParseFuzzCase(buf.str());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+std::vector<std::string> ListCorpusFiles(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".inc") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace incdb

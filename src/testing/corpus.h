@@ -1,0 +1,55 @@
+// Replayable fuzz-case corpus (.inc files).
+//
+// A corpus file is the core/io database dump format plus one `query`
+// directive carrying the plan in algebra/parser RA text:
+//
+//   # incdb fuzz case
+//   query proj{0}(sel[#0 = #1](R0 x R1))
+//
+//   table R0(c0, c1)
+//   1, _0
+//
+//   table R1(c0)
+//   2
+//
+// The directive may appear anywhere; everything else is fed to LoadDatabase
+// unchanged, so corpus files are hand-editable with the same syntax as test
+// fixtures. Shrunk failures are written as `caseNNN.inc` into the corpus
+// directory and replayed deterministically by fuzz_smoke_test and
+// `fuzz_incdb --replay`.
+
+#ifndef INCDB_TESTING_CORPUS_H_
+#define INCDB_TESTING_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/ast.h"
+#include "core/database.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// One replayable fuzz case.
+struct FuzzCase {
+  RAExprPtr plan;
+  Database db;
+};
+
+/// Renders a case in the .inc corpus format.
+std::string DumpFuzzCase(const FuzzCase& fuzz_case);
+
+/// Parses the corpus format. Errors carry 1-based line numbers.
+Result<FuzzCase> ParseFuzzCase(const std::string& text);
+
+/// File round-trip helpers.
+Status WriteFuzzCaseFile(const FuzzCase& fuzz_case, const std::string& path);
+Result<FuzzCase> ReadFuzzCaseFile(const std::string& path);
+
+/// All *.inc files in `dir`, sorted by name (empty if the directory does not
+/// exist).
+std::vector<std::string> ListCorpusFiles(const std::string& dir);
+
+}  // namespace incdb
+
+#endif  // INCDB_TESTING_CORPUS_H_

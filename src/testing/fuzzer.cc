@@ -1,0 +1,146 @@
+#include "testing/fuzzer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "testing/shrink.h"
+
+namespace incdb {
+namespace {
+
+RandomDbConfig MakeDbConfig(const FuzzConfig& config, Rng& rng) {
+  RandomDbConfig db;
+  db.arities.clear();
+  const size_t n = config.num_relations > 0 ? config.num_relations : 1;
+  for (size_t i = 0; i < n; ++i) {
+    db.arities.push_back(1 + rng.Uniform(config.max_arity));
+  }
+  db.rows_per_relation = 1 + rng.Uniform(config.max_tuples);
+  db.domain_size = config.domain_size;
+  db.null_density = config.null_density;
+  db.max_nulls = config.max_nulls;
+  // Occasionally draw Codd databases (single-occurrence nulls) and strings.
+  db.codd = rng.Bernoulli(0.25);
+  db.null_reuse = rng.Bernoulli(0.5) ? 0.5 : 0.0;
+  db.string_density = rng.Bernoulli(0.2) ? 0.15 : 0.0;
+  return db;
+}
+
+QueryClass PickFragment(const FuzzConfig& config, Rng& rng) {
+  static constexpr QueryClass kAll[] = {
+      QueryClass::kPositive, QueryClass::kRAcwa, QueryClass::kFullRA};
+  if (config.fragments.empty()) {
+    return kAll[rng.Uniform(3)];
+  }
+  return config.fragments[rng.Uniform(config.fragments.size())];
+}
+
+std::string CorpusPath(const std::string& dir, size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "case%03zu.inc", index);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+}  // namespace
+
+OracleReport ReplayCase(const FuzzCase& fuzz_case,
+                        const OracleOptions& options) {
+  return CheckCase(fuzz_case.plan, fuzz_case.db, options);
+}
+
+FuzzSummary RunFuzz(const FuzzConfig& config) {
+  FuzzSummary summary;
+  Rng rng(config.seed);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(config.time_budget_s));
+
+  for (uint64_t iter = 0;; ++iter) {
+    if (config.iterations > 0 && iter >= config.iterations) break;
+    if (config.time_budget_s > 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    if (config.iterations == 0 && config.time_budget_s == 0) break;
+
+    const RandomDbConfig db_config = MakeDbConfig(config, rng);
+    Database db = MakeRandomDatabase(db_config, rng);
+
+    PlanGenConfig plan_config;
+    plan_config.fragment = PickFragment(config, rng);
+    plan_config.max_depth = 1 + rng.Uniform(3);
+    plan_config.domain_size = config.domain_size;
+    GeneratedPlan generated = RandomPlan(rng, db, plan_config);
+
+    OracleReport report = CheckCase(generated.plan, db, config.oracle);
+    ++summary.iterations_run;
+    summary.checks_skipped += report.skipped.size();
+    if (report.configs_run == 0) ++summary.cases_skipped;
+    if (report.ok()) continue;
+
+    FuzzFailure failure;
+    failure.iteration = iter;
+    failure.shrunk.plan = generated.plan;
+    failure.shrunk.db = db;
+    failure.violations = report.violations;
+
+    if (config.shrink) {
+      const OracleOptions oracle = config.oracle;
+      ShrinkCase(
+          &failure.shrunk.plan, &failure.shrunk.db,
+          [&oracle](const RAExprPtr& p, const Database& d) {
+            return !CheckCase(p, d, oracle).ok();
+          });
+      failure.violations =
+          CheckCase(failure.shrunk.plan, failure.shrunk.db, config.oracle)
+              .violations;
+    }
+
+    if (!config.corpus_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(config.corpus_dir, ec);
+      const std::string path =
+          CorpusPath(config.corpus_dir, summary.failures.size());
+      if (WriteFuzzCaseFile(failure.shrunk, path).ok()) {
+        failure.corpus_path = path;
+      }
+    }
+    summary.failures.push_back(std::move(failure));
+  }
+  return summary;
+}
+
+FuzzSummary ReplayCorpus(const std::string& dir,
+                         const OracleOptions& options) {
+  FuzzSummary summary;
+  for (const std::string& path : ListCorpusFiles(dir)) {
+    Result<FuzzCase> loaded = ReadFuzzCaseFile(path);
+    ++summary.iterations_run;
+    if (!loaded.ok()) {
+      FuzzFailure failure;
+      failure.iteration = summary.iterations_run - 1;
+      failure.violations.push_back("corpus parse error: " +
+                                   loaded.status().ToString());
+      failure.corpus_path = path;
+      summary.failures.push_back(std::move(failure));
+      continue;
+    }
+    OracleReport report = ReplayCase(*loaded, options);
+    summary.checks_skipped += report.skipped.size();
+    if (report.configs_run == 0) ++summary.cases_skipped;
+    if (!report.ok()) {
+      FuzzFailure failure;
+      failure.iteration = summary.iterations_run - 1;
+      failure.shrunk = std::move(*loaded);
+      failure.violations = report.violations;
+      failure.corpus_path = path;
+      summary.failures.push_back(std::move(failure));
+    }
+  }
+  return summary;
+}
+
+}  // namespace incdb

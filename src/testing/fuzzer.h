@@ -1,0 +1,89 @@
+// Differential fuzzing driver: generate → cross-check → shrink → emit.
+//
+// Each iteration draws a random incomplete database and a random RA plan
+// (stratified by fragment), runs the DifferentialOracle over every evaluator
+// configuration, and — on a violation — greedily shrinks the case and writes
+// it as a replayable .inc file into the corpus directory.
+//
+// Everything is driven by one Rng stream, so a (seed, config) pair
+// reproduces the exact sequence of cases: `fuzz_incdb --seed=N` re-runs a
+// failure from its reported seed.
+
+#ifndef INCDB_TESTING_FUZZER_H_
+#define INCDB_TESTING_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/corpus.h"
+#include "testing/fuzz_gen.h"
+#include "testing/oracle.h"
+#include "workload/generators.h"
+
+namespace incdb {
+
+/// Fuzzing run configuration.
+struct FuzzConfig {
+  uint64_t seed = 1;
+  /// Stop after this many iterations (0 = no iteration bound).
+  uint64_t iterations = 500;
+  /// Stop after this many seconds (0 = no time bound). At least one of
+  /// `iterations` / `time_budget_s` must be set.
+  double time_budget_s = 0;
+
+  /// Which query fragments to draw plans from. Each iteration picks one
+  /// uniformly; empty = all three.
+  std::vector<QueryClass> fragments;
+
+  /// Database shape knobs (nulls are additionally capped so world
+  /// enumeration stays within the oracle budget).
+  size_t num_relations = 2;
+  size_t max_arity = 3;
+  size_t max_tuples = 6;
+  int64_t domain_size = 4;
+  double null_density = 0.35;
+  size_t max_nulls = 3;
+
+  /// Directory for shrunk failing cases (empty = don't write files).
+  std::string corpus_dir;
+  /// Shrink failing cases before reporting/writing them.
+  bool shrink = true;
+
+  /// Oracle knobs (world budget, threads, fault injection test hook).
+  OracleOptions oracle;
+};
+
+/// One failing case, post-shrink.
+struct FuzzFailure {
+  uint64_t iteration = 0;
+  FuzzCase shrunk;
+  std::vector<std::string> violations;
+  std::string corpus_path;  ///< file written, empty if corpus_dir unset
+};
+
+/// Aggregate outcome of a fuzzing run.
+struct FuzzSummary {
+  uint64_t iterations_run = 0;
+  uint64_t cases_skipped = 0;   ///< oracle skipped everything (world budget)
+  uint64_t checks_skipped = 0;  ///< individual checks skipped across cases
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the fuzzing loop.
+FuzzSummary RunFuzz(const FuzzConfig& config);
+
+/// Re-checks one corpus case; returns the oracle report.
+OracleReport ReplayCase(const FuzzCase& fuzz_case,
+                        const OracleOptions& options = {});
+
+/// Replays every *.inc file under `dir`. Parse failures count as violations
+/// (a corpus file must stay loadable).
+FuzzSummary ReplayCorpus(const std::string& dir,
+                         const OracleOptions& options = {});
+
+}  // namespace incdb
+
+#endif  // INCDB_TESTING_FUZZER_H_

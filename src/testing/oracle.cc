@@ -1,0 +1,280 @@
+#include "testing/oracle.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/certain.h"
+#include "algebra/classify.h"
+#include "algebra/eval.h"
+#include "algebra/eval_3vl.h"
+#include "core/possible_worlds.h"
+#include "ctables/ctable.h"
+#include "ctables/ctable_algebra.h"
+#include "engine/query_engine.h"
+
+namespace incdb {
+namespace {
+
+// One evaluator configuration in the cross-check matrix.
+struct Config {
+  std::string label;
+  bool hash;
+  bool optimize;
+  bool cache;
+  bool delta;
+  int threads;  // 0 = use OracleOptions::num_threads
+};
+
+// The reference (index 0) is the nested-loop serial evaluator with every
+// acceleration layer off; everything else must match it bit for bit.
+const std::vector<Config>& ConfigMatrix() {
+  static const std::vector<Config> kConfigs = [] {
+    std::vector<Config> out;
+    out.push_back(
+        {"reference(nested-loop,serial)", false, false, false, false, 1});
+    for (int opt = 0; opt <= 1; ++opt) {
+      for (int cache = 0; cache <= 1; ++cache) {
+        for (int delta = 0; delta <= 1; ++delta) {
+          out.push_back({"hash,opt=" + std::to_string(opt) +
+                             ",cache=" + std::to_string(cache) +
+                             ",delta=" + std::to_string(delta) + ",serial",
+                         true, opt != 0, cache != 0, delta != 0, 1});
+        }
+      }
+    }
+    out.push_back({"hash,opt=1,cache=1,delta=1,parallel", true, true, true,
+                   true, 0});
+    out.push_back({"hash,opt=0,cache=0,delta=0,parallel", true, false, false,
+                   false, 0});
+    return out;
+  }();
+  return kConfigs;
+}
+
+EvalOptions MakeEvalOptions(const Config& c, int num_threads) {
+  EvalOptions o;
+  o.use_hash_kernels = c.hash;
+  o.optimize = c.optimize;
+  o.cache_subplans = c.cache;
+  o.delta_eval = c.delta;
+  o.num_threads = c.threads == 0 ? num_threads : c.threads;
+  // Force the partitioned-kernel code paths onto small inputs.
+  o.parallel_row_threshold = 2;
+  return o;
+}
+
+std::string Truncate(std::string s) {
+  constexpr size_t kMax = 400;
+  if (s.size() > kMax) s = s.substr(0, kMax) + "...";
+  return s;
+}
+
+std::string DescribeSides(const Relation& want, const Relation& got) {
+  return "reference=" + Truncate(want.ToString()) +
+         " got=" + Truncate(got.ToString());
+}
+
+// Computes `driver` across the whole config matrix and reports any mismatch
+// against the reference. Returns the reference answer when it exists.
+template <typename Driver>
+std::optional<Relation> CrossCheck(const std::string& what, Driver&& driver,
+                                   const OracleOptions& options,
+                                   OracleReport* report) {
+  std::optional<Relation> reference;
+  Status ref_status = Status::OK();
+  int fault_countdown = options.inject_fault;
+  const auto& matrix = ConfigMatrix();
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    const Config& c = matrix[i];
+    Result<Relation> r = driver(MakeEvalOptions(c, options.num_threads));
+    ++report->configs_run;
+    if (i == 0) {
+      if (r.ok()) {
+        reference = std::move(r).value();
+      } else {
+        ref_status = r.status();
+        if (ref_status.code() == StatusCode::kUnsupported ||
+            ref_status.code() == StatusCode::kResourceExhausted) {
+          report->skipped.push_back(what + ": " + ref_status.ToString());
+          return std::nullopt;
+        }
+      }
+      continue;
+    }
+    if (!reference.has_value()) {
+      // The reference errored; every configuration must agree on the code.
+      if (r.ok() || r.status().code() != ref_status.code()) {
+        report->violations.push_back(
+            what + " [" + c.label + "]: reference failed with '" +
+            ref_status.ToString() + "' but this config " +
+            (r.ok() ? "succeeded" : "failed with '" + r.status().ToString() +
+                                        "'"));
+      }
+      continue;
+    }
+    if (!r.ok()) {
+      report->violations.push_back(what + " [" + c.label +
+                                   "]: " + r.status().ToString() +
+                                   " (reference succeeded)");
+      continue;
+    }
+    Relation got = std::move(r).value();
+    if (--fault_countdown == 0) {
+      // Test hook: corrupt this configuration's answer.
+      std::vector<Value> bogus(got.arity(), Value::Int(987654321));
+      got.Add(Tuple(std::move(bogus)));
+    }
+    if (got != *reference) {
+      report->violations.push_back(what + " [" + c.label + "] differs: " +
+                                   DescribeSides(*reference, got));
+    }
+  }
+  return reference;
+}
+
+}  // namespace
+
+OracleReport CheckCase(const RAExprPtr& plan, const Database& db,
+                       const OracleOptions& options) {
+  OracleReport report;
+  WorldEnumOptions world_opts;
+  world_opts.max_worlds = options.max_worlds_per_case + 1;
+  if (CountWorldsCwa(db, world_opts) > options.max_worlds_per_case) {
+    report.skipped.push_back("case: world space exceeds max_worlds_per_case");
+    return report;
+  }
+  const QueryClass cls = Classify(plan);
+
+  // --- Certain answers under CWA: full matrix vs reference. ---
+  std::optional<Relation> certain_cwa = CrossCheck(
+      "certain/cwa",
+      [&](const EvalOptions& eval) {
+        return CertainAnswersEnum(plan, db, WorldSemantics::kClosedWorld,
+                                  world_opts, eval);
+      },
+      options, &report);
+
+  // --- Possible answers: full matrix vs reference. ---
+  std::optional<Relation> possible = CrossCheck(
+      "possible",
+      [&](const EvalOptions& eval) {
+        return PossibleAnswersEnum(plan, db, world_opts, eval);
+      },
+      options, &report);
+
+  // --- certain ⊆ possible. ---
+  if (certain_cwa && possible && !certain_cwa->empty() &&
+      !certain_cwa->IsSubsetOf(*possible)) {
+    report.violations.push_back("certain/cwa ⊄ possible: " +
+                                DescribeSides(*possible, *certain_cwa));
+  }
+
+  // --- Equation (4): naïve evaluation inside its guaranteed fragment. ---
+  if (certain_cwa &&
+      NaiveEvaluationWorks(plan, WorldSemantics::kClosedWorld)) {
+    Result<Relation> naive = CertainAnswersNaive(
+        plan, db, WorldSemantics::kClosedWorld, /*force=*/false, {});
+    if (!naive.ok()) {
+      report.violations.push_back(
+          "certain-naive/cwa refused inside its fragment: " +
+          naive.status().ToString());
+    } else if (*naive != *certain_cwa) {
+      report.violations.push_back(std::string("certain-naive/cwa != ") +
+                                  "certain-enum/cwa (" + QueryClassName(cls) +
+                                  "): " + DescribeSides(*certain_cwa, *naive));
+    }
+  }
+
+  // --- OWA: for positive plans the enum and naïve notions must agree. ---
+  if (options.check_owa && cls == QueryClass::kPositive) {
+    Result<Relation> owa_enum = CertainAnswersEnum(
+        plan, db, WorldSemantics::kOpenWorld, world_opts, {});
+    Result<Relation> owa_naive = CertainAnswersNaive(
+        plan, db, WorldSemantics::kOpenWorld, /*force=*/false, {});
+    if (owa_enum.ok() && owa_naive.ok()) {
+      if (*owa_enum != *owa_naive) {
+        report.violations.push_back("certain-naive/owa != certain-enum/owa: " +
+                                    DescribeSides(*owa_enum, *owa_naive));
+      }
+    } else if (owa_enum.ok() != owa_naive.ok()) {
+      report.violations.push_back(
+          "certain/owa: one notion refused the positive plan: enum=" +
+          owa_enum.status().ToString() +
+          " naive=" + owa_naive.status().ToString());
+    }
+  }
+
+  // --- Facade faithfulness: QueryEngine must match the direct driver. ---
+  if (certain_cwa) {
+    QueryEngine engine(db);
+    QueryRequest req;
+    req.ra = plan;
+    req.notion = AnswerNotion::kCertainEnum;
+    req.semantics = WorldSemantics::kClosedWorld;
+    req.world_options = world_opts;
+    Result<QueryResponse> resp = engine.Run(req);
+    if (!resp.ok()) {
+      report.violations.push_back("QueryEngine(kCertainEnum) failed: " +
+                                  resp.status().ToString());
+    } else if (resp->relation != *certain_cwa) {
+      report.violations.push_back("QueryEngine(kCertainEnum) differs: " +
+                                  DescribeSides(*certain_cwa,
+                                                resp->relation));
+    }
+  }
+
+  // --- 3VL soundness on positive plans: null-free 3VL rows are certain. ---
+  if (certain_cwa && cls == QueryClass::kPositive) {
+    Result<Relation> sql3vl = Eval3VL(plan, db);
+    if (sql3vl.ok()) {
+      const Relation grounded = DropNullTuples(*sql3vl);
+      if (!grounded.IsSubsetOf(*certain_cwa)) {
+        report.violations.push_back("3VL null-free answers ⊄ certain/cwa: " +
+                                    DescribeSides(*certain_cwa, grounded));
+      }
+    }
+  }
+
+  // --- Strong representation: ground Q(T) world by world. ---
+  if (options.check_ctables) {
+    const CDatabase cdb = CDatabase::FromDatabase(db);
+    Result<CTable> ct = EvalOnCTables(plan, cdb);
+    if (!ct.ok()) {
+      report.skipped.push_back("ctables: " + ct.status().ToString());
+    } else {
+      Status st = ForEachValuation(
+          db, world_opts, [&](const Valuation& v) -> bool {
+            bool global_ok = true;
+            Relation grounded = ct->ApplyValuation(v, &global_ok);
+            if (!global_ok) {
+              report.violations.push_back(
+                  "ctables: global condition false under valuation " +
+                  v.ToString() + " (lifted database has no global guard)");
+              return false;
+            }
+            Result<Relation> expected = EvalNaive(plan, v.Apply(db));
+            if (!expected.ok()) {
+              report.violations.push_back("ctables: world evaluation failed: " +
+                                          expected.status().ToString());
+              return false;
+            }
+            if (grounded != *expected) {
+              report.violations.push_back(
+                  "ctables: v(Q(T)) != Q(v(D)) under " + v.ToString() + ": " +
+                  DescribeSides(*expected, grounded));
+              return false;
+            }
+            return true;
+          });
+      if (st.code() == StatusCode::kResourceExhausted) {
+        report.skipped.push_back("ctables: world budget exhausted");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace incdb

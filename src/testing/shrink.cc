@@ -1,0 +1,187 @@
+#include "testing/shrink.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/valuation.h"
+#include "util/status.h"
+
+namespace incdb {
+namespace {
+
+// Rebuilds `node` with a replacement left / right child.
+RAExprPtr WithLeft(const RAExprPtr& node, RAExprPtr l) {
+  switch (node->kind()) {
+    case RAExpr::Kind::kSelect:
+      return RAExpr::Select(node->predicate(), std::move(l));
+    case RAExpr::Kind::kProject:
+      return RAExpr::Project(node->columns(), std::move(l));
+    case RAExpr::Kind::kProduct:
+      return RAExpr::Product(std::move(l), node->right());
+    case RAExpr::Kind::kUnion:
+      return RAExpr::Union(std::move(l), node->right());
+    case RAExpr::Kind::kDiff:
+      return RAExpr::Diff(std::move(l), node->right());
+    case RAExpr::Kind::kIntersect:
+      return RAExpr::Intersect(std::move(l), node->right());
+    case RAExpr::Kind::kDivide:
+      return RAExpr::Divide(std::move(l), node->right());
+    default:
+      return node;
+  }
+}
+
+RAExprPtr WithRight(const RAExprPtr& node, RAExprPtr r) {
+  switch (node->kind()) {
+    case RAExpr::Kind::kProduct:
+      return RAExpr::Product(node->left(), std::move(r));
+    case RAExpr::Kind::kUnion:
+      return RAExpr::Union(node->left(), std::move(r));
+    case RAExpr::Kind::kDiff:
+      return RAExpr::Diff(node->left(), std::move(r));
+    case RAExpr::Kind::kIntersect:
+      return RAExpr::Intersect(node->left(), std::move(r));
+    case RAExpr::Kind::kDivide:
+      return RAExpr::Divide(node->left(), std::move(r));
+    default:
+      return node;
+  }
+}
+
+// Every plan obtained by replacing exactly one node with one of its
+// children. Strictly smaller than the input; O(n²) candidates total.
+std::vector<RAExprPtr> PlanVariants(const RAExprPtr& node) {
+  std::vector<RAExprPtr> out;
+  const RAExprPtr& l = node->left();
+  const RAExprPtr& r = node->right();
+  if (l != nullptr) out.push_back(l);
+  if (r != nullptr) out.push_back(r);
+  if (l != nullptr) {
+    for (RAExprPtr& v : PlanVariants(l)) {
+      out.push_back(WithLeft(node, std::move(v)));
+    }
+  }
+  if (r != nullptr) {
+    for (RAExprPtr& v : PlanVariants(r)) {
+      out.push_back(WithRight(node, std::move(v)));
+    }
+  }
+  return out;
+}
+
+// `db` with tuple `idx` of relation `name` removed.
+Database RemoveTuple(const Database& db, const std::string& name, size_t idx) {
+  Database out(db.schema());
+  for (const auto& [rel_name, rel] : db.relations()) {
+    if (rel_name != name) {
+      *out.MutableRelation(rel_name, rel.arity()) = rel;
+      continue;
+    }
+    std::vector<Tuple> kept;
+    const std::vector<Tuple>& ts = rel.tuples();
+    kept.reserve(ts.size() - 1);
+    for (size_t i = 0; i < ts.size(); ++i) {
+      if (i != idx) kept.push_back(ts[i]);
+    }
+    *out.MutableRelation(rel_name, rel.arity()) =
+        Relation(rel.arity(), std::move(kept));
+  }
+  return out;
+}
+
+// `db` with every occurrence of ⊥_from replaced by ⊥_to.
+Database MergeNulls(const Database& db, NullId from, NullId to) {
+  Database out(db.schema());
+  for (const auto& [name, rel] : db.relations()) {
+    Relation* dst = out.MutableRelation(name, rel.arity());
+    for (const Tuple& t : rel.tuples()) {
+      std::vector<Value> vals;
+      vals.reserve(t.arity());
+      for (size_t i = 0; i < t.arity(); ++i) {
+        vals.push_back(t[i].is_null() && t[i].null_id() == from
+                           ? Value::Null(to)
+                           : t[i]);
+      }
+      dst->Add(Tuple(std::move(vals)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t PlanNodeCount(const RAExprPtr& plan) {
+  if (plan == nullptr) return 0;
+  return 1 + PlanNodeCount(plan->left()) + PlanNodeCount(plan->right());
+}
+
+void ShrinkCase(RAExprPtr* plan, Database* db,
+                const FailurePredicate& still_fails,
+                const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats* s = stats != nullptr ? stats : &local;
+  *s = ShrinkStats();
+
+  auto try_adopt = [&](const RAExprPtr& cand_plan,
+                       const Database& cand_db) -> bool {
+    if (s->attempts >= options.max_attempts) return false;
+    ++s->attempts;
+    if (!still_fails(cand_plan, cand_db)) return false;
+    *plan = cand_plan;
+    *db = cand_db;
+    ++s->accepted_steps;
+    return true;
+  };
+
+  auto pass_tuples = [&]() -> bool {
+    for (const auto& [name, rel] : db->relations()) {
+      const size_t n = rel.tuples().size();
+      for (size_t i = 0; i < n; ++i) {
+        if (try_adopt(*plan, RemoveTuple(*db, name, i))) return true;
+        if (s->attempts >= options.max_attempts) return false;
+      }
+    }
+    return false;
+  };
+
+  auto pass_nulls = [&]() -> bool {
+    const std::set<NullId> null_set = db->Nulls();
+    const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+    // Merge ⊥_b into ⊥_a (a < b): fewer distinct nulls, smaller world space.
+    for (size_t a = 0; a < nulls.size(); ++a) {
+      for (size_t b = a + 1; b < nulls.size(); ++b) {
+        if (try_adopt(*plan, MergeNulls(*db, nulls[b], nulls[a]))) return true;
+        if (s->attempts >= options.max_attempts) return false;
+      }
+    }
+    // Ground one null to a small constant.
+    for (NullId n : nulls) {
+      Valuation v;
+      v.Bind(n, Value::Int(0));
+      if (try_adopt(*plan, v.Apply(*db))) return true;
+      if (s->attempts >= options.max_attempts) return false;
+    }
+    return false;
+  };
+
+  auto pass_plan = [&]() -> bool {
+    for (const RAExprPtr& cand : PlanVariants(*plan)) {
+      // Discard candidates that no longer type-check (e.g. a π dropped
+      // under a ∪ of different arity) without spending a predicate call.
+      if (!cand->InferArity(db->schema()).ok()) continue;
+      if (try_adopt(cand, *db)) return true;
+      if (s->attempts >= options.max_attempts) return false;
+    }
+    return false;
+  };
+
+  bool progress = true;
+  while (progress && s->attempts < options.max_attempts) {
+    progress = false;
+    while (pass_tuples()) progress = true;
+    while (pass_nulls()) progress = true;
+    while (pass_plan()) progress = true;
+  }
+}
+
+}  // namespace incdb

@@ -1,0 +1,54 @@
+// Greedy test-case shrinking for the differential fuzzing harness.
+//
+// Given a failing (plan, database) pair and a predicate that re-checks the
+// failure, ShrinkCase repeatedly applies size-reducing transformations and
+// keeps any candidate that still fails:
+//
+//   database: drop one tuple · merge two marked nulls (⊥_b := ⊥_a) ·
+//             ground one null to a small constant
+//   plan:     replace an operator node by one of its children (when the
+//             whole plan still type-checks against the schema)
+//
+// Every accepted step strictly decreases (tuples + nulls + plan nodes), so
+// the loop terminates; `max_attempts` additionally bounds the number of
+// predicate evaluations since each one may enumerate worlds.
+
+#ifndef INCDB_TESTING_SHRINK_H_
+#define INCDB_TESTING_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "algebra/ast.h"
+#include "core/database.h"
+
+namespace incdb {
+
+/// Re-checks a candidate case; true = the candidate still fails (and may be
+/// adopted as the new, smaller case).
+using FailurePredicate =
+    std::function<bool(const RAExprPtr& plan, const Database& db)>;
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations across the whole shrink.
+  size_t max_attempts = 2000;
+};
+
+struct ShrinkStats {
+  size_t attempts = 0;        ///< predicate evaluations performed
+  size_t accepted_steps = 0;  ///< transformations that kept the failure
+};
+
+/// Number of operator nodes in a plan (shrink size metric).
+size_t PlanNodeCount(const RAExprPtr& plan);
+
+/// Greedily minimizes (plan, db) under `still_fails`. The inputs must
+/// satisfy the predicate; the returned pair does too.
+void ShrinkCase(RAExprPtr* plan, Database* db,
+                const FailurePredicate& still_fails,
+                const ShrinkOptions& options = {},
+                ShrinkStats* stats = nullptr);
+
+}  // namespace incdb
+
+#endif  // INCDB_TESTING_SHRINK_H_

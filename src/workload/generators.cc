@@ -46,6 +46,10 @@ OrdersPaymentsWorkload MakeOrdersPayments(const OrdersPaymentsConfig& config) {
 
 Database MakeRandomDatabase(const RandomDbConfig& config) {
   Rng rng(config.seed);
+  return MakeRandomDatabase(config, rng);
+}
+
+Database MakeRandomDatabase(const RandomDbConfig& config, Rng& rng) {
   Database db;
   NullId next_null = 0;
   std::vector<NullId> existing_nulls;
@@ -56,14 +60,28 @@ Database MakeRandomDatabase(const RandomDbConfig& config) {
       std::vector<Value> vals;
       vals.reserve(config.arities[r]);
       for (size_t c = 0; c < config.arities[r]; ++c) {
-        if (rng.Bernoulli(config.null_density)) {
-          if (!existing_nulls.empty() && rng.Bernoulli(config.null_reuse)) {
+        const bool nulls_capped =
+            config.max_nulls > 0 && next_null >= config.max_nulls;
+        const bool want_null =
+            rng.Bernoulli(config.null_density) &&
+            !(nulls_capped && (config.codd || existing_nulls.empty()));
+        if (want_null) {
+          // A Codd table never reuses a null; a naïve table reuses with
+          // probability null_reuse (and always once the null cap is hit).
+          const bool reuse =
+              !config.codd && !existing_nulls.empty() &&
+              (nulls_capped || rng.Bernoulli(config.null_reuse));
+          if (reuse) {
             vals.push_back(Value::Null(
                 existing_nulls[rng.Uniform(existing_nulls.size())]));
           } else {
             existing_nulls.push_back(next_null);
             vals.push_back(Value::Null(next_null++));
           }
+        } else if (config.string_density > 0 &&
+                   rng.Bernoulli(config.string_density)) {
+          vals.push_back(Value::Str(
+              "s" + std::to_string(rng.UniformInt(0, config.domain_size - 1))));
         } else {
           vals.push_back(Value::Int(rng.UniformInt(0, config.domain_size - 1)));
         }
@@ -72,6 +90,59 @@ Database MakeRandomDatabase(const RandomDbConfig& config) {
     }
   }
   return db;
+}
+
+namespace {
+
+// Random equality condition over the instance's nulls and small constants.
+ConditionPtr RandomCondition(Rng& rng, const std::vector<NullId>& nulls,
+                             int64_t domain_size, size_t depth) {
+  auto leaf_value = [&]() -> Value {
+    if (!nulls.empty() && rng.Bernoulli(0.6)) {
+      return Value::Null(nulls[rng.Uniform(nulls.size())]);
+    }
+    return Value::Int(rng.UniformInt(0, domain_size - 1));
+  };
+  if (depth == 0 || rng.Bernoulli(0.5)) {
+    ConditionPtr eq = Condition::Eq(leaf_value(), leaf_value());
+    return rng.Bernoulli(0.3) ? Condition::Not(eq) : eq;
+  }
+  ConditionPtr l = RandomCondition(rng, nulls, domain_size, depth - 1);
+  ConditionPtr r = RandomCondition(rng, nulls, domain_size, depth - 1);
+  return rng.Bernoulli(0.5) ? Condition::And(std::move(l), std::move(r))
+                            : Condition::Or(std::move(l), std::move(r));
+}
+
+}  // namespace
+
+CDatabase MakeRandomCDatabase(const RandomCDbConfig& config) {
+  Rng rng(config.base.seed);
+  return MakeRandomCDatabase(config, rng);
+}
+
+CDatabase MakeRandomCDatabase(const RandomCDbConfig& config, Rng& rng) {
+  const Database base = MakeRandomDatabase(config.base, rng);
+  const std::set<NullId> null_set = base.Nulls();
+  const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+  CDatabase out = CDatabase::FromDatabase(base);
+  for (const auto& [name, rel] : base.relations()) {
+    CTable* table = out.MutableTable(name, rel.arity());
+    CTable conditioned(rel.arity());
+    for (const CTableRow& row : table->rows()) {
+      ConditionPtr c = Condition::True();
+      if (rng.Bernoulli(config.condition_density)) {
+        c = RandomCondition(rng, nulls, config.base.domain_size,
+                            config.max_condition_depth);
+      }
+      conditioned.AddRow(row.tuple, std::move(c));
+    }
+    if (rng.Bernoulli(config.global_condition_p)) {
+      conditioned.SetGlobalCondition(RandomCondition(
+          rng, nulls, config.base.domain_size, config.max_condition_depth));
+    }
+    *table = std::move(conditioned);
+  }
+  return out;
 }
 
 Database MakeDivisionWorkload(const DivisionConfig& config) {

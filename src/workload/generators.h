@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "ctables/ctable.h"
 #include "logic/cq.h"
 #include "util/random.h"
 
@@ -48,12 +49,44 @@ struct RandomDbConfig {
   int64_t domain_size = 8;
   /// Per-cell probability of a null.
   double null_density = 0.2;
-  /// Probability that a null cell reuses an existing marked null.
+  /// Probability that a null cell reuses an existing marked null (shared
+  /// marked nulls — the cases naïve tables can express but Codd tables
+  /// cannot). Ignored when `codd` is set.
   double null_reuse = 0.3;
+  /// Generate a Codd database: every null occurs exactly once (models SQL's
+  /// unmarked NULL).
+  bool codd = false;
+  /// Probability that a constant cell is a string ("s<k>") instead of an int.
+  double string_density = 0.0;
+  /// Hard cap on distinct nulls across the instance (the fuzzing harness
+  /// keeps this small so world enumeration stays tractable); 0 = unlimited.
+  size_t max_nulls = 0;
   uint64_t seed = 1;
 };
 
 Database MakeRandomDatabase(const RandomDbConfig& config);
+/// Deterministic variant drawing from an existing PRNG stream (`config.seed`
+/// is ignored), so a fuzzing loop can derive many databases from one seed.
+Database MakeRandomDatabase(const RandomDbConfig& config, Rng& rng);
+
+/// Configuration for random conditional-table databases.
+struct RandomCDbConfig {
+  /// Shape of the underlying tuples (arities, rows, nulls, constants).
+  RandomDbConfig base;
+  /// Probability that a row carries a non-trivial condition.
+  double condition_density = 0.5;
+  /// Maximum depth of each row condition's AND/OR/NOT tree.
+  size_t max_condition_depth = 2;
+  /// Probability of a non-trivial global condition.
+  double global_condition_p = 0.2;
+};
+
+/// A random c-database: random naïve tuples with random equality conditions
+/// over the instance's nulls and small constants. Conditions go through the
+/// folding factories, so rows may end with condition `true` (kept) or
+/// `false` (kept too — Simplified() is the caller's choice).
+CDatabase MakeRandomCDatabase(const RandomCDbConfig& config);
+CDatabase MakeRandomCDatabase(const RandomCDbConfig& config, Rng& rng);
 
 /// Division workload (bench E4): Emp(project, employee) and Proj(project).
 /// Emp ÷ ... inverted: the classical query "employees assigned to every

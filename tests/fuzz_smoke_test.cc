@@ -1,0 +1,117 @@
+// Smoke tests for the differential fuzzing harness.
+//
+//  * The committed corpus (tests/corpus/*.inc, path injected as
+//    INCDB_CORPUS_DIR) replays with zero violations — this is the check PR
+//    CI runs; the nightly soak job does the long random runs.
+//  * A short random fuzz run is violation-free and deterministic per seed.
+//  * The oracle's fault-injection hook proves the catch-and-shrink path: a
+//    corrupted configuration is detected and the case shrinks to a
+//    few-tuple, few-node corpus file that replays cleanly once the fault is
+//    removed.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus.h"
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+#include "testing/shrink.h"
+
+namespace incdb {
+namespace {
+
+#ifndef INCDB_CORPUS_DIR
+#error "build must define INCDB_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+size_t TotalTuples(const Database& db) {
+  size_t n = 0;
+  for (const auto& [name, rel] : db.relations()) n += rel.tuples().size();
+  return n;
+}
+
+TEST(FuzzSmoke, CommittedCorpusReplaysClean) {
+  const FuzzSummary summary = ReplayCorpus(INCDB_CORPUS_DIR);
+  EXPECT_GE(summary.iterations_run, 3u) << "corpus went missing?";
+  EXPECT_EQ(summary.cases_skipped, 0u);
+  for (const FuzzFailure& f : summary.failures) {
+    ADD_FAILURE() << f.corpus_path << ": " << f.violations.front();
+  }
+}
+
+TEST(FuzzSmoke, ShortRandomRunIsViolationFree) {
+  FuzzConfig config;
+  config.seed = 1;
+  config.iterations = 40;
+  const FuzzSummary summary = RunFuzz(config);
+  EXPECT_EQ(summary.iterations_run, 40u);
+  for (const FuzzFailure& f : summary.failures) {
+    ADD_FAILURE() << "iteration " << f.iteration << ": "
+                  << f.violations.front();
+  }
+}
+
+TEST(FuzzSmoke, SameSeedSameRun) {
+  FuzzConfig config;
+  config.seed = 99;
+  config.iterations = 20;
+  const FuzzSummary a = RunFuzz(config);
+  const FuzzSummary b = RunFuzz(config);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.checks_skipped, b.checks_skipped);
+  EXPECT_EQ(a.cases_skipped, b.cases_skipped);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(FuzzSmoke, CorpusFormatRoundTrips) {
+  for (const std::string& path : ListCorpusFiles(INCDB_CORPUS_DIR)) {
+    Result<FuzzCase> loaded = ReadFuzzCaseFile(path);
+    ASSERT_TRUE(loaded.ok()) << path << ": " << loaded.status().ToString();
+    const std::string dump = DumpFuzzCase(*loaded);
+    Result<FuzzCase> again = ParseFuzzCase(dump);
+    ASSERT_TRUE(again.ok()) << path << ": " << again.status().ToString();
+    EXPECT_EQ(DumpFuzzCase(*again), dump) << path;
+    EXPECT_EQ(again->plan->ToString(), loaded->plan->ToString()) << path;
+    EXPECT_TRUE(again->db == loaded->db) << path;
+  }
+}
+
+TEST(FuzzSmoke, InjectedFaultIsCaughtAndShrunk) {
+  const std::string corpus_dir =
+      (std::filesystem::path(::testing::TempDir()) / "fuzz_fault_corpus")
+          .string();
+  std::filesystem::remove_all(corpus_dir);
+
+  FuzzConfig config;
+  config.seed = 7;
+  config.iterations = 5;
+  config.corpus_dir = corpus_dir;
+  config.oracle.inject_fault = 1;  // corrupt the first non-reference config
+  const FuzzSummary summary = RunFuzz(config);
+
+  ASSERT_FALSE(summary.failures.empty())
+      << "a corrupted evaluator went undetected";
+  const FuzzFailure& f = summary.failures.front();
+  EXPECT_FALSE(f.violations.empty());
+
+  // The shrinker must reduce the case to near-minimal size.
+  EXPECT_LE(TotalTuples(f.shrunk.db), 5u);
+  EXPECT_LE(PlanNodeCount(f.shrunk.plan), 4u);
+
+  // The shrunk case was written as a replayable corpus file...
+  ASSERT_FALSE(f.corpus_path.empty());
+  Result<FuzzCase> reloaded = ReadFuzzCaseFile(f.corpus_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  // ...that still trips the faulty oracle, and passes the healthy one.
+  OracleOptions faulty;
+  faulty.inject_fault = 1;
+  EXPECT_FALSE(ReplayCase(*reloaded, faulty).ok());
+  EXPECT_TRUE(ReplayCase(*reloaded).ok());
+
+  std::filesystem::remove_all(corpus_dir);
+}
+
+}  // namespace
+}  // namespace incdb
