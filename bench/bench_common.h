@@ -84,6 +84,25 @@ inline void ReportDeltaSweep(benchmark::State& state, bool delta,
       mean_seconds > 0 ? off_seconds / mean_seconds : 0);
 }
 
+/// Attaches the backend sweep counters: which backend ran (`ctable`), the
+/// condition-normalizer work per iteration (`cond_simplified` rewrites,
+/// `unsat_pruned` conditions collapsed to false), and the speedup of this
+/// run's mean iteration over an enumeration-backend baseline timed inline
+/// just before the loop (>1 means the c-table pipeline beats enumerating
+/// worlds on this instance; it grows exponentially with the null count).
+inline void ReportBackendSweep(benchmark::State& state, bool ctable,
+                               const incdb::EvalStats& stats,
+                               double enum_seconds, double mean_seconds) {
+  const auto rate = benchmark::Counter::kAvgIterations;
+  state.counters["ctable"] = benchmark::Counter(ctable ? 1 : 0);
+  state.counters["cond_simplified"] =
+      benchmark::Counter(static_cast<double>(stats.cond_simplified()), rate);
+  state.counters["unsat_pruned"] =
+      benchmark::Counter(static_cast<double>(stats.unsat_pruned()), rate);
+  state.counters["speedup"] = benchmark::Counter(
+      mean_seconds > 0 ? enum_seconds / mean_seconds : 0);
+}
+
 /// Prints a header for the experiment's summary table. Summaries are
 /// emitted once, before the timing benchmarks, from a global initializer.
 inline void TableHeader(const char* experiment, const char* claim,

@@ -299,4 +299,51 @@ void BM_WorldEnumerationDelta(benchmark::State& state) {
 BENCHMARK(BM_WorldEnumerationDelta)->Arg(0)->Arg(1)->Unit(
     benchmark::kMillisecond);
 
+// Backend sweep through the QueryEngine facade: the same certain-answer
+// request on Backend::kEnumeration vs Backend::kCTable at increasing null
+// counts. args encode (ctable, #nulls); the "speedup" counter compares this
+// run's mean iteration against an enumeration-backend baseline timed inline
+// just before the loop, so the ctable=1 rows show how far the conditional-
+// algebra pipeline pulls ahead as |domain|^#nulls grows.
+void BM_CertainBackendSweep(benchmark::State& state) {
+  const bool ctable = state.range(0) != 0;
+  const size_t nulls = static_cast<size_t>(state.range(1));
+  Database db = DbWithNulls(nulls, 7);
+  QueryEngine engine(db);
+  const QueryRequest enum_req =
+      QueryRequestBuilder(QueryInput::Ra(JoinQuery()))
+          .Notion(AnswerNotion::kCertainEnum)
+          .OnBackend(Backend::kEnumeration)
+          .Build();
+  const double enum_seconds = incdb_bench::SecondsOf(
+      [&] { benchmark::DoNotOptimize(engine.Run(enum_req)); });
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  QueryRequest req = QueryRequestBuilder(QueryInput::Ra(JoinQuery()))
+                         .Notion(AnswerNotion::kCertainEnum)
+                         .OnBackend(ctable ? Backend::kCTable
+                                           : Backend::kEnumeration)
+                         .Eval(options)
+                         .Build();
+  double total_seconds = 0;
+  for (auto _ : state) {
+    total_seconds += incdb_bench::SecondsOf(
+        [&] { benchmark::DoNotOptimize(engine.Run(req)); });
+  }
+  incdb_bench::ReportBackendSweep(
+      state, ctable, stats, enum_seconds,
+      total_seconds / static_cast<double>(state.iterations()));
+}
+// 6 nulls over the 4-value base domain is already ~10^6 worlds per
+// enumeration-backend evaluation; the c-table backend stays flat.
+BENCHMARK(BM_CertainBackendSweep)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 6})
+    ->Args({1, 6})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -245,4 +245,49 @@ void BM_DiffDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffDelta)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Backend sweep on the difference query, where certain answers are
+// coNP-hard and enumeration is the only other exact method. args encode
+// (ctable, rows per relation); more rows mean more instance nulls at fixed
+// density, so the enumeration baseline blows up while the c-table pipeline
+// answers from one normalized conditional table. "speedup" compares this
+// run's mean iteration against an enumeration baseline timed inline just
+// before the loop; cond_simplified / unsat_pruned show the normalizer work
+// that replaces world expansion.
+void BM_DiffBackendSweep(benchmark::State& state) {
+  const bool ctable = state.range(0) != 0;
+  Database db = SmallDb(3, static_cast<size_t>(state.range(1)), 0.3);
+  auto q = DiffQuery();
+  const double enum_seconds = incdb_bench::SecondsOf([&] {
+    benchmark::DoNotOptimize(
+        CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld));
+  });
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  double total_seconds = 0;
+  for (auto _ : state) {
+    total_seconds += incdb_bench::SecondsOf([&] {
+      if (ctable) {
+        benchmark::DoNotOptimize(CertainAnswersCTable(
+            q, db, WorldSemantics::kClosedWorld, {}, options));
+      } else {
+        benchmark::DoNotOptimize(CertainAnswersEnum(
+            q, db, WorldSemantics::kClosedWorld, {}, options));
+      }
+    });
+  }
+  state.SetLabel("nulls=" + std::to_string(db.Nulls().size()));
+  incdb_bench::ReportBackendSweep(
+      state, ctable, stats, enum_seconds,
+      total_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DiffBackendSweep)
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 6})
+    ->Args({1, 6})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -315,4 +315,47 @@ void BM_DivisionDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_DivisionDelta)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Backend sweep on division (expanded to the double-difference form before
+// the conditional-algebra pipeline runs). args encode (ctable, #injected
+// nulls); the enumeration baseline pays |domain|^#nulls per evaluation
+// while the c-table backend normalizes the expanded plan's conditions once.
+// "speedup" compares this run's mean iteration against an enumeration
+// baseline timed inline just before the loop.
+void BM_DivisionBackendSweep(benchmark::State& state) {
+  const bool ctable = state.range(0) != 0;
+  Database db = Workload(4, 11, 0.9, static_cast<size_t>(state.range(1)));
+  auto q = Query();
+  const double enum_seconds = incdb_bench::SecondsOf([&] {
+    benchmark::DoNotOptimize(
+        CertainAnswersEnum(q, db, WorldSemantics::kClosedWorld));
+  });
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  double total_seconds = 0;
+  for (auto _ : state) {
+    total_seconds += incdb_bench::SecondsOf([&] {
+      if (ctable) {
+        benchmark::DoNotOptimize(CertainAnswersCTable(
+            q, db, WorldSemantics::kClosedWorld, {}, options));
+      } else {
+        benchmark::DoNotOptimize(CertainAnswersEnum(
+            q, db, WorldSemantics::kClosedWorld, {}, options));
+      }
+    });
+  }
+  state.SetLabel("nulls=" + std::to_string(db.Nulls().size()));
+  incdb_bench::ReportBackendSweep(
+      state, ctable, stats, enum_seconds,
+      total_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DivisionBackendSweep)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 6})
+    ->Args({1, 6})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

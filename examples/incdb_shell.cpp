@@ -15,6 +15,8 @@
 //   stats   on|off                         per-operator counters after queries
 //   threads <n>                            worker threads (0 = auto, 1 = serial)
 //   delta   on|off                         differential world enumeration
+//   backend enum|ctable                    world enumeration vs c-table-native
+//                                          certain/possible answers
 //   help / quit
 //
 // All query commands run through the QueryEngine facade
@@ -101,6 +103,7 @@ void PrintRelation(const Relation& r) {
 bool g_stats = false;
 int g_threads = 1;  // num_threads for every query; 1 = serial, 0 = auto
 bool g_delta = true;  // differential world enumeration (EvalOptions::delta_eval)
+Backend g_backend = Backend::kEnumeration;  // certain-enum/possible backend
 
 // Runs one notion through the engine and prints the outcome under `label`.
 // Returns true when the answer was printed (vs an error).
@@ -120,8 +123,9 @@ bool RunNotion(const QueryEngine& engine, QueryRequest req, const char* label,
 
 QueryRequest SqlRequest(const std::string& sql, AnswerNotion notion) {
   QueryRequest req;
-  req.sql_text = sql;
+  req.input = QueryInput::SqlText(sql);
   req.notion = notion;
+  req.backend = g_backend;
   req.eval.num_threads = g_threads;
   req.eval.delta_eval = g_delta;
   return req;
@@ -179,6 +183,9 @@ int main() {
           "  stats on|off          per-operator counters after queries\n"
           "  threads <n>           worker threads (0 = auto, 1 = serial)\n"
           "  delta on|off          differential world enumeration\n"
+          "  backend enum|ctable   how certain-enum/possible answers are\n"
+          "                        computed: world enumeration, or natively\n"
+          "                        on c-tables (bit-identical, no worlds)\n"
           "  quit\n");
       continue;
     }
@@ -278,6 +285,19 @@ int main() {
       std::printf("  delta %s\n", g_delta ? "on" : "off");
       continue;
     }
+    if (cmd == "backend") {
+      if (EqualsIgnoreCase(rest, "ctable")) {
+        g_backend = Backend::kCTable;
+      } else if (EqualsIgnoreCase(rest, "enum") ||
+                 EqualsIgnoreCase(rest, "enumeration")) {
+        g_backend = Backend::kEnumeration;
+      } else {
+        std::printf("  usage: backend enum|ctable\n");
+        continue;
+      }
+      std::printf("  backend %s\n", BackendName(g_backend));
+      continue;
+    }
     if (cmd == "threads") {
       int n = 0;
       if (std::sscanf(rest.c_str(), "%d", &n) != 1 || n < 0) {
@@ -309,11 +329,12 @@ int main() {
       const QueryEngine engine(db);
       QueryRequest req;
       if (EqualsIgnoreCase(query.substr(0, 6), "select")) {
-        req.sql_text = query;
+        req.input = QueryInput::SqlText(query);
       } else {
-        req.ra_text = query;
+        req.input = QueryInput::RaText(query);
       }
       req.notion = notion;
+      req.backend = g_backend;
       req.eval.num_threads = g_threads;
       req.eval.delta_eval = g_delta;
       auto resp = engine.Run(req);
@@ -336,7 +357,15 @@ int main() {
       std::printf("  [%s] ", AnswerNotionName(notion));
       PrintRelation(resp->relation);
       std::printf("%s", resp->stats.ToString().c_str());
-      if (notion == AnswerNotion::kCertainEnum) {
+      if (notion == AnswerNotion::kCertainEnum &&
+          resp->backend == Backend::kCTable) {
+        std::printf(
+            "  backend:       ctable (%llu condition%s simplified, %llu "
+            "pruned unsat)\n",
+            static_cast<unsigned long long>(resp->cond_simplified),
+            resp->cond_simplified == 1 ? "" : "s",
+            static_cast<unsigned long long>(resp->unsat_pruned));
+      } else if (notion == AnswerNotion::kCertainEnum) {
         std::printf("  subplan cache: %llu hit%s / %llu miss%s\n",
                     static_cast<unsigned long long>(resp->stats.cache_hits()),
                     resp->stats.cache_hits() == 1 ? "" : "s",
@@ -354,7 +383,7 @@ int main() {
     if (cmd == "ra") {
       const QueryEngine engine(db);
       QueryRequest naive_req;
-      naive_req.ra_text = rest;
+      naive_req.input = QueryInput::RaText(rest);
       naive_req.notion = AnswerNotion::kNaive;
       naive_req.eval.num_threads = g_threads;
       auto naive = engine.Run(naive_req);
@@ -371,7 +400,7 @@ int main() {
       for (auto sem :
            {WorldSemantics::kOpenWorld, WorldSemantics::kClosedWorld}) {
         QueryRequest req;
-        req.ra_text = rest;
+        req.input = QueryInput::RaText(rest);
         req.notion = AnswerNotion::kCertainNaive;
         req.semantics = sem;
         req.eval.num_threads = g_threads;

@@ -25,10 +25,7 @@ QueryResponse MustRun(const QueryEngine& engine, QueryRequest req) {
 }
 
 QueryRequest Sql(const std::string& text, AnswerNotion notion) {
-  QueryRequest req;
-  req.sql_text = text;
-  req.notion = notion;
-  return req;
+  return QueryRequestBuilder(QueryInput::SqlText(text)).Notion(notion).Build();
 }
 
 }  // namespace
@@ -95,22 +92,31 @@ int main() {
   //    confirms it exactly.
   // ---------------------------------------------------------------------
   QueryRequest enum_req;
-  enum_req.ra = RAExpr::Project(
+  enum_req.input = QueryInput::Ra(RAExpr::Project(
       {1}, RAExpr::Select(Predicate::Eq(Term::Column(0), Term::Column(3)),
                           RAExpr::Product(RAExpr::Scan("Ord"),
-                                          RAExpr::Scan("Pay"))));
+                                          RAExpr::Scan("Pay")))));
   enum_req.notion = AnswerNotion::kCertainEnum;
   enum_req.semantics = WorldSemantics::kClosedWorld;
   QueryResponse truth = MustRun(engine, enum_req);
   std::printf("Ground truth by world enumeration: %s\n",
               truth.relation.ToString().c_str());
 
+  // The same ground truth without enumerating a single world: flip the
+  // backend to the c-table-native pipeline (bit-identical by construction).
+  QueryRequest ct_req = enum_req;
+  ct_req.backend = Backend::kCTable;
+  QueryResponse ct_truth = MustRun(engine, ct_req);
+  std::printf("Same answer on the %s backend: %s\n",
+              BackendName(ct_truth.backend),
+              ct_truth.relation.ToString().c_str());
+
   // ---------------------------------------------------------------------
   // 5. certainO: the naïve answer *as an object* keeps partial tuples that
   //    intersection-based answers throw away (Section 6 of the paper).
   // ---------------------------------------------------------------------
   QueryRequest object_req;
-  object_req.ra_text = "Pay";
+  object_req.input = QueryInput::RaText("Pay");
   object_req.notion = AnswerNotion::kCertainObject;
   QueryResponse object_answer = MustRun(engine, object_req);
   std::printf("\ncertainO for SELECT * FROM Pay: %s\n",

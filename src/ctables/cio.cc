@@ -67,28 +67,59 @@ Result<Value> ParseValueToken(const std::string& tok, size_t lineno) {
 }
 
 // ---- Condition parsing (the Condition::ToString() grammar) ----
+//
+// Tokens remember their 1-based column so parse errors can point at the
+// offending token: "expected ')' in condition on line 4, column 12 (at
+// 'foo')". `col_offset` shifts the columns when the condition text is a
+// suffix of a longer line (a `global` header or a row's `:: cond` tail).
+
+struct CondToken {
+  std::string text;
+  size_t col = 1;  // 1-based, within the condition text
+};
 
 struct CondParser {
-  std::vector<std::string> tokens;
+  std::vector<CondToken> tokens;
   size_t pos = 0;
   size_t lineno;
+  size_t col_offset;
 
-  explicit CondParser(size_t line) : lineno(line) {}
+  CondParser(size_t line, size_t col_offset)
+      : lineno(line), col_offset(col_offset) {}
 
-  std::string Where() const { return " on line " + std::to_string(lineno); }
+  std::string Where(size_t col) const {
+    return " on line " + std::to_string(lineno) + ", column " +
+           std::to_string(col_offset + col);
+  }
+
+  // Location of the current token (or of the end of the condition).
+  std::string At() const {
+    if (AtEnd()) {
+      const size_t end = tokens.empty()
+                             ? 1
+                             : tokens.back().col + tokens.back().text.size();
+      return Where(end) + " (at end of condition)";
+    }
+    return Where(tokens[pos].col) + " (at '" + tokens[pos].text + "')";
+  }
 
   Status Tokenize(const std::string& text) {
     std::string cur;
+    size_t cur_col = 1;
     bool in_quote = false;
+    size_t quote_col = 1;
     auto flush = [&]() {
       if (!cur.empty()) {
-        tokens.push_back(cur);
+        tokens.push_back({cur, cur_col});
         cur.clear();
       }
     };
-    for (char c : text) {
+    for (size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
       if (c == '\'') {
+        if (!in_quote) quote_col = i + 1;
         in_quote = !in_quote;
+        if (cur.empty()) cur_col = i + 1;
         cur += c;
         continue;
       }
@@ -103,31 +134,33 @@ struct CondParser {
       if (c == '(' || c == ')' || c == '~' || c == '&' || c == '|' ||
           c == '=') {
         flush();
-        tokens.push_back(std::string(1, c));
+        tokens.push_back({std::string(1, c), i + 1});
         continue;
       }
+      if (cur.empty()) cur_col = i + 1;
       cur += c;
     }
-    if (in_quote) return Status::ParseError("unterminated string" + Where());
+    if (in_quote) {
+      return Status::ParseError("unterminated string" + Where(quote_col));
+    }
     flush();
     return Status::OK();
   }
 
   bool AtEnd() const { return pos >= tokens.size(); }
-  const std::string& Peek() const { return tokens[pos]; }
+  const std::string& Peek() const { return tokens[pos].text; }
 
   Status Expect(const std::string& tok) {
-    if (AtEnd() || tokens[pos] != tok) {
-      return Status::ParseError("expected '" + tok + "' in condition" +
-                                Where());
+    if (AtEnd() || tokens[pos].text != tok) {
+      return Status::ParseError("expected '" + tok + "' in condition" + At());
     }
     ++pos;
     return Status::OK();
   }
 
   Result<ConditionPtr> ParseCond() {
-    if (AtEnd()) return Status::ParseError("empty condition" + Where());
-    const std::string tok = tokens[pos];
+    if (AtEnd()) return Status::ParseError("empty condition" + At());
+    const std::string tok = tokens[pos].text;
     if (tok == "true") {
       ++pos;
       return Condition::True();
@@ -158,37 +191,50 @@ struct CondParser {
       return left;
     }
     // Equality: value = value.
-    INCDB_ASSIGN_OR_RETURN(Value lhs, ParseValueToken(tok, lineno));
+    Result<Value> lhs = ParseValueToken(tok, lineno);
+    if (!lhs.ok()) return Status::ParseError(ValueError(lhs.status()));
     ++pos;
     INCDB_RETURN_IF_ERROR(Expect("="));
-    if (AtEnd()) return Status::ParseError("dangling '='" + Where());
-    INCDB_ASSIGN_OR_RETURN(Value rhs, ParseValueToken(tokens[pos], lineno));
+    if (AtEnd()) return Status::ParseError("dangling '='" + At());
+    Result<Value> rhs = ParseValueToken(tokens[pos].text, lineno);
+    if (!rhs.ok()) return Status::ParseError(ValueError(rhs.status()));
     ++pos;
-    return Condition::Eq(std::move(lhs), std::move(rhs));
+    return Condition::Eq(*std::move(lhs), *std::move(rhs));
+  }
+
+  // Re-anchors a ParseValueToken error (line-only) at the current token.
+  std::string ValueError(const Status& st) const {
+    const std::string msg = st.message();
+    const size_t cut = msg.rfind(" on line ");
+    return (cut == std::string::npos ? msg : msg.substr(0, cut)) + At();
   }
 };
 
-Result<ConditionPtr> ParseConditionLine(const std::string& text,
-                                        size_t lineno) {
-  CondParser p(lineno);
+Result<ConditionPtr> ParseConditionLine(const std::string& text, size_t lineno,
+                                        size_t col_offset = 0) {
+  CondParser p(lineno, col_offset);
   INCDB_RETURN_IF_ERROR(p.Tokenize(text));
   INCDB_ASSIGN_OR_RETURN(ConditionPtr c, p.ParseCond());
   if (!p.AtEnd()) {
-    return Status::ParseError("trailing tokens after condition on line " +
-                              std::to_string(lineno));
+    return Status::ParseError("trailing tokens after condition" + p.At());
   }
   return c;
 }
 
 // Splits a row line at the first `::` outside quotes. Returns the condition
-// part (empty if none) and truncates `line` to the tuple part.
-std::string SplitConditionSuffix(std::string* line) {
+// part (empty if none) and truncates `line` to the tuple part. `*cond_col`
+// receives the 0-based offset of the condition within the original line, so
+// condition parse errors can report columns in line coordinates.
+std::string SplitConditionSuffix(std::string* line, size_t* cond_col) {
   bool in_quote = false;
   for (size_t i = 0; i + 1 < line->size(); ++i) {
     const char c = (*line)[i];
     if (c == '\'') in_quote = !in_quote;
     if (!in_quote && c == ':' && (*line)[i + 1] == ':') {
-      std::string cond = Trim(line->substr(i + 2));
+      const std::string rest = line->substr(i + 2);
+      const size_t lead = rest.find_first_not_of(" \t");
+      *cond_col = i + 2 + (lead == std::string::npos ? 0 : lead);
+      std::string cond = Trim(rest);
       *line = Trim(line->substr(0, i));
       return cond;
     }
@@ -320,17 +366,23 @@ Result<CDatabase> LoadCDatabase(const std::string& text) {
         return Status::ParseError("global condition after rows on line " +
                                   std::to_string(lineno));
       }
-      INCDB_ASSIGN_OR_RETURN(ConditionPtr g,
-                             ParseConditionLine(Trim(line.substr(6)), lineno));
+      const std::string rest = line.size() > 6 ? line.substr(6) : "";
+      const size_t lead = rest.find_first_not_of(" \t");
+      INCDB_ASSIGN_OR_RETURN(
+          ConditionPtr g,
+          ParseConditionLine(Trim(rest), lineno,
+                             6 + (lead == std::string::npos ? 0 : lead)));
       current->SetGlobalCondition(std::move(g));
       continue;
     }
-    const std::string cond_text = SplitConditionSuffix(&line);
+    size_t cond_col = 0;
+    const std::string cond_text = SplitConditionSuffix(&line, &cond_col);
     INCDB_ASSIGN_OR_RETURN(std::vector<Value> vals,
                            ParseRowValues(line, current->arity(), lineno));
     ConditionPtr cond = Condition::True();
     if (!cond_text.empty()) {
-      INCDB_ASSIGN_OR_RETURN(cond, ParseConditionLine(cond_text, lineno));
+      INCDB_ASSIGN_OR_RETURN(cond,
+                             ParseConditionLine(cond_text, lineno, cond_col));
     }
     current->AddRow(Tuple(std::move(vals)), std::move(cond));
     saw_row = true;

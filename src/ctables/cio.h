@@ -31,7 +31,9 @@ std::string DumpCDatabase(const CDatabase& db);
 Result<CDatabase> LoadCDatabase(const std::string& text);
 
 /// Parses one condition in the Condition::ToString() syntax. Exposed for
-/// tests and the fuzzing corpus loader.
+/// tests and the fuzzing corpus loader. Parse errors carry the 1-based
+/// line and column plus the offending token, e.g.
+/// "expected ')' in condition on line 1, column 12 (at '&')".
 Result<ConditionPtr> ParseCondition(const std::string& text);
 
 }  // namespace incdb

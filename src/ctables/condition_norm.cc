@@ -1,0 +1,382 @@
+#include "ctables/condition_norm.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace incdb {
+namespace {
+
+// Union-find over the values of one conjunction's equality literals. Each
+// class remembers at most one constant representative; merging two classes
+// with distinct constants is the UNSAT signal.
+class ValueUnionFind {
+ public:
+  // Returns false if the union proves the conjunction unsatisfiable.
+  bool Union(const Value& a, const Value& b) {
+    const int ra = Find(Id(a));
+    const int rb = Find(Id(b));
+    if (ra == rb) return true;
+    const Value* ca = const_of_[ra];
+    const Value* cb = const_of_[rb];
+    if (ca != nullptr && cb != nullptr && !(*ca == *cb)) return false;
+    parent_[ra] = rb;
+    if (cb == nullptr) const_of_[rb] = ca;
+    return true;
+  }
+
+  bool Connected(const Value& a, const Value& b) {
+    return Find(Id(a)) == Find(Id(b));
+  }
+
+  // The constant a class is pinned to, or nullptr if none yet.
+  const Value* ConstantOf(const Value& v) { return const_of_[Find(Id(v))]; }
+
+ private:
+  int Id(const Value& v) {
+    auto [it, inserted] = ids_.emplace(v, static_cast<int>(parent_.size()));
+    if (inserted) {
+      parent_.push_back(it->second);
+      const_of_.push_back(v.is_const() ? &it->first : nullptr);
+    }
+    return it->second;
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  std::map<Value, int> ids_;
+  std::vector<int> parent_;
+  std::vector<const Value*> const_of_;
+};
+
+// Appends `c`'s operand list, splicing the right-leaning chains MakeAnd /
+// MakeOr build (their left operands are never the same kind, so one loop
+// over right children recovers the full flattened list).
+void Splice(Condition::Kind kind, const ConditionPtr& c,
+            std::vector<ConditionPtr>* out) {
+  ConditionPtr cur = c;
+  while (cur->kind() == kind) {
+    out->push_back(cur->left());
+    cur = cur->right();
+  }
+  out->push_back(cur);
+}
+
+}  // namespace
+
+size_t ConditionNormalizer::IdOf(const ConditionPtr& c) {
+  const auto it = ids_.find(c.get());
+  return it == ids_.end() ? 0 : it->second;
+}
+
+void ConditionNormalizer::Register(const ConditionPtr& c) {
+  ids_.emplace(c.get(), ids_.size() + 1);
+  // A normal form is its own normal form: seed both memo polarities so the
+  // NNF pass short-circuits on nodes this normalizer built.
+  memo_pos_.emplace(c.get(), c);
+}
+
+ConditionPtr ConditionNormalizer::InternEq(const Value& a, const Value& b) {
+  ConditionPtr lit = Condition::Eq(a, b);
+  if (lit->kind() != Condition::Kind::kEq) return lit;  // folded to T/F
+  const auto key = std::make_pair(lit->lhs(), lit->rhs());
+  auto it = eq_interned_.find(key);
+  if (it != eq_interned_.end()) return it->second;
+  eq_interned_.emplace(key, lit);
+  Register(lit);
+  return lit;
+}
+
+ConditionPtr ConditionNormalizer::InternNot(const ConditionPtr& lit) {
+  auto it = not_interned_.find(lit.get());
+  if (it != not_interned_.end()) return it->second;
+  ConditionPtr n = Condition::Not(lit);
+  not_interned_.emplace(lit.get(), n);
+  Register(n);
+  return n;
+}
+
+ConditionPtr ConditionNormalizer::InternBinary(Condition::Kind kind,
+                                               const ConditionPtr& l,
+                                               const ConditionPtr& r) {
+  const auto key = std::make_tuple(static_cast<int>(kind), l.get(), r.get());
+  auto it = binary_interned_.find(key);
+  if (it != binary_interned_.end()) return it->second;
+  ConditionPtr c = kind == Condition::Kind::kAnd ? Condition::And(l, r)
+                                                 : Condition::Or(l, r);
+  binary_interned_.emplace(key, c);
+  Register(c);
+  return c;
+}
+
+void ConditionNormalizer::SortDedupe(std::vector<ConditionPtr>* ops) {
+  std::sort(ops->begin(), ops->end(),
+            [this](const ConditionPtr& a, const ConditionPtr& b) {
+              return IdOf(a) < IdOf(b);
+            });
+  ops->erase(std::unique(ops->begin(), ops->end(),
+                         [](const ConditionPtr& a, const ConditionPtr& b) {
+                           return a.get() == b.get();
+                         }),
+             ops->end());
+}
+
+ConditionPtr ConditionNormalizer::MakeAnd(std::vector<ConditionPtr> ops) {
+  // Flatten nested conjunctions and fold the trivial operands.
+  std::vector<ConditionPtr> flat;
+  for (const ConditionPtr& op : ops) {
+    if (op->IsFalse()) return Condition::False();
+    if (op->IsTrue()) continue;
+    Splice(Condition::Kind::kAnd, op, &flat);
+  }
+  if (flat.empty()) return Condition::True();
+  SortDedupe(&flat);
+
+  // Union-find pass over the equality literals at this level. Positive
+  // literals merge classes; an already-merged positive literal is implied
+  // and dropped. Negative literals contradict a merged pair, and are
+  // implied (dropped) when both sides are pinned to distinct constants.
+  ValueUnionFind uf;
+  std::vector<ConditionPtr> kept;
+  kept.reserve(flat.size());
+  for (const ConditionPtr& op : flat) {
+    if (op->kind() == Condition::Kind::kEq) {
+      if (uf.Connected(op->lhs(), op->rhs())) continue;  // implied
+      if (!uf.Union(op->lhs(), op->rhs())) {
+        ++unsat_pruned_;
+        return Condition::False();
+      }
+      kept.push_back(op);
+    } else {
+      kept.push_back(op);
+    }
+  }
+  for (const ConditionPtr& op : kept) {
+    if (op->kind() != Condition::Kind::kNot ||
+        op->left()->kind() != Condition::Kind::kEq) {
+      continue;
+    }
+    if (uf.Connected(op->left()->lhs(), op->left()->rhs())) {
+      ++unsat_pruned_;
+      return Condition::False();
+    }
+  }
+  std::vector<ConditionPtr> final_ops;
+  final_ops.reserve(kept.size());
+  for (const ConditionPtr& op : kept) {
+    if (op->kind() == Condition::Kind::kNot &&
+        op->left()->kind() == Condition::Kind::kEq) {
+      const Value* ca = uf.ConstantOf(op->left()->lhs());
+      const Value* cb = uf.ConstantOf(op->left()->rhs());
+      if (ca != nullptr && cb != nullptr && !(*ca == *cb)) {
+        continue;  // sides forced to distinct constants: literal is true
+      }
+    }
+    final_ops.push_back(op);
+  }
+
+  if (final_ops.empty()) return Condition::True();
+  ConditionPtr acc = final_ops.back();
+  for (size_t i = final_ops.size() - 1; i-- > 0;) {
+    acc = InternBinary(Condition::Kind::kAnd, final_ops[i], acc);
+  }
+  return acc;
+}
+
+ConditionPtr ConditionNormalizer::MakeOr(std::vector<ConditionPtr> ops) {
+  std::vector<ConditionPtr> flat;
+  for (const ConditionPtr& op : ops) {
+    if (op->IsTrue()) return Condition::True();
+    if (op->IsFalse()) continue;
+    Splice(Condition::Kind::kOr, op, &flat);
+  }
+  if (flat.empty()) return Condition::False();
+  SortDedupe(&flat);
+
+  // Complementary disjuncts (e and ¬e, pointer-identical after interning)
+  // make the disjunction a tautology.
+  std::set<const Condition*> present;
+  for (const ConditionPtr& op : flat) present.insert(op.get());
+  for (const ConditionPtr& op : flat) {
+    if (op->kind() == Condition::Kind::kNot &&
+        present.count(op->left().get()) > 0) {
+      return Condition::True();
+    }
+  }
+
+  if (flat.size() == 1) return flat[0];
+  ConditionPtr acc = flat.back();
+  for (size_t i = flat.size() - 1; i-- > 0;) {
+    acc = InternBinary(Condition::Kind::kOr, flat[i], acc);
+  }
+  return acc;
+}
+
+ConditionPtr ConditionNormalizer::NormalizeNnf(const Condition* c,
+                                               bool negate) {
+  auto& memo = negate ? memo_neg_ : memo_pos_;
+  const auto it = memo.find(c);
+  if (it != memo.end()) return it->second;
+
+  ConditionPtr result;
+  switch (c->kind()) {
+    case Condition::Kind::kTrue:
+      result = negate ? Condition::False() : Condition::True();
+      break;
+    case Condition::Kind::kFalse:
+      result = negate ? Condition::True() : Condition::False();
+      break;
+    case Condition::Kind::kEq: {
+      ConditionPtr lit = InternEq(c->lhs(), c->rhs());
+      if (negate) {
+        result = lit->kind() == Condition::Kind::kEq
+                     ? InternNot(lit)
+                     : (lit->IsTrue() ? Condition::False()
+                                      : Condition::True());
+      } else {
+        result = lit;
+      }
+      break;
+    }
+    case Condition::Kind::kNot:
+      result = NormalizeNnf(c->left().get(), !negate);
+      break;
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr: {
+      const bool is_and = (c->kind() == Condition::Kind::kAnd) != negate;
+      std::vector<ConditionPtr> ops;
+      ops.push_back(NormalizeNnf(c->left().get(), negate));
+      ops.push_back(NormalizeNnf(c->right().get(), negate));
+      result = is_and ? MakeAnd(std::move(ops)) : MakeOr(std::move(ops));
+      break;
+    }
+  }
+  memo.emplace(c, result);
+  return result;
+}
+
+ConditionPtr ConditionNormalizer::Normalize(const ConditionPtr& c) {
+  const size_t before = c->Size();
+  ConditionPtr result = NormalizeNnf(c.get(), /*negate=*/false);
+  if (result->Size() < before) ++simplified_;
+  // Keep the input node alive for the lifetime of the memo entry keyed on
+  // its raw pointer (entries for temporaries would otherwise dangle).
+  roots_.push_back(c);
+  return result;
+}
+
+ConditionPtr ConditionNormalizer::Substitute(const ConditionPtr& c, NullId id,
+                                             const Value& v) {
+  switch (c->kind()) {
+    case Condition::Kind::kTrue:
+    case Condition::Kind::kFalse:
+      return c;
+    case Condition::Kind::kEq: {
+      const bool hit_l = c->lhs().is_null() && c->lhs().null_id() == id;
+      const bool hit_r = c->rhs().is_null() && c->rhs().null_id() == id;
+      if (!hit_l && !hit_r) return c;
+      return Condition::Eq(hit_l ? v : c->lhs(), hit_r ? v : c->rhs());
+    }
+    case Condition::Kind::kNot: {
+      ConditionPtr l = Substitute(c->left(), id, v);
+      return l.get() == c->left().get() ? c : Condition::Not(std::move(l));
+    }
+    case Condition::Kind::kAnd: {
+      ConditionPtr l = Substitute(c->left(), id, v);
+      ConditionPtr r = Substitute(c->right(), id, v);
+      if (l.get() == c->left().get() && r.get() == c->right().get()) return c;
+      return Condition::And(std::move(l), std::move(r));
+    }
+    case Condition::Kind::kOr: {
+      ConditionPtr l = Substitute(c->left(), id, v);
+      ConditionPtr r = Substitute(c->right(), id, v);
+      if (l.get() == c->left().get() && r.get() == c->right().get()) return c;
+      return Condition::Or(std::move(l), std::move(r));
+    }
+  }
+  return c;  // unreachable
+}
+
+namespace {
+
+// One backtracking search. Memoizes satisfiability per interned node — the
+// domain is fixed for the whole search, so a node's answer never changes.
+class DomainSat {
+ public:
+  DomainSat(const std::vector<Value>& domain, ConditionNormalizer* norm,
+            uint64_t budget)
+      : domain_(domain), norm_(norm), budget_(budget) {}
+
+  Result<bool> Solve(const ConditionPtr& c, Valuation* witness) {
+    return Rec(norm_->Normalize(c), witness);
+  }
+
+ private:
+  Result<bool> Rec(const ConditionPtr& c, Valuation* witness) {
+    if (c->IsTrue()) return true;
+    if (c->IsFalse()) return false;
+    if (witness == nullptr) {
+      const auto it = memo_.find(c.get());
+      if (it != memo_.end()) return it->second;
+    }
+    std::set<NullId> nulls;
+    c->CollectNulls(&nulls);
+    if (nulls.empty()) {
+      // Ground but not folded to a literal cannot happen: every ground
+      // equality folds in the Eq factory. Defensive answer via EvalUnder.
+      return c->EvalUnder(Valuation());
+    }
+    const NullId pick = *nulls.begin();
+    bool sat = false;
+    for (const Value& v : domain_) {
+      if (budget_ == 0) {
+        return Status(StatusCode::kResourceExhausted,
+                      "condition satisfiability budget exhausted");
+      }
+      --budget_;
+      ConditionPtr sub =
+          norm_->Normalize(ConditionNormalizer::Substitute(c, pick, v));
+      auto r = Rec(sub, witness);
+      if (!r.ok()) return r;
+      if (*r) {
+        if (witness != nullptr) witness->Bind(pick, v);
+        sat = true;
+        break;
+      }
+    }
+    if (witness == nullptr) memo_.emplace(c.get(), sat);
+    return sat;
+  }
+
+  const std::vector<Value>& domain_;
+  ConditionNormalizer* norm_;
+  uint64_t budget_;
+  std::unordered_map<const Condition*, bool> memo_;
+};
+
+}  // namespace
+
+Result<bool> SatisfiableOverDomain(const ConditionPtr& c,
+                                   const std::vector<Value>& domain,
+                                   ConditionNormalizer* norm, uint64_t budget,
+                                   Valuation* witness) {
+  if (domain.empty()) {
+    // No domain values: satisfiable iff the condition has no nulls and
+    // folds to true.
+    ConditionPtr n = norm->Normalize(c);
+    std::set<NullId> nulls;
+    n->CollectNulls(&nulls);
+    if (!nulls.empty()) return false;
+    return n->IsTrue();
+  }
+  DomainSat solver(domain, norm, budget);
+  return solver.Solve(c, witness);
+}
+
+}  // namespace incdb

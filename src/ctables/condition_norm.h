@@ -1,0 +1,126 @@
+// Canonical condition normalization for the c-table-native pipeline.
+//
+// The Imieliński–Lipski operators grow row conditions multiplicatively
+// (difference conjoins one negated clause per right row), and the factories
+// in condition.h only fold locally. ConditionNormalizer rewrites a condition
+// into a canonical flattened form and proves many of them UNSAT outright:
+//
+//  * negation normal form — ¬ appears only on equality literals;
+//  * flattened AND/OR — nested conjunctions/disjunctions are spliced into
+//    one operand list, deduplicated, and sorted into a canonical order;
+//  * hash-consing — structurally identical subconditions are interned to
+//    one shared node, so the same clause chain is normalized once no matter
+//    how many rows share it, and equality of normal forms is pointer
+//    equality;
+//  * cheap UNSAT pruning — a union-find over the equality literals of each
+//    conjunction merges values connected by positive equalities; a
+//    conjunction is false as soon as one class holds two distinct constants
+//    or a negated literal joins an already-merged pair. Redundant (implied)
+//    equalities and trivially-true disequalities are dropped.
+//
+// Simplification is lazy: nothing is normalized until a row's condition is
+// actually touched (built by a kernel, or tested during extraction), and the
+// per-node memo makes re-normalizing shared structure free.
+//
+// The normalizer also hosts the exact finite-domain satisfiability search
+// used by certain/possible-answer extraction: a backtracking solver that
+// binds one null at a time, re-normalizing after each substitution so the
+// union-find pruning cuts entire subtrees.
+//
+// One normalizer instance serves one evaluation; it is NOT thread-safe.
+
+#ifndef INCDB_CTABLES_CONDITION_NORM_H_
+#define INCDB_CTABLES_CONDITION_NORM_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ctables/condition.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Canonicalizing, hash-consing condition simplifier with counters.
+class ConditionNormalizer {
+ public:
+  ConditionNormalizer() = default;
+  ConditionNormalizer(const ConditionNormalizer&) = delete;
+  ConditionNormalizer& operator=(const ConditionNormalizer&) = delete;
+
+  /// The canonical simplified form of `c`. Semantics-preserving: the result
+  /// has exactly the satisfying valuations of `c` (property-tested by
+  /// exhaustive valuation enumeration). Idempotent: Normalize(Normalize(c))
+  /// returns the same node. Memoized per node, so repeated calls on shared
+  /// structure are O(1).
+  ConditionPtr Normalize(const ConditionPtr& c);
+
+  /// c[id := v] with local folding (not normalized — callers that need the
+  /// canonical form pass the result back through Normalize).
+  static ConditionPtr Substitute(const ConditionPtr& c, NullId id,
+                                 const Value& v);
+
+  /// Conditions whose normal form is strictly smaller than the input.
+  uint64_t simplified() const { return simplified_; }
+  /// Conjunctions proven unsatisfiable by the union-find check (each
+  /// collapse to `false` counts once, wherever it happens in the tree).
+  uint64_t unsat_pruned() const { return unsat_pruned_; }
+  /// Distinct interned nodes (shared-structure metric).
+  size_t interned_nodes() const { return ids_.size(); }
+
+ private:
+  ConditionPtr NormalizeNnf(const Condition* c, bool negate);
+  ConditionPtr MakeAnd(std::vector<ConditionPtr> ops);
+  ConditionPtr MakeOr(std::vector<ConditionPtr> ops);
+  ConditionPtr InternEq(const Value& a, const Value& b);
+  ConditionPtr InternNot(const ConditionPtr& lit);
+  ConditionPtr InternBinary(Condition::Kind kind, const ConditionPtr& l,
+                            const ConditionPtr& r);
+  size_t IdOf(const ConditionPtr& c);
+  void Register(const ConditionPtr& c);
+  void SortDedupe(std::vector<ConditionPtr>* ops);
+
+  // NNF memo, one map per polarity. Normal forms map to themselves, which
+  // is what makes Normalize idempotent and O(1) on already-normal input.
+  std::unordered_map<const Condition*, ConditionPtr> memo_pos_;
+  std::unordered_map<const Condition*, ConditionPtr> memo_neg_;
+  // Interning tables: literals by value pair, composites by child identity
+  // (children are interned first, so pointer equality is structural
+  // equality).
+  std::map<std::pair<Value, Value>, ConditionPtr> eq_interned_;
+  std::unordered_map<const Condition*, ConditionPtr> not_interned_;
+  std::map<std::tuple<int, const Condition*, const Condition*>, ConditionPtr>
+      binary_interned_;
+  // Canonical operand order: by first-interning sequence number.
+  std::unordered_map<const Condition*, size_t> ids_;
+  // Inputs passed to Normalize, kept alive so memo entries keyed on their
+  // raw node pointers never dangle into recycled allocations.
+  std::vector<ConditionPtr> roots_;
+
+  uint64_t simplified_ = 0;
+  uint64_t unsat_pruned_ = 0;
+};
+
+/// Exact satisfiability of `c` with every null ranging over `domain` (the
+/// same finite domain possible-world enumeration uses, so certainty derived
+/// from this check is bit-identical to enumeration). Backtracking search:
+/// bind a null, substitute + re-normalize, recurse; the union-find pruning
+/// inside Normalize kills contradictory branches without enumerating them.
+///
+/// `budget` bounds the number of branch steps (substitutions); exceeding it
+/// returns ResourceExhausted, mirroring the enumeration drivers' max_worlds
+/// valve. On success with `witness` non-null, a satisfying assignment for
+/// the nulls of `c` is written there (nulls `c` does not constrain are left
+/// unbound — any domain value satisfies).
+Result<bool> SatisfiableOverDomain(const ConditionPtr& c,
+                                   const std::vector<Value>& domain,
+                                   ConditionNormalizer* norm,
+                                   uint64_t budget = 50'000'000,
+                                   Valuation* witness = nullptr);
+
+}  // namespace incdb
+
+#endif  // INCDB_CTABLES_CONDITION_NORM_H_

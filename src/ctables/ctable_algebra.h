@@ -15,6 +15,8 @@
 #define INCDB_CTABLES_CTABLE_ALGEBRA_H_
 
 #include "algebra/ast.h"
+#include "core/possible_worlds.h"
+#include "ctables/condition_norm.h"
 #include "ctables/ctable.h"
 #include "engine/stats.h"
 
@@ -27,6 +29,16 @@ Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db,
                              const EvalOptions& options);
 Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db);
 
+/// The c-table-native pipeline's evaluator: same semantics as the overloads
+/// above, but every produced row condition is lazily normalized/hash-consed
+/// through `norm` (rows whose condition normalizes to `false` are dropped
+/// outright), and when `options.use_hash_kernels` a σ-over-× peephole runs
+/// the fused hash equi-join kernel (ctable_kernels.h) instead of
+/// materializing the conditional cross product.
+Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db,
+                             const EvalOptions& options,
+                             ConditionNormalizer* norm);
+
 /// Converts a selection predicate applied to a (possibly null-carrying)
 /// tuple into a condition. Fails (kUnsupported) for order comparisons with
 /// unresolved nulls and for IS NULL (which is not world-invariant).
@@ -37,18 +49,84 @@ Result<ConditionPtr> PredicateToCondition(const PredicatePtr& pred,
 // the right side's null-free rows by tuple so a complete left row only pairs
 // with its exact match plus the null-carrying rows; because the Condition
 // factories constant-fold, the skipped pairs would have contributed identity
-// conditions and the result is structurally unchanged.
-Result<CTable> SelectCT(const PredicatePtr& pred, const CTable& in);
+// conditions and the result is structurally unchanged. When `norm` is
+// non-null, result row conditions are normalized and rows proven `false`
+// are dropped (semantics unchanged — those rows exist in no world).
+Result<CTable> SelectCT(const PredicatePtr& pred, const CTable& in,
+                        ConditionNormalizer* norm = nullptr);
 CTable ProjectCT(const std::vector<size_t>& cols, const CTable& in);
-CTable ProductCT(const CTable& l, const CTable& r, EvalStats* stats = nullptr);
-Result<CTable> UnionCT(const CTable& l, const CTable& r);
+CTable ProductCT(const CTable& l, const CTable& r, EvalStats* stats = nullptr,
+                 ConditionNormalizer* norm = nullptr);
+Result<CTable> UnionCT(const CTable& l, const CTable& r,
+                       ConditionNormalizer* norm = nullptr);
 Result<CTable> DiffCT(const CTable& l, const CTable& r,
-                      EvalStats* stats = nullptr);
+                      EvalStats* stats = nullptr,
+                      ConditionNormalizer* norm = nullptr);
 Result<CTable> IntersectCT(const CTable& l, const CTable& r,
-                           EvalStats* stats = nullptr);
+                           EvalStats* stats = nullptr,
+                           ConditionNormalizer* norm = nullptr);
 
 /// Condition "t = s" componentwise.
 ConditionPtr TuplesEqualCondition(const Tuple& t, const Tuple& s);
+
+// ---------------------------------------------------------------------------
+// Direct certain/possible-answer extraction (the c-table-native pipeline).
+//
+// Because c-tables are a strong representation system, the worlds of the
+// result table T are exactly { Q(D') : D' ∈ ⟦D⟧_cwa }, so:
+//
+//   t is certain  ⟺  global(T) ∧ ¬D_t is unsatisfiable over the enumeration
+//                    domain, where D_t = ⋁_rows (cond_r ∧ "tuple_r = t");
+//   t is possible ⟺  some row's condition ∧ "tuple_r = t" is satisfiable.
+//
+// Satisfiability is decided over the same finite domain world enumeration
+// uses (core/possible_worlds.h), which is what makes the answers
+// bit-identical to CertainAnswersEnum / PossibleAnswersEnum — without ever
+// materializing a world.
+// ---------------------------------------------------------------------------
+
+/// Certain answers of the result c-table `t` with nulls ranging over
+/// `domain`. Candidates come from grounding `t` under one witness valuation
+/// of the global condition (every certain tuple appears in that world), so
+/// the cost is |rows| satisfiability checks, not |domain|^#nulls world
+/// evaluations. Fails InvalidArgument when the global condition is
+/// unsatisfiable over `domain` (the represented world set is empty, and
+/// "certain" is undefined); ResourceExhausted when one satisfiability
+/// search exceeds `budget` branch steps.
+Result<Relation> CertainAnswersFromCTable(const CTable& t,
+                                          const std::vector<Value>& domain,
+                                          ConditionNormalizer* norm,
+                                          uint64_t budget = 50'000'000,
+                                          EvalStats* stats = nullptr);
+
+/// Possible answers of `t` over `domain`: every grounding of every row's
+/// tuple whose combined condition (global ∧ row ∧ bindings) is satisfiable.
+/// Branches over tuple-null bindings are pruned as soon as the substituted
+/// condition normalizes to `false`.
+Result<Relation> PossibleAnswersFromCTable(const CTable& t,
+                                           const std::vector<Value>& domain,
+                                           ConditionNormalizer* norm,
+                                           uint64_t budget = 50'000'000,
+                                           EvalStats* stats = nullptr);
+
+/// Certain answers computed representation-natively: lift `db` to c-tables,
+/// run the (optimized, when options.optimize) plan through the normalizing
+/// kernel evaluator, extract. Bit-identical to CertainAnswersEnum with the
+/// same `opts` — including the OWA/WCWA positive-query guard — but never
+/// enumerates worlds: databases whose |domain|^#nulls explodes past
+/// opts.max_worlds stay answerable. opts.max_worlds is reused as the
+/// per-check satisfiability branch budget; options.stats receives the
+/// c-table operator counters plus cond_simplified / unsat_pruned.
+Result<Relation> CertainAnswersCTable(const RAExprPtr& e, const Database& db,
+                                      WorldSemantics semantics,
+                                      const WorldEnumOptions& opts = {},
+                                      const EvalOptions& options = {});
+
+/// Possible answers, representation-natively. Bit-identical to
+/// PossibleAnswersEnum with the same `opts`.
+Result<Relation> PossibleAnswersCTable(const RAExprPtr& e, const Database& db,
+                                       const WorldEnumOptions& opts = {},
+                                       const EvalOptions& options = {});
 
 }  // namespace incdb
 

@@ -1,0 +1,138 @@
+#include "ctables/ctable_kernels.h"
+
+#include <algorithm>
+#include <iterator>
+#include <unordered_map>
+#include <vector>
+
+#include "ctables/ctable_algebra.h"
+
+namespace incdb {
+namespace {
+
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (const Value& v : vs) h = (h ^ v.Hash()) * 0x100000001b3ull;
+    return h;
+  }
+};
+
+}  // namespace
+
+bool ResidualSafeForCTableJoin(const Predicate* pred) {
+  if (pred == nullptr) return true;
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+    case Predicate::Kind::kFalse:
+      return true;
+    case Predicate::Kind::kCmp:
+      return pred->op() == CmpOp::kEq || pred->op() == CmpOp::kNe;
+    case Predicate::Kind::kIsNull:
+      return false;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      return ResidualSafeForCTableJoin(pred->left().get()) &&
+             ResidualSafeForCTableJoin(pred->right().get());
+    case Predicate::Kind::kNot:
+      return ResidualSafeForCTableJoin(pred->left().get());
+  }
+  return false;
+}
+
+Result<CTable> JoinCT(const CTable& l, const CTable& r,
+                      const std::vector<JoinKey>& keys,
+                      const PredicatePtr& residual, ConditionNormalizer* norm,
+                      EvalStats* stats) {
+  OpScope scope(stats, EvalOp::kCTableJoin);
+  CTable out(l.arity() + r.arity());
+  out.SetGlobalCondition(norm->Normalize(
+      Condition::And(l.global_condition(), r.global_condition())));
+
+  // Bucket right rows whose key columns are all constants; rows with a null
+  // in a key column can syntactically match any probe value and join with
+  // every left row. Replayed via merge so candidate order — and therefore
+  // the built condition chain — matches the nested loop.
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, ValueVecHash>
+      buckets;
+  std::vector<size_t> null_keyed;
+  const auto& rrows = r.rows();
+  for (size_t i = 0; i < rrows.size(); ++i) {
+    std::vector<Value> key;
+    key.reserve(keys.size());
+    bool constant = true;
+    for (const JoinKey& k : keys) {
+      const Value& v = rrows[i].tuple[k.right_col];
+      if (v.is_null()) {
+        constant = false;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (constant) {
+      buckets[std::move(key)].push_back(i);
+    } else {
+      null_keyed.push_back(i);
+    }
+  }
+
+  uint64_t probes = 0;
+  std::vector<size_t> candidates;
+  std::vector<size_t> all_rows;
+  for (const CTableRow& a : l.rows()) {
+    candidates.clear();
+    std::vector<Value> key;
+    key.reserve(keys.size());
+    bool constant = true;
+    for (const JoinKey& k : keys) {
+      const Value& v = a.tuple[k.left_col];
+      if (v.is_null()) {
+        constant = false;
+        break;
+      }
+      key.push_back(v);
+    }
+    const std::vector<size_t>* cand = &candidates;
+    if (!constant) {
+      // Null in a probe key: every right row can match in some world.
+      if (all_rows.empty() && !rrows.empty()) {
+        all_rows.resize(rrows.size());
+        for (size_t i = 0; i < rrows.size(); ++i) all_rows[i] = i;
+      }
+      cand = &all_rows;
+    } else {
+      static const std::vector<size_t> kNone;
+      const std::vector<size_t>* exact = &kNone;
+      auto it = buckets.find(key);
+      if (it != buckets.end()) exact = &it->second;
+      candidates.reserve(exact->size() + null_keyed.size());
+      std::merge(exact->begin(), exact->end(), null_keyed.begin(),
+                 null_keyed.end(), std::back_inserter(candidates));
+    }
+    for (size_t i : *cand) {
+      ++probes;
+      const CTableRow& b = rrows[i];
+      ConditionPtr c = Condition::And(a.condition, b.condition);
+      for (const JoinKey& k : keys) {
+        c = Condition::And(
+            c, Condition::Eq(a.tuple[k.left_col], b.tuple[k.right_col]));
+        if (c->IsFalse()) break;
+      }
+      if (c->IsFalse()) continue;
+      const Tuple joined = a.tuple.Concat(b.tuple);
+      if (residual != nullptr) {
+        INCDB_ASSIGN_OR_RETURN(ConditionPtr rc,
+                               PredicateToCondition(residual, joined));
+        c = Condition::And(std::move(c), std::move(rc));
+      }
+      c = norm->Normalize(c);
+      if (!c->IsFalse()) out.AddRow(joined, std::move(c));
+    }
+  }
+  scope.CountIn(l.rows().size() + r.rows().size());
+  scope.CountProbes(probes);
+  scope.CountOut(out.rows().size());
+  return out;
+}
+
+}  // namespace incdb

@@ -1,0 +1,48 @@
+// Hash-indexed kernels over conditional tables.
+//
+// The PR-1 engine kernels made the naïve evaluator sub-quadratic by hashing
+// relations on their equi-join columns; these kernels do the same for the
+// Imieliński–Lipski operators, conjoining row conditions instead of
+// enumerating worlds. JoinCT fuses σ_{keys ∧ residual}(l × r): right rows
+// are bucketed by their (constant) key values, a left row with constant
+// keys probes only its bucket plus the null-keyed rows, and every skipped
+// pair is exactly one whose key-equality condition would have folded to
+// `false` — so the result is semantically identical to the unfused
+// SelectCT(ProductCT(l, r)) pipeline, with conditions normalized through
+// the shared ConditionNormalizer.
+//
+// The fused path is only taken for residual predicates inside the c-table
+// condition language (no order comparisons, no IS NULL): that keeps error
+// behavior identical to the unfused pipeline, which converts the predicate
+// on every pair.
+
+#ifndef INCDB_CTABLES_CTABLE_KERNELS_H_
+#define INCDB_CTABLES_CTABLE_KERNELS_H_
+
+#include "algebra/predicate.h"
+#include "ctables/condition_norm.h"
+#include "ctables/ctable.h"
+#include "engine/kernels.h"
+#include "engine/stats.h"
+
+namespace incdb {
+
+/// True when `pred` (possibly null = no residual) stays inside the c-table
+/// condition language on every tuple: only =, ≠, TRUE/FALSE under AND/OR/
+/// NOT. Order comparisons and IS NULL are excluded — even on constants —
+/// so a fused join can never succeed where the unfused pipeline errors.
+bool ResidualSafeForCTableJoin(const Predicate* pred);
+
+/// Fused hash equi-join σ_{keys ∧ residual}(l × r) over c-tables. `keys`
+/// and `residual` come from SplitForEquiJoin; `residual` may be null and
+/// must satisfy ResidualSafeForCTableJoin. Row conditions are conjoined
+/// and normalized via `norm` (required); rows whose condition normalizes
+/// to `false` are dropped. Probes counted = candidate pairs visited.
+Result<CTable> JoinCT(const CTable& l, const CTable& r,
+                      const std::vector<JoinKey>& keys,
+                      const PredicatePtr& residual, ConditionNormalizer* norm,
+                      EvalStats* stats = nullptr);
+
+}  // namespace incdb
+
+#endif  // INCDB_CTABLES_CTABLE_KERNELS_H_

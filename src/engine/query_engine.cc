@@ -7,12 +7,43 @@
 #include "algebra/eval_3vl.h"
 #include "algebra/optimize.h"
 #include "algebra/parser.h"
+#include "ctables/ctable_algebra.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
 #include "sql/rewrite.h"
 #include "sql/to_algebra.h"
 
 namespace incdb {
+namespace {
+
+// Lifts the deprecated four-field input style into a QueryInput, enforcing
+// the exactly-one rule across both styles.
+Result<QueryInput> ResolveInput(const QueryRequest& request) {
+  const int legacy = (request.ra_text.empty() ? 0 : 1) +
+                     (request.sql_text.empty() ? 0 : 1) +
+                     (request.ra != nullptr ? 1 : 0) +
+                     (request.sql != nullptr ? 1 : 0);
+  if (!request.input.empty()) {
+    if (legacy != 0) {
+      return Status::InvalidArgument(
+          "QueryRequest carries both the typed `input` and a deprecated "
+          "input field; set exactly one");
+    }
+    return request.input;
+  }
+  if (legacy != 1) {
+    return Status::InvalidArgument(
+        "QueryRequest must carry exactly one input (QueryInput, or one of "
+        "the deprecated ra_text/sql_text/ra/sql fields); got " +
+        std::to_string(legacy));
+  }
+  if (!request.ra_text.empty()) return QueryInput::RaText(request.ra_text);
+  if (!request.sql_text.empty()) return QueryInput::SqlText(request.sql_text);
+  if (request.ra != nullptr) return QueryInput::Ra(request.ra);
+  return QueryInput::Sql(request.sql);
+}
+
+}  // namespace
 
 const char* AnswerNotionName(AnswerNotion n) {
   switch (n) {
@@ -34,17 +65,18 @@ const char* AnswerNotionName(AnswerNotion n) {
   return "?";
 }
 
-Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
-  const int inputs = (request.ra_text.empty() ? 0 : 1) +
-                     (request.sql_text.empty() ? 0 : 1) +
-                     (request.ra != nullptr ? 1 : 0) +
-                     (request.sql != nullptr ? 1 : 0);
-  if (inputs != 1) {
-    return Status::InvalidArgument(
-        "QueryRequest must carry exactly one of ra_text, sql_text, ra, sql; "
-        "got " +
-        std::to_string(inputs));
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kEnumeration:
+      return "enumeration";
+    case Backend::kCTable:
+      return "ctable";
   }
+  return "?";
+}
+
+Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
+  INCDB_ASSIGN_OR_RETURN(const QueryInput input, ResolveInput(request));
 
   QueryResponse resp;
   // Collect stats locally so the response always carries them; a caller-
@@ -52,15 +84,27 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
   EvalOptions opts = request.eval;
   opts.stats = &resp.stats;
 
-  RAExprPtr ra = request.ra;
+  RAExprPtr ra;
   SqlQuery parsed_sql;
-  const SqlQuery* sql = request.sql != nullptr ? request.sql.get() : nullptr;
-  if (!request.ra_text.empty()) {
-    INCDB_ASSIGN_OR_RETURN(ra, ParseRA(request.ra_text));
-  }
-  if (!request.sql_text.empty()) {
-    INCDB_ASSIGN_OR_RETURN(parsed_sql, ParseSql(request.sql_text));
-    sql = &parsed_sql;
+  const SqlQuery* sql = nullptr;
+  switch (input.kind()) {
+    case QueryInput::Kind::kRa:
+      ra = input.ra();
+      break;
+    case QueryInput::Kind::kSql:
+      sql = input.sql().get();
+      break;
+    case QueryInput::Kind::kRaText: {
+      INCDB_ASSIGN_OR_RETURN(ra, ParseRA(input.text()));
+      break;
+    }
+    case QueryInput::Kind::kSqlText: {
+      INCDB_ASSIGN_OR_RETURN(parsed_sql, ParseSql(input.text()));
+      sql = &parsed_sql;
+      break;
+    }
+    case QueryInput::Kind::kNone:
+      return Status::Internal("ResolveInput admitted an empty input");
   }
 
   // Classify via the RA form; for SQL input, through the (partial) RA
@@ -76,11 +120,24 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
     resp.plan = ra_view;
   }
 
+  const bool world_quantified = request.notion == AnswerNotion::kCertainEnum ||
+                                request.notion == AnswerNotion::kPossible;
+  if (world_quantified) resp.backend = request.backend;
+
   auto finish = [&](Result<Relation> r) -> Result<QueryResponse> {
     INCDB_ASSIGN_OR_RETURN(resp.relation, std::move(r));
+    resp.cond_simplified = resp.stats.cond_simplified();
+    resp.unsat_pruned = resp.stats.unsat_pruned();
     if (request.eval.stats != nullptr) request.eval.stats->Merge(resp.stats);
     return resp;
   };
+
+  if (request.backend == Backend::kCTable && !world_quantified) {
+    return Status::Unsupported(
+        std::string("the ctable backend computes certain-enum and possible "
+                    "answers; notion ") +
+        AnswerNotionName(request.notion) + " runs on the enumeration backend");
+  }
 
   if (sql != nullptr) {
     switch (request.notion) {
@@ -97,7 +154,7 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
         return finish(EvalSql(*sql, db_, SqlEvalMode::kNaive, opts));
       case AnswerNotion::kCertainEnum:
       case AnswerNotion::kPossible:
-        // Enumeration runs on the RA translation; surface its error if the
+        // Both backends run on the RA translation; surface its error if the
         // query has none.
         if (ra_view == nullptr) {
           INCDB_ASSIGN_OR_RETURN(ra_view, SqlToAlgebra(*sql, db_.schema()));
@@ -107,14 +164,29 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
     }
   }
 
-  // Optimize RA plans once here; the drivers see `optimize = false` so the
-  // enumeration paths don't re-run the rewriter. The optimized plan answers
-  // bit-identically (and classifies identically — checked by Optimize), so
-  // the fragment/guarantee fields above still describe it.
+  // Optimize RA plans once here; the drivers (enumeration and c-table
+  // alike) see `optimize = false` so they don't re-run the rewriter. The
+  // optimized plan answers bit-identically (and classifies identically —
+  // checked by Optimize), so the fragment/guarantee fields above still
+  // describe it.
   if (ra != nullptr && opts.optimize) {
     resp.optimized_plan = Optimize(ra, db_);
     ra = resp.optimized_plan;
     opts.optimize = false;
+  }
+
+  if (request.backend == Backend::kCTable) {
+    switch (request.notion) {
+      case AnswerNotion::kCertainEnum:
+        return finish(CertainAnswersCTable(ra, db_, request.semantics,
+                                           request.world_options, opts));
+      case AnswerNotion::kPossible:
+        return finish(
+            PossibleAnswersCTable(ra, db_, request.world_options, opts));
+      default:
+        return Status::Internal("non-world-quantified notion reached the "
+                                "ctable backend dispatch");
+    }
   }
 
   switch (request.notion) {
@@ -125,7 +197,7 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
     case AnswerNotion::kMaybe:
       return Status::Unsupported(
           "maybe answers (Codd's MAYBE operator) are defined on SQL queries; "
-          "provide sql or sql_text");
+          "provide a QueryInput::Sql or SqlText input");
     case AnswerNotion::kCertainNaive:
       return finish(CertainAnswersNaive(ra, db_, request.semantics,
                                         request.force, opts));

@@ -2,20 +2,22 @@
 // incomplete database.
 //
 // The library exposes many free functions — naïve/3VL/SQL evaluation,
-// certain answers by rewriting or by world enumeration, possible answers —
-// each with its own signature and applicability conditions. QueryEngine
-// bundles them behind one call: a QueryRequest names the query (in any of
-// four input forms), the *answer notion* wanted, and the world semantics;
-// Run picks the right evaluator, classifies the query into the paper's
-// fragments, and reports per-operator EvalStats alongside the answer. The
-// free functions remain available; the engine is a facade, not a
-// replacement.
+// certain answers by rewriting, by world enumeration, or natively on
+// c-tables, possible answers — each with its own signature and
+// applicability conditions. QueryEngine bundles them behind one call: a
+// QueryRequest names the query (a typed QueryInput: RA or SQL, text or
+// AST), the *answer notion* wanted, the world semantics, and the *backend*
+// that should compute the world-quantified notions; Run picks the right
+// evaluator, classifies the query into the paper's fragments, and reports
+// per-operator EvalStats alongside the answer. The free functions remain
+// available; the engine is a facade, not a replacement.
 
 #ifndef INCDB_ENGINE_QUERY_ENGINE_H_
 #define INCDB_ENGINE_QUERY_ENGINE_H_
 
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "algebra/ast.h"
 #include "algebra/classify.h"
@@ -41,13 +43,91 @@ enum class AnswerNotion {
 /// Printable notion name ("naive", "certain-naive", ...).
 const char* AnswerNotionName(AnswerNotion n);
 
-/// One query to answer. Exactly one of the four input fields must be set:
-/// RA or SQL, as text to parse or as a pre-built AST.
+/// How the world-quantified notions (kCertainEnum, kPossible) are computed.
+/// Both backends return bit-identical answers; they differ in cost shape.
+enum class Backend {
+  /// Enumerate the finite world space and intersect/union per-world
+  /// answers (with the subplan-cache / delta-eval accelerations).
+  /// Exponential in the number of nulls.
+  kEnumeration = 0,
+  /// Evaluate once on the c-table representation and extract the answer
+  /// from the result table's conditions (ctables/ctable_algebra.h). Never
+  /// enumerates worlds; polynomial for the common case and the only way to
+  /// answer databases whose world count exceeds any enumeration budget.
+  kCTable,
+};
+
+/// Printable backend name ("enumeration", "ctable").
+const char* BackendName(Backend b);
+
+/// Typed query input: RA or SQL, as text to parse or as a pre-built AST.
+/// Replaces the former four mutually-exclusive QueryRequest fields with one
+/// value that is exactly one of the four forms (or empty).
+class QueryInput {
+ public:
+  enum class Kind { kNone = 0, kRaText, kSqlText, kRa, kSql };
+
+  QueryInput() = default;
+
+  static QueryInput RaText(std::string text) {
+    QueryInput in;
+    in.kind_ = Kind::kRaText;
+    in.text_ = std::move(text);
+    return in;
+  }
+  static QueryInput SqlText(std::string text) {
+    QueryInput in;
+    in.kind_ = Kind::kSqlText;
+    in.text_ = std::move(text);
+    return in;
+  }
+  static QueryInput Ra(RAExprPtr e) {
+    QueryInput in;
+    in.kind_ = Kind::kRa;
+    in.ra_ = std::move(e);
+    return in;
+  }
+  static QueryInput Sql(SqlQueryPtr q) {
+    QueryInput in;
+    in.kind_ = Kind::kSql;
+    in.sql_ = std::move(q);
+    return in;
+  }
+
+  Kind kind() const { return kind_; }
+  bool empty() const { return kind_ == Kind::kNone; }
+  /// The text form (valid for kRaText / kSqlText).
+  const std::string& text() const { return text_; }
+  /// The pre-built RA expression (valid for kRa).
+  const RAExprPtr& ra() const { return ra_; }
+  /// The pre-built SQL query (valid for kSql).
+  const SqlQueryPtr& sql() const { return sql_; }
+
+ private:
+  Kind kind_ = Kind::kNone;
+  std::string text_;
+  RAExprPtr ra_;
+  SqlQueryPtr sql_;
+};
+
+/// One query to answer: a QueryInput plus the notion, semantics, backend,
+/// and evaluation knobs.
 struct QueryRequest {
-  std::string ra_text;   ///< RA concrete syntax for algebra/parser.h
-  std::string sql_text;  ///< SQL text for sql/parser.h
-  RAExprPtr ra;          ///< pre-built RA expression
-  SqlQueryPtr sql;       ///< pre-built SQL query
+  /// The query. Must be set unless one of the deprecated fields below is.
+  QueryInput input;
+  /// Backend for kCertainEnum / kPossible; other notions ignore it. The
+  /// kCTable backend supports exactly those two notions (kUnsupported
+  /// otherwise) and answers them bit-identically to kEnumeration.
+  Backend backend = Backend::kEnumeration;
+
+  // Deprecated input fields, kept as a shim for one release: exactly one
+  // of them may be set *instead of* `input` (setting both styles is an
+  // error). Migrate to QueryInput::RaText / SqlText / Ra / Sql — see
+  // docs/TUTORIAL.md §"The query engine".
+  std::string ra_text;   ///< \deprecated use QueryInput::RaText
+  std::string sql_text;  ///< \deprecated use QueryInput::SqlText
+  RAExprPtr ra;          ///< \deprecated use QueryInput::Ra
+  SqlQueryPtr sql;       ///< \deprecated use QueryInput::Sql
 
   AnswerNotion notion = AnswerNotion::kNaive;
   /// World semantics for the certain-answer notions.
@@ -55,13 +135,58 @@ struct QueryRequest {
   /// Evaluate kCertainNaive outside its guaranteed fragment (the result then
   /// carries no certainty guarantee — useful for measuring the gap).
   bool force = false;
-  /// Enumeration bounds for kCertainEnum / kPossible.
+  /// Enumeration bounds for kCertainEnum / kPossible. The kCTable backend
+  /// reuses `world_options.max_worlds` as its satisfiability branch budget
+  /// and the same world domain, which is what keeps answers bit-identical.
   WorldEnumOptions world_options;
   /// Stats hook and kernel toggles, threaded through every evaluator. For
   /// kCertainEnum / kPossible this includes `eval.delta_eval` (differential
   /// world enumeration; the response's stats then report delta_applied /
   /// delta_fallbacks alongside the subplan-cache counters).
   EvalOptions eval;
+};
+
+/// Fluent construction of QueryRequests:
+///
+///   QueryRequestBuilder(QueryInput::SqlText("SELECT ..."))
+///       .Notion(AnswerNotion::kCertainEnum)
+///       .OnBackend(Backend::kCTable)
+///       .Build()
+class QueryRequestBuilder {
+ public:
+  explicit QueryRequestBuilder(QueryInput input) {
+    req_.input = std::move(input);
+  }
+
+  QueryRequestBuilder& Notion(AnswerNotion n) {
+    req_.notion = n;
+    return *this;
+  }
+  QueryRequestBuilder& Semantics(WorldSemantics s) {
+    req_.semantics = s;
+    return *this;
+  }
+  QueryRequestBuilder& OnBackend(Backend b) {
+    req_.backend = b;
+    return *this;
+  }
+  QueryRequestBuilder& Force(bool force = true) {
+    req_.force = force;
+    return *this;
+  }
+  QueryRequestBuilder& Worlds(WorldEnumOptions opts) {
+    req_.world_options = std::move(opts);
+    return *this;
+  }
+  QueryRequestBuilder& Eval(EvalOptions opts) {
+    req_.eval = opts;
+    return *this;
+  }
+
+  QueryRequest Build() const { return req_; }
+
+ private:
+  QueryRequest req_;
 };
 
 /// The answer plus what the engine learned about the query.
@@ -82,6 +207,14 @@ struct QueryResponse {
   RAExprPtr optimized_plan;
   /// Per-operator counters for this run (always collected).
   EvalStats stats;
+  /// Backend that produced the relation (echoes the request for the
+  /// world-quantified notions; kEnumeration for everything else).
+  Backend backend = Backend::kEnumeration;
+  /// Condition-normalizer work on the kCTable backend (0 on kEnumeration):
+  /// conditions simplified and conjunctions pruned as unsatisfiable.
+  /// Mirrors stats.cond_simplified() / stats.unsat_pruned().
+  uint64_t cond_simplified = 0;
+  uint64_t unsat_pruned = 0;
 };
 
 /// Facade over the evaluators. Holds a reference to the database; the
@@ -91,10 +224,11 @@ class QueryEngine {
   explicit QueryEngine(const Database& db) : db_(db) {}
 
   /// Answers one request. Errors: InvalidArgument for malformed requests
-  /// (wrong input count, bad division arity, ...), kUnsupported when the
-  /// requested notion is not defined or not guaranteed for the query (e.g.
-  /// kCertainNaive outside the fragment without `force`, kMaybe on RA
-  /// input), parse errors from the respective parsers.
+  /// (no input, both input styles, bad division arity, ...), kUnsupported
+  /// when the requested notion is not defined or not guaranteed for the
+  /// query (e.g. kCertainNaive outside the fragment without `force`,
+  /// kMaybe on RA input, kCTable backend with a non-world-quantified
+  /// notion), parse errors from the respective parsers.
   Result<QueryResponse> Run(const QueryRequest& request) const;
 
   const Database& db() const { return db_; }

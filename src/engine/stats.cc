@@ -34,6 +34,10 @@ const char* EvalOpName(EvalOp op) {
       return "ct-diff";
     case EvalOp::kCTableIntersect:
       return "ct-intersect";
+    case EvalOp::kCTableJoin:
+      return "ct-join";
+    case EvalOp::kCTableExtract:
+      return "ct-extract";
   }
   return "?";
 }
@@ -102,6 +106,13 @@ std::string EvalStats::ToString() const {
                   "  delta-eval     applied %llu  fallbacks %llu\n",
                   static_cast<unsigned long long>(delta_applied_),
                   static_cast<unsigned long long>(delta_fallbacks_));
+    out += line;
+  }
+  if (cond_simplified_ != 0 || unsat_pruned_ != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  cond-norm      simplified %llu  unsat-pruned %llu\n",
+                  static_cast<unsigned long long>(cond_simplified_),
+                  static_cast<unsigned long long>(unsat_pruned_));
     out += line;
   }
   return out;

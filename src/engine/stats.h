@@ -37,9 +37,11 @@ enum class EvalOp {
   kCTableProduct,   ///< c-table ×
   kCTableDiff,      ///< c-table − (indexed by ground tuple)
   kCTableIntersect, ///< c-table ∩ (indexed by ground tuple)
+  kCTableJoin,      ///< fused c-table σ_{eq}(l × r) build/probe kernel
+  kCTableExtract,   ///< certain/possible extraction from a result c-table
 };
 
-inline constexpr size_t kNumEvalOps = 14;
+inline constexpr size_t kNumEvalOps = 16;
 
 /// Printable operator name ("hash-join", "divide", ...).
 const char* EvalOpName(EvalOp op);
@@ -75,6 +77,8 @@ class EvalStats {
     cache_misses_ += o.cache_misses_;
     delta_applied_ += o.delta_applied_;
     delta_fallbacks_ += o.delta_fallbacks_;
+    cond_simplified_ += o.cond_simplified_;
+    unsat_pruned_ += o.unsat_pruned_;
   }
   void Reset() { *this = EvalStats(); }
 
@@ -102,6 +106,14 @@ class EvalStats {
   void CountDeltaApplied(uint64_t n) { delta_applied_ += n; }
   void CountDeltaFallbacks(uint64_t n) { delta_fallbacks_ += n; }
 
+  /// Condition normalizer (c-table backend): conditions whose canonical
+  /// form came out strictly smaller / conjunctions the union-find check
+  /// proved unsatisfiable (rows or search branches pruned outright).
+  uint64_t cond_simplified() const { return cond_simplified_; }
+  uint64_t unsat_pruned() const { return unsat_pruned_; }
+  void CountCondSimplified(uint64_t n) { cond_simplified_ += n; }
+  void CountUnsatPruned(uint64_t n) { unsat_pruned_ += n; }
+
   /// Multi-line table of the operators with non-zero counters.
   std::string ToString() const;
 
@@ -111,6 +123,8 @@ class EvalStats {
   uint64_t cache_misses_ = 0;
   uint64_t delta_applied_ = 0;
   uint64_t delta_fallbacks_ = 0;
+  uint64_t cond_simplified_ = 0;
+  uint64_t unsat_pruned_ = 0;
 };
 
 /// Options threaded through every evaluator.

@@ -210,7 +210,7 @@ OracleReport CheckCase(const RAExprPtr& plan, const Database& db,
   if (certain_cwa) {
     QueryEngine engine(db);
     QueryRequest req;
-    req.ra = plan;
+    req.input = QueryInput::Ra(plan);
     req.notion = AnswerNotion::kCertainEnum;
     req.semantics = WorldSemantics::kClosedWorld;
     req.world_options = world_opts;
@@ -223,6 +223,56 @@ OracleReport CheckCase(const RAExprPtr& plan, const Database& db,
                                   DescribeSides(*certain_cwa,
                                                 resp->relation));
     }
+  }
+
+  // --- C-table-native backend: must be bit-identical to enumeration. ---
+  if (options.check_ctable_backend) {
+    auto check_backend = [&](const char* what,
+                             const std::optional<Relation>& reference,
+                             Result<Relation> native, AnswerNotion notion) {
+      ++report.configs_run;
+      if (!reference.has_value()) return;
+      if (!native.ok()) {
+        if (native.status().code() == StatusCode::kUnsupported) {
+          report.skipped.push_back(std::string(what) + ": " +
+                                    native.status().ToString());
+        } else {
+          report.violations.push_back(std::string(what) + ": " +
+                                       native.status().ToString() +
+                                       " (enumeration succeeded)");
+        }
+        return;
+      }
+      if (*native != *reference) {
+        report.violations.push_back(std::string(what) + " differs: " +
+                                     DescribeSides(*reference, *native));
+        return;
+      }
+      // The engine facade on Backend::kCTable must agree too.
+      QueryEngine engine(db);
+      QueryRequest req;
+      req.input = QueryInput::Ra(plan);
+      req.backend = Backend::kCTable;
+      req.notion = notion;
+      req.semantics = WorldSemantics::kClosedWorld;
+      req.world_options = world_opts;
+      Result<QueryResponse> resp = engine.Run(req);
+      if (!resp.ok()) {
+        report.violations.push_back(std::string("QueryEngine(") + what +
+                                     ") failed: " + resp.status().ToString());
+      } else if (resp->relation != *reference) {
+        report.violations.push_back(std::string("QueryEngine(") + what +
+                                     ") differs: " +
+                                     DescribeSides(*reference, resp->relation));
+      }
+    };
+    check_backend("ctable-backend/certain", certain_cwa,
+                  CertainAnswersCTable(plan, db, WorldSemantics::kClosedWorld,
+                                       world_opts),
+                  AnswerNotion::kCertainEnum);
+    check_backend("ctable-backend/possible", possible,
+                  PossibleAnswersCTable(plan, db, world_opts),
+                  AnswerNotion::kPossible);
   }
 
   // --- 3VL soundness on positive plans: null-free 3VL rows are certain. ---

@@ -15,6 +15,10 @@
 //  * c-tables: Q evaluated on the lifted c-database, then grounded world by
 //    world — v(Q(T)) must equal Q(v(D)) for every valuation v over the
 //    enumeration domain (the strong representation property).
+//  * c-table backend: CertainAnswersCTable / PossibleAnswersCTable (the
+//    native pipeline — normalizing kernels + condition-level extraction,
+//    no world ever materialized) against the enumeration reference, and
+//    QueryEngine::Run on Backend::kCTable against both.
 //
 // Containment checks (sound-but-incomplete relationships):
 //  * 3VL: null-free SQL answers ⊆ certain answers, on positive plans.
@@ -46,6 +50,10 @@ struct OracleOptions {
   int num_threads = 4;
   /// Run the (expensive) per-world c-table grounding check.
   bool check_ctables = true;
+  /// Cross-check the c-table-native certain/possible backend against the
+  /// enumeration reference (kUnsupported refusals are skipped, e.g. order
+  /// comparisons on nulls outside the c-table condition language).
+  bool check_ctable_backend = true;
   /// Run the checks under OWA as well (positive plans only).
   bool check_owa = true;
   /// Test hook: corrupt the result of one non-reference configuration by

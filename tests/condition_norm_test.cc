@@ -1,0 +1,245 @@
+// Property tests for the condition normalizer (ctables/condition_norm.h):
+//
+//  * idempotence — Normalize(Normalize(c)) is the same node;
+//  * semantics preservation — the normal form has exactly the satisfying
+//    valuations of the input, checked by exhaustive valuation enumeration
+//    over a small domain;
+//  * UNSAT-pruning soundness — a condition normalized to `false` is truly
+//    unsatisfiable, and a satisfiable condition is never collapsed to
+//    `false` (pruning never drops a satisfiable row);
+//  * hash-consing — structurally identical inputs normalize to the same
+//    node (pointer equality);
+//  * SatisfiableOverDomain agrees with brute-force enumeration over the
+//    same finite domain, and its witness valuations actually satisfy.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ctables/condition_norm.h"
+#include "util/random.h"
+
+namespace incdb {
+namespace {
+
+// Random conditions over 4 nulls and a handful of constants, with enough
+// nesting to exercise NNF, flattening, and the union-find pruning.
+ConditionPtr RandomCondition(Rng* rng, int depth) {
+  auto value = [&]() -> Value {
+    switch (rng->Uniform(3)) {
+      case 0:
+        return Value::Null(static_cast<NullId>(rng->Uniform(4)));
+      case 1:
+        return Value::Int(static_cast<int64_t>(rng->Uniform(3)));
+      default:
+        return Value::Str(rng->Uniform(2) == 0 ? "a" : "b");
+    }
+  };
+  const uint64_t pick = depth <= 0 ? rng->Uniform(3) : rng->Uniform(7);
+  switch (pick) {
+    case 0:
+      return Condition::Eq(value(), value());
+    case 1:
+      return Condition::Neq(value(), value());
+    case 2:
+      return rng->Uniform(8) == 0 ? Condition::False() : Condition::True();
+    case 3:
+    case 4:
+      return Condition::And(RandomCondition(rng, depth - 1),
+                            RandomCondition(rng, depth - 1));
+    case 5:
+      return Condition::Or(RandomCondition(rng, depth - 1),
+                           RandomCondition(rng, depth - 1));
+    default:
+      return Condition::Not(RandomCondition(rng, depth - 1));
+  }
+}
+
+std::vector<Value> SmallDomain() {
+  return {Value::Int(0), Value::Int(1), Value::Str("a")};
+}
+
+// Invokes `fn` on every total valuation of `nulls` over `domain`. Returns
+// false if `fn` ever returns false (used for early exit).
+bool ForEachAssignment(const std::set<NullId>& nulls,
+                       const std::vector<Value>& domain,
+                       const std::function<bool(const Valuation&)>& fn) {
+  std::vector<NullId> ids(nulls.begin(), nulls.end());
+  Valuation v;
+  std::function<bool(size_t)> rec = [&](size_t i) -> bool {
+    if (i == ids.size()) return fn(v);
+    for (const Value& d : domain) {
+      v.Bind(ids[i], d);
+      if (!rec(i + 1)) return false;
+    }
+    return true;
+  };
+  return rec(0);
+}
+
+class ConditionNormProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConditionNormProperty, NormalizeIsIdempotentAndHashConsed) {
+  Rng rng(GetParam());
+  ConditionNormalizer norm;
+  for (int i = 0; i < 50; ++i) {
+    const ConditionPtr c = RandomCondition(&rng, 4);
+    const ConditionPtr n1 = norm.Normalize(c);
+    const ConditionPtr n2 = norm.Normalize(n1);
+    EXPECT_EQ(n1.get(), n2.get()) << "not idempotent: " << c->ToString();
+    // Re-normalizing the same input hits the memo.
+    EXPECT_EQ(norm.Normalize(c).get(), n1.get());
+  }
+}
+
+TEST_P(ConditionNormProperty, NormalizePreservesSatisfyingValuations) {
+  Rng rng(GetParam() + 1000);
+  const std::vector<Value> domain = SmallDomain();
+  ConditionNormalizer norm;
+  for (int i = 0; i < 40; ++i) {
+    const ConditionPtr c = RandomCondition(&rng, 4);
+    const ConditionPtr n = norm.Normalize(c);
+    // Nulls of the normal form are a subset of the input's; enumerate over
+    // the input's nulls so both sides are total.
+    std::set<NullId> nulls;
+    c->CollectNulls(&nulls);
+    ForEachAssignment(nulls, domain, [&](const Valuation& v) {
+      EXPECT_EQ(c->EvalUnder(v), n->EvalUnder(v))
+          << c->ToString() << "  vs  " << n->ToString() << "  under "
+          << v.ToString();
+      return true;
+    });
+  }
+}
+
+TEST_P(ConditionNormProperty, UnsatPruningIsSound) {
+  Rng rng(GetParam() + 2000);
+  ConditionNormalizer norm;
+  for (int i = 0; i < 40; ++i) {
+    const ConditionPtr c = RandomCondition(&rng, 4);
+    const ConditionPtr n = norm.Normalize(c);
+    if (n->IsFalse()) {
+      // Pruned: must be truly unsatisfiable (over the infinite domain).
+      EXPECT_FALSE(IsSatisfiable(c)) << "pruned satisfiable: " << c->ToString();
+    }
+    if (IsSatisfiable(c)) {
+      // Pruning never drops a satisfiable row.
+      EXPECT_FALSE(n->IsFalse()) << "dropped satisfiable: " << c->ToString();
+    }
+  }
+}
+
+TEST_P(ConditionNormProperty, SatisfiableOverDomainMatchesBruteForce) {
+  Rng rng(GetParam() + 3000);
+  const std::vector<Value> domain = SmallDomain();
+  ConditionNormalizer norm;
+  for (int i = 0; i < 40; ++i) {
+    const ConditionPtr c = RandomCondition(&rng, 3);
+    std::set<NullId> nulls;
+    c->CollectNulls(&nulls);
+    bool brute_sat = false;
+    ForEachAssignment(nulls, domain, [&](const Valuation& v) {
+      if (c->EvalUnder(v)) {
+        brute_sat = true;
+        return false;
+      }
+      return true;
+    });
+    Valuation witness;
+    auto solved = SatisfiableOverDomain(c, domain, &norm,
+                                        /*budget=*/1'000'000, &witness);
+    ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+    EXPECT_EQ(*solved, brute_sat) << c->ToString();
+    if (*solved) {
+      // The witness (completed on the unconstrained nulls) satisfies.
+      Valuation total = witness;
+      for (NullId id : nulls) {
+        if (!total.IsBound(id)) total.Bind(id, domain[0]);
+      }
+      EXPECT_TRUE(c->EvalUnder(total))
+          << c->ToString() << " not satisfied by witness " << total.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConditionNormProperty,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(ConditionNorm, UnionFindCatchesChainedContradiction) {
+  // _0 = _1 ∧ _1 = _2 ∧ _0 = 5 ∧ _2 = 7 is UNSAT only through the chain.
+  ConditionNormalizer norm;
+  ConditionPtr c = Condition::And(
+      Condition::And(Condition::Eq(Value::Null(0), Value::Null(1)),
+                     Condition::Eq(Value::Null(1), Value::Null(2))),
+      Condition::And(Condition::Eq(Value::Null(0), Value::Int(5)),
+                     Condition::Eq(Value::Null(2), Value::Int(7))));
+  EXPECT_TRUE(norm.Normalize(c)->IsFalse());
+  EXPECT_GE(norm.unsat_pruned(), 1u);
+}
+
+TEST(ConditionNorm, NegatedLiteralOnMergedClassIsUnsat) {
+  // _0 = _1 ∧ ¬(_1 = _0): contradiction through the canonical Eq ordering.
+  ConditionNormalizer norm;
+  ConditionPtr c = Condition::And(
+      Condition::Eq(Value::Null(0), Value::Null(1)),
+      Condition::Not(Condition::Eq(Value::Null(1), Value::Null(0))));
+  EXPECT_TRUE(norm.Normalize(c)->IsFalse());
+}
+
+TEST(ConditionNorm, DropsImpliedEqualitiesAndCountsSimplification) {
+  // (_0 = 1 ∧ _0 = 1) duplicated through different tree shapes.
+  ConditionNormalizer norm;
+  ConditionPtr eq = Condition::Eq(Value::Null(0), Value::Int(1));
+  ConditionPtr c = Condition::And(eq, Condition::And(eq, eq));
+  ConditionPtr n = norm.Normalize(c);
+  EXPECT_LT(n->Size(), c->Size());
+  EXPECT_GE(norm.simplified(), 1u);
+}
+
+TEST(ConditionNorm, ComplementaryDisjunctionIsTautology) {
+  ConditionNormalizer norm;
+  ConditionPtr eq = Condition::Eq(Value::Null(0), Value::Int(1));
+  ConditionPtr c = Condition::Or(eq, Condition::Not(eq));
+  EXPECT_TRUE(norm.Normalize(c)->IsTrue());
+}
+
+TEST(ConditionNorm, SharedStructureNormalizesToSameNode) {
+  // Two structurally identical but separately built conditions intern to
+  // pointer-identical normal forms.
+  ConditionNormalizer norm;
+  auto build = [] {
+    return Condition::And(Condition::Eq(Value::Null(0), Value::Int(1)),
+                          Condition::Neq(Value::Null(1), Value::Str("a")));
+  };
+  EXPECT_EQ(norm.Normalize(build()).get(), norm.Normalize(build()).get());
+}
+
+TEST(ConditionNorm, SatisfiabilityBudgetSurfacesAsResourceExhausted) {
+  ConditionNormalizer norm;
+  // 4 unconstrained-but-chained nulls over a 3-value domain with a budget
+  // of 1 branch step cannot finish.
+  ConditionPtr c = Condition::And(
+      Condition::And(Condition::Eq(Value::Null(0), Value::Null(1)),
+                     Condition::Eq(Value::Null(2), Value::Null(3))),
+      Condition::Neq(Value::Null(0), Value::Null(2)));
+  auto r = SatisfiableOverDomain(c, SmallDomain(), &norm, /*budget=*/1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ConditionNorm, EmptyDomainHandlesGroundAndNullConditions) {
+  ConditionNormalizer norm;
+  const std::vector<Value> empty;
+  auto ground = SatisfiableOverDomain(
+      Condition::Eq(Value::Int(1), Value::Int(1)), empty, &norm);
+  ASSERT_TRUE(ground.ok());
+  EXPECT_TRUE(*ground);
+  auto with_null = SatisfiableOverDomain(
+      Condition::Eq(Value::Null(0), Value::Int(1)), empty, &norm);
+  ASSERT_TRUE(with_null.ok());
+  EXPECT_FALSE(*with_null);  // no value to bind ⊥_0 to
+}
+
+}  // namespace
+}  // namespace incdb

@@ -74,7 +74,7 @@ TEST_P(DeltaEvalSweep, EveryNotionIsBitIdenticalAcrossAllKnobCombinations) {
     for (AnswerNotion notion : kAllNotions) {
       // Baseline: the pre-delta configuration (delta off, cache on, serial).
       QueryRequest baseline;
-      baseline.sql_text = sql;
+      baseline.input = QueryInput::SqlText(sql);
       baseline.notion = notion;
       baseline.world_options.fresh_constants = 1;
       baseline.eval.num_threads = 1;

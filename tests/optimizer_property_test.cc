@@ -121,7 +121,7 @@ TEST_P(OptimizerSweep, EveryNotionMatchesWithKnobsOnAndOff) {
   for (const std::string& sql : queries) {
     for (AnswerNotion notion : kAllNotions) {
       QueryRequest off;
-      off.sql_text = sql;
+      off.input = QueryInput::SqlText(sql);
       off.notion = notion;
       off.world_options.fresh_constants = 1;
       off.eval.num_threads = 1;

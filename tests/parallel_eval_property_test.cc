@@ -71,7 +71,7 @@ TEST_P(ParallelEvalSweep, EveryNotionIsBitIdenticalAcrossThreadCounts) {
   for (const std::string& sql : SweepQueries()) {
     for (AnswerNotion notion : kAllNotions) {
       QueryRequest serial;
-      serial.sql_text = sql;
+      serial.input = QueryInput::SqlText(sql);
       serial.notion = notion;
       serial.world_options.fresh_constants = 1;
       serial.eval.num_threads = 1;

@@ -6,6 +6,7 @@
 
 #include "algebra/eval.h"
 #include "algebra/parser.h"
+#include "ctables/cio.h"
 #include "logic/rule_parser.h"
 #include "sql/parser.h"
 #include "util/random.h"
@@ -30,6 +31,12 @@ const char* kRuleSeeds[] = {
 const char* kRaSeeds[] = {
     "proj{0}(sel[#0 = 5 AND #1 IS NULL](R x S)) U (T - T)",
     "(Assign / Proj) & proj{0, 1}(DELTA)",
+};
+
+const char* kCondSeeds[] = {
+    "((_0 = 1 & _1 = 'a b') | ~(_2 = _0))",
+    "(true & (_0 = -3 | false))",
+    "~((_0 = _1 & _1 = 'it''s') | _2 = 0)",
 };
 
 std::string Mutate(const std::string& seed, Rng* rng) {
@@ -104,8 +111,68 @@ TEST_P(ParserRobustness, RaParserNeverCrashes) {
   }
 }
 
+TEST_P(ParserRobustness, ConditionParserNeverCrashes) {
+  Rng rng(GetParam() + 300);
+  for (const char* seed : kCondSeeds) {
+    std::string input = seed;
+    for (int round = 0; round < 20; ++round) {
+      input = Mutate(input, &rng);
+      auto r = ParseCondition(input);
+      if (r.ok()) {
+        auto again = ParseCondition((*r)->ToString());
+        EXPECT_TRUE(again.ok())
+            << "unparse broke: " << input << " -> " << (*r)->ToString();
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, ParserRobustness,
                          ::testing::Range<uint64_t>(0, 25));
+
+TEST(ParserRobustnessEdge, ConditionErrorsPointAtTheOffendingToken) {
+  // "(a = b & c = d" — the missing ')' is discovered at end of input.
+  auto unclosed = ParseCondition("(_0 = 1 & _1 = 2");
+  ASSERT_FALSE(unclosed.ok());
+  EXPECT_NE(unclosed.status().message().find("line 1"), std::string::npos)
+      << unclosed.status().ToString();
+  EXPECT_NE(unclosed.status().message().find("column 17"), std::string::npos)
+      << unclosed.status().ToString();
+  EXPECT_NE(unclosed.status().message().find("end of condition"),
+            std::string::npos)
+      << unclosed.status().ToString();
+
+  // A bad value names itself and its column.
+  auto bad_value = ParseCondition("(_0 = 1 & bogus! = 2)");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("column 11"), std::string::npos)
+      << bad_value.status().ToString();
+  EXPECT_NE(bad_value.status().message().find("'bogus!'"), std::string::npos)
+      << bad_value.status().ToString();
+
+  // Trailing garbage is located, not just mentioned.
+  auto trailing = ParseCondition("true extra");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("column 6"), std::string::npos)
+      << trailing.status().ToString();
+  EXPECT_NE(trailing.status().message().find("'extra'"), std::string::npos)
+      << trailing.status().ToString();
+
+  // In a c-table dump the column is reported in whole-line coordinates:
+  // the bad token sits after "1, 2 :: " on line 3.
+  const char* dump =
+      "ctable R(a, b)\n"
+      "1, _0\n"
+      "1, 2 :: (_0 = ??)\n";
+  auto loaded = LoadCDatabase(dump);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("'??'"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("column 15"), std::string::npos)
+      << loaded.status().ToString();
+}
 
 TEST(ParserRobustnessEdge, ParsedDivisionWithBadArityEvaluatesToError) {
   // User-supplied RA text can request any division; arity violations must

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
 #include "algebra/parser.h"
 #include "engine/query_engine.h"
@@ -30,10 +31,9 @@ class QueryEngineTest : public ::testing::Test {
   }
 
   QueryRequest Sql(const std::string& text, AnswerNotion notion) const {
-    QueryRequest req;
-    req.sql_text = text;
-    req.notion = notion;
-    return req;
+    return QueryRequestBuilder(QueryInput::SqlText(text))
+        .Notion(notion)
+        .Build();
   }
 
   Database db_;
@@ -108,7 +108,7 @@ TEST_F(QueryEngineTest, CertainEnumMatchesCertainNaiveOnPositiveQueries) {
 TEST_F(QueryEngineTest, CertainObjectKeepsPartialTuples) {
   QueryEngine engine(db_);
   QueryRequest req;
-  req.ra_text = "Pay";
+  req.input = QueryInput::RaText("Pay");
   req.notion = AnswerNotion::kCertainObject;
   auto resp = engine.Run(req);
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
@@ -151,7 +151,7 @@ TEST_F(QueryEngineTest, RaInputsRunEveryNotionExceptMaybe) {
         AnswerNotion::kCertainEnum, AnswerNotion::kCertainObject,
         AnswerNotion::kPossible}) {
     QueryRequest req;
-    req.ra = ra;
+    req.input = QueryInput::Ra(ra);
     req.notion = n;
     auto resp = engine.Run(req);
     EXPECT_TRUE(resp.ok()) << AnswerNotionName(n) << ": "
@@ -159,7 +159,7 @@ TEST_F(QueryEngineTest, RaInputsRunEveryNotionExceptMaybe) {
   }
   // Codd's MAYBE is defined on SQL's 3VL WHERE, not on RA.
   QueryRequest maybe;
-  maybe.ra = ra;
+  maybe.input = QueryInput::Ra(ra);
   maybe.notion = AnswerNotion::kMaybe;
   auto resp = engine.Run(maybe);
   EXPECT_FALSE(resp.ok());
@@ -200,16 +200,124 @@ TEST_F(QueryEngineTest, RejectsWrongInputCounts) {
   auto r2 = engine.Run(two);
   EXPECT_FALSE(r2.ok());
   EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  // Mixing the typed input with a deprecated field is also an error.
+  QueryRequest mixed;
+  mixed.input = QueryInput::RaText("Ord");
+  mixed.sql_text = "SELECT * FROM Ord";
+  auto rm = engine.Run(mixed);
+  EXPECT_FALSE(rm.ok());
+  EXPECT_EQ(rm.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryEngineTest, DeprecatedInputFieldsStillWork) {
+  // The four-field style is shimmed for one release; each single field must
+  // behave exactly like its QueryInput counterpart.
+  QueryEngine engine(db_);
+  QueryRequest legacy;
+  legacy.sql_text = kUnpaid;
+  legacy.notion = AnswerNotion::kNaive;
+  auto old_style = engine.Run(legacy);
+  ASSERT_TRUE(old_style.ok()) << old_style.status().ToString();
+  auto new_style = engine.Run(Sql(kUnpaid, AnswerNotion::kNaive));
+  ASSERT_TRUE(new_style.ok());
+  EXPECT_EQ(old_style->relation, new_style->relation);
+
+  QueryRequest legacy_ra;
+  legacy_ra.ra_text = "Pay";
+  auto ra_resp = engine.Run(legacy_ra);
+  ASSERT_TRUE(ra_resp.ok()) << ra_resp.status().ToString();
+  EXPECT_EQ(ra_resp->relation.size(), 1u);
+}
+
+TEST_F(QueryEngineTest, AllFourTypedInputFormsAnswerIdentically) {
+  QueryEngine engine(db_);
+  const char* ra_text = "proj{1}(sel[#0 = #3](Ord x Pay))";
+  auto parsed_ra = ParseRA(ra_text);
+  ASSERT_TRUE(parsed_ra.ok());
+  auto parsed_sql = ParseSql(kPaidProducts);
+  ASSERT_TRUE(parsed_sql.ok());
+
+  const QueryInput forms[] = {
+      QueryInput::RaText(ra_text),
+      QueryInput::SqlText(kPaidProducts),
+      QueryInput::Ra(*parsed_ra),
+      QueryInput::Sql(std::make_shared<SqlQuery>(*std::move(parsed_sql))),
+  };
+  std::optional<Relation> first;
+  for (const QueryInput& input : forms) {
+    auto resp = engine.Run(QueryRequestBuilder(input)
+                               .Notion(AnswerNotion::kCertainEnum)
+                               .Build());
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    if (!first) {
+      first = resp->relation;
+    } else {
+      EXPECT_EQ(resp->relation, *first);
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, CTableBackendIsBitIdenticalOnBothNotions) {
+  QueryEngine engine(db_);
+  for (const char* sql : {kUnpaid, kPaidProducts}) {
+    for (AnswerNotion notion :
+         {AnswerNotion::kCertainEnum, AnswerNotion::kPossible}) {
+      auto en = engine.Run(Sql(sql, notion));
+      QueryRequest ct_req = Sql(sql, notion);
+      ct_req.backend = Backend::kCTable;
+      auto ct = engine.Run(ct_req);
+      ASSERT_TRUE(en.ok()) << en.status().ToString();
+      ASSERT_TRUE(ct.ok()) << ct.status().ToString();
+      EXPECT_EQ(en->relation, ct->relation)
+          << AnswerNotionName(notion) << ": " << sql;
+      EXPECT_EQ(en->backend, Backend::kEnumeration);
+      EXPECT_EQ(ct->backend, Backend::kCTable);
+      // Both responses expose the same classification metadata.
+      EXPECT_EQ(en->fragment, ct->fragment);
+      EXPECT_NE(ct->optimized_plan, nullptr);
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, CTableBackendRefusesNonWorldQuantifiedNotions) {
+  QueryEngine engine(db_);
+  QueryRequest req = Sql(kPaidProducts, AnswerNotion::kNaive);
+  req.backend = Backend::kCTable;
+  auto resp = engine.Run(req);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(QueryEngineTest, BuilderComposesAllKnobs) {
+  QueryEngine engine(db_);
+  WorldEnumOptions worlds;
+  worlds.fresh_constants = 1;
+  EvalOptions eval;
+  eval.num_threads = 1;
+  auto resp =
+      engine.Run(QueryRequestBuilder(QueryInput::SqlText(kPaidProducts))
+                     .Notion(AnswerNotion::kCertainEnum)
+                     .Semantics(WorldSemantics::kClosedWorld)
+                     .OnBackend(Backend::kCTable)
+                     .Worlds(worlds)
+                     .Eval(eval)
+                     .Build());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->backend, Backend::kCTable);
+  // The normalizer counters surface on the response (mirroring stats).
+  EXPECT_EQ(resp->cond_simplified, resp->stats.cond_simplified());
+  EXPECT_EQ(resp->unsat_pruned, resp->stats.unsat_pruned());
 }
 
 TEST_F(QueryEngineTest, ParseErrorsSurfaceFromBothParsers) {
   QueryEngine engine(db_);
   QueryRequest bad_ra;
-  bad_ra.ra_text = "proj{0}(";
+  bad_ra.input = QueryInput::RaText("proj{0}(");
   EXPECT_FALSE(engine.Run(bad_ra).ok());
 
   QueryRequest bad_sql;
-  bad_sql.sql_text = "SELECT FROM WHERE";
+  bad_sql.input = QueryInput::SqlText("SELECT FROM WHERE");
   EXPECT_FALSE(engine.Run(bad_sql).ok());
 }
 
@@ -218,7 +326,8 @@ TEST_F(QueryEngineTest, BadDivisionArityIsAnErrorNotACrash) {
   // Ord ÷ Pay: arity(divisor) = 3 > arity(dividend) = 2. Once this
   // aborted the process; now it must come back as InvalidArgument.
   QueryRequest req;
-  req.ra = RAExpr::Divide(RAExpr::Scan("Ord"), RAExpr::Scan("Pay"));
+  req.input =
+      QueryInput::Ra(RAExpr::Divide(RAExpr::Scan("Ord"), RAExpr::Scan("Pay")));
   req.notion = AnswerNotion::kNaive;
   auto resp = engine.Run(req);
   EXPECT_FALSE(resp.ok());
@@ -229,7 +338,7 @@ TEST_F(QueryEngineTest, PrebuiltSqlAstInputWorks) {
   auto parsed = ParseSql(kPaidProducts);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   QueryRequest req;
-  req.sql = std::make_shared<SqlQuery>(*std::move(parsed));
+  req.input = QueryInput::Sql(std::make_shared<SqlQuery>(*std::move(parsed)));
   req.notion = AnswerNotion::k3VL;
   auto resp = engine.Run(req);
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();

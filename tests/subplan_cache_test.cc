@@ -226,7 +226,7 @@ TEST(SubplanCacheTest, EngineSurfacesCacheCountersAndPlans) {
   Database db = TestDb();
   QueryEngine engine(db);
   QueryRequest req;
-  req.ra_text = "proj{0,3}(sel[#1 = #2](R0 x S))";
+  req.input = QueryInput::RaText("proj{0,3}(sel[#1 = #2](R0 x S))");
   req.notion = AnswerNotion::kCertainEnum;
   req.world_options.fresh_constants = 1;
   req.eval.num_threads = 1;

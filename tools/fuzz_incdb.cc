@@ -39,7 +39,9 @@ void Usage() {
                "  --replay=DIR        replay *.inc corpus instead of "
                "fuzzing\n"
                "  --no_shrink         report failures unshrunk\n"
-               "  --no_ctables        skip the c-table grounding check\n");
+               "  --no_ctables        skip the c-table grounding check\n"
+               "  --no_ctable_backend skip the c-table-native certain/"
+               "possible backend cross-check\n");
 }
 
 bool ParseUint(const char* s, uint64_t* out) {
@@ -118,6 +120,8 @@ int main(int argc, char** argv) {
       config.shrink = false;
     } else if (arg == "--no_ctables") {
       config.oracle.check_ctables = false;
+    } else if (arg == "--no_ctable_backend") {
+      config.oracle.check_ctable_backend = false;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(), 0;
     } else {
