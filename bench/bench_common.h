@@ -103,6 +103,29 @@ inline void ReportBackendSweep(benchmark::State& state, bool ctable,
       mean_seconds > 0 ? enum_seconds / mean_seconds : 0);
 }
 
+/// Attaches the sampling-sweep counters: the sample count and thread count
+/// the run was configured with, the mean Wilson-CI width across reported
+/// tuples (`ci_width`, the precision bought per sample budget — halves per
+/// 4× samples), and the counting-layer work per iteration (valuations
+/// `samples_drawn`, component assignments `worlds_counted`, candidates
+/// resolved exactly `exact_hits`).
+inline void ReportSamplingSweep(benchmark::State& state, uint64_t samples,
+                                int threads, double mean_ci_width,
+                                const incdb::EvalStats& stats) {
+  const auto rate = benchmark::Counter::kAvgIterations;
+  state.counters["samples"] =
+      benchmark::Counter(static_cast<double>(samples));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(threads));
+  state.counters["ci_width"] = benchmark::Counter(mean_ci_width);
+  state.counters["samples_drawn"] = benchmark::Counter(
+      static_cast<double>(stats.samples_drawn()), rate);
+  state.counters["worlds_counted"] = benchmark::Counter(
+      static_cast<double>(stats.worlds_counted()), rate);
+  state.counters["exact_hits"] = benchmark::Counter(
+      static_cast<double>(stats.exact_count_hits()), rate);
+}
+
 /// Prints a header for the experiment's summary table. Summaries are
 /// emitted once, before the timing benchmarks, from a global initializer.
 inline void TableHeader(const char* experiment, const char* claim,

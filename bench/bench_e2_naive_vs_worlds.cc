@@ -346,4 +346,78 @@ BENCHMARK(BM_CertainBackendSweep)
     ->Args({1, 6})
     ->Unit(benchmark::kMillisecond);
 
+// Sampling sweep for the probabilistic notion at 20 nulls — far beyond the
+// exact-enumeration gate (|domain|^20 worlds), so the enumeration backend
+// Monte-Carlo samples. args encode (samples, threads); the `ci_width`
+// counter shows the precision bought per sample budget (halving per 4×
+// samples) and the thread rows show the sampler's scaling at a fixed
+// budget. Tallies are bit-identical across the thread rows by design.
+void BM_SamplingSweep(benchmark::State& state) {
+  const uint64_t samples = static_cast<uint64_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Database db = DbWithNulls(20, 7);
+  QueryEngine engine(db);
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  ProbabilisticOptions popts;
+  popts.sampling.samples = samples;
+  popts.sampling.num_threads = threads;
+  const QueryRequest req =
+      QueryRequestBuilder(QueryInput::Ra(JoinQuery()))
+          .Notion(AnswerNotion::kCertainWithProbability)
+          .OnBackend(Backend::kEnumeration)
+          .Probability(popts)
+          .Eval(options)
+          .Build();
+  double ci_width = 0;
+  for (auto _ : state) {
+    auto r = engine.Run(req);
+    benchmark::DoNotOptimize(r);
+    if (r.ok() && !r->probabilities.empty()) {
+      double w = 0;
+      for (const TupleProbability& p : r->probabilities) {
+        w += p.ci_high - p.ci_low;
+      }
+      ci_width = w / static_cast<double>(r->probabilities.size());
+    }
+  }
+  incdb_bench::ReportSamplingSweep(state, samples, threads, ci_width, stats);
+}
+BENCHMARK(BM_SamplingSweep)
+    ->Args({1'000, 1})
+    ->Args({4'000, 1})
+    ->Args({16'000, 1})
+    ->Args({16'000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// The same 20-null instance answered *exactly* on the c-table backend:
+// independence factoring counts satisfying valuations per candidate
+// without enumerating the |domain|^20 world space. This is the acceptance
+// row for the counting layer — compare against BM_WorldEnumeration at far
+// smaller null counts.
+void BM_SamplingExactCTable(benchmark::State& state) {
+  Database db = DbWithNulls(static_cast<size_t>(state.range(0)), 7);
+  QueryEngine engine(db);
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  const QueryRequest req =
+      QueryRequestBuilder(QueryInput::Ra(JoinQuery()))
+          .Notion(AnswerNotion::kCertainWithProbability)
+          .OnBackend(Backend::kCTable)
+          .Eval(options)
+          .Build();
+  for (auto _ : state) {
+    auto r = engine.Run(req);
+    benchmark::DoNotOptimize(r);
+  }
+  incdb_bench::ReportSamplingSweep(state, 0, 1, 0.0, stats);
+}
+BENCHMARK(BM_SamplingExactCTable)
+    ->Arg(8)
+    ->Arg(14)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

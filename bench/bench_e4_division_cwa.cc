@@ -358,4 +358,49 @@ BENCHMARK(BM_DivisionBackendSweep)
     ->Args({1, 6})
     ->Unit(benchmark::kMillisecond);
 
+// Probabilistic division at a null count far beyond exact enumeration:
+// Monte-Carlo sampling on the enumeration backend, sweeping the sample
+// budget and thread count. Division expands to a double difference, so the
+// per-sample evaluation is the heaviest the suite samples — the thread
+// rows show the sampler's scaling where it matters most. See
+// BM_SamplingSweep (bench_e2) for counter semantics.
+void BM_DivisionSamplingSweep(benchmark::State& state) {
+  const uint64_t samples = static_cast<uint64_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Database db = Workload(16, 11, 0.6, /*max_nulls=*/20);
+  QueryEngine engine(db);
+  EvalStats stats;
+  EvalOptions options;
+  options.stats = &stats;
+  ProbabilisticOptions popts;
+  popts.sampling.samples = samples;
+  popts.sampling.num_threads = threads;
+  const QueryRequest req =
+      QueryRequestBuilder(QueryInput::Ra(Query()))
+          .Notion(AnswerNotion::kCertainWithProbability)
+          .OnBackend(Backend::kEnumeration)
+          .Probability(popts)
+          .Eval(options)
+          .Build();
+  double ci_width = 0;
+  for (auto _ : state) {
+    auto r = engine.Run(req);
+    benchmark::DoNotOptimize(r);
+    if (r.ok() && !r->probabilities.empty()) {
+      double w = 0;
+      for (const TupleProbability& p : r->probabilities) {
+        w += p.ci_high - p.ci_low;
+      }
+      ci_width = w / static_cast<double>(r->probabilities.size());
+    }
+  }
+  state.SetLabel("nulls=" + std::to_string(db.Nulls().size()));
+  incdb_bench::ReportSamplingSweep(state, samples, threads, ci_width, stats);
+}
+BENCHMARK(BM_DivisionSamplingSweep)
+    ->Args({1'000, 1})
+    ->Args({4'000, 1})
+    ->Args({4'000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

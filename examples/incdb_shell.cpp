@@ -9,9 +9,13 @@
 //   certain <SELECT ...>                   certain answers (positive only)
 //   modes   <SELECT ...>                   all three side by side
 //   ra      <algebra expr>                 e.g. ra proj{0}(R - S)
-//   explain [naive|enum] <query>           pre/post-optimization plan, answer,
+//   prob    [<threshold>] <query>          per-tuple answer probabilities under
+//                                          the uniform CWA valuation measure
+//                                          (exact world counting, Monte-Carlo
+//                                          fallback); threshold defaults to 1.0
+//   explain [naive|enum|prob] <query>      pre/post-optimization plan, answer,
 //                                          per-operator + subplan-cache +
-//                                          delta-eval stats
+//                                          delta-eval (or counting) stats
 //   stats   on|off                         per-operator counters after queries
 //   threads <n>                            worker threads (0 = auto, 1 = serial)
 //   delta   on|off                         differential world enumeration
@@ -32,6 +36,7 @@
 //   modes SELECT a FROM R WHERE a NOT IN (SELECT a FROM S)
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -121,6 +126,25 @@ bool RunNotion(const QueryEngine& engine, QueryRequest req, const char* label,
   return false;
 }
 
+// Prints the per-tuple probability table and the counting-layer counters
+// of a kCertainWithProbability response.
+void PrintProbabilities(const QueryResponse& resp) {
+  for (const TupleProbability& p : resp.probabilities) {
+    std::printf("    %-32s p=%.6f  [%.6f, %.6f]  %s\n",
+                p.tuple.ToString().c_str(), p.probability, p.ci_low, p.ci_high,
+                p.exact ? "exact" : "sampled");
+  }
+  std::printf(
+      "  counting:      %llu world%s counted, %llu sample%s drawn, "
+      "%llu exact hit%s\n",
+      static_cast<unsigned long long>(resp.worlds_counted),
+      resp.worlds_counted == 1 ? "" : "s",
+      static_cast<unsigned long long>(resp.samples_drawn),
+      resp.samples_drawn == 1 ? "" : "s",
+      static_cast<unsigned long long>(resp.exact_count_hits),
+      resp.exact_count_hits == 1 ? "" : "s");
+}
+
 QueryRequest SqlRequest(const std::string& sql, AnswerNotion notion) {
   QueryRequest req;
   req.input = QueryInput::SqlText(sql);
@@ -175,11 +199,15 @@ int main() {
           "  sql|maybe|naive|certain <SELECT ...>\n"
           "  modes <SELECT ...>    all three evaluations\n"
           "  ra <algebra expr>     classify + evaluate algebra\n"
-          "  explain [naive|enum] <query>   plans before/after optimization,\n"
-          "                        answer, operator and subplan-cache stats\n"
-          "                        (enum = certain answers by enumeration);\n"
-          "                        query is SQL when it starts with SELECT,\n"
-          "                        algebra otherwise\n"
+          "  prob [<p>] <query>    per-tuple answer probabilities (uniform\n"
+          "                        CWA measure); keeps tuples with\n"
+          "                        probability >= p (default 1.0 = certain)\n"
+          "  explain [naive|enum|prob] <query>   plans before/after\n"
+          "                        optimization, answer, operator and\n"
+          "                        subplan-cache stats (enum = certain\n"
+          "                        answers by enumeration, prob = answer\n"
+          "                        probabilities); query is SQL when it\n"
+          "                        starts with SELECT, algebra otherwise\n"
           "  stats on|off          per-operator counters after queries\n"
           "  threads <n>           worker threads (0 = auto, 1 = serial)\n"
           "  delta on|off          differential world enumeration\n"
@@ -309,21 +337,63 @@ int main() {
                   ResolveNumThreads(n) == 1 ? "" : "s");
       continue;
     }
+    if (cmd == "prob") {
+      std::istringstream rs(rest);
+      std::string first;
+      rs >> first;
+      ProbabilisticOptions popts;
+      std::string query = rest;
+      char* end = nullptr;
+      const double p = std::strtod(first.c_str(), &end);
+      if (!first.empty() && end != nullptr && *end == '\0') {
+        popts.threshold = p;
+        std::getline(rs, query);
+        query = Trim(query);
+      }
+      if (query.empty()) {
+        std::printf("  usage: prob [<threshold>] <SELECT ...|algebra>\n");
+        continue;
+      }
+      const QueryEngine engine(db);
+      QueryRequest req;
+      req.input = EqualsIgnoreCase(query.substr(0, 6), "select")
+                      ? QueryInput::SqlText(query)
+                      : QueryInput::RaText(query);
+      req.notion = AnswerNotion::kCertainWithProbability;
+      req.backend = g_backend;
+      req.probability = popts;
+      req.eval.num_threads = g_threads;
+      req.eval.delta_eval = g_delta;
+      auto resp = engine.Run(req);
+      if (!resp.ok()) {
+        std::printf("  %s\n", resp.status().ToString().c_str());
+        continue;
+      }
+      std::printf("  [prob >= %.4g] ", popts.threshold);
+      PrintRelation(resp->relation);
+      PrintProbabilities(*resp);
+      if (g_stats) std::printf("%s", resp->stats.ToString().c_str());
+      continue;
+    }
     if (cmd == "explain") {
       std::istringstream rs(rest);
       std::string first;
       rs >> first;
       AnswerNotion notion = AnswerNotion::kNaive;
       std::string query = rest;
-      if (EqualsIgnoreCase(first, "enum") || EqualsIgnoreCase(first, "naive")) {
+      if (EqualsIgnoreCase(first, "enum") || EqualsIgnoreCase(first, "naive") ||
+          EqualsIgnoreCase(first, "prob")) {
         if (EqualsIgnoreCase(first, "enum")) {
           notion = AnswerNotion::kCertainEnum;
+        } else if (EqualsIgnoreCase(first, "prob")) {
+          notion = AnswerNotion::kCertainWithProbability;
         }
         std::getline(rs, query);
         query = Trim(query);
       }
       if (query.empty()) {
-        std::printf("  usage: explain [naive|enum] <SELECT ...|algebra>\n");
+        std::printf(
+            "  usage: explain [naive|enum|prob] <SELECT ...|algebra>\n");
         continue;
       }
       const QueryEngine engine(db);
@@ -357,6 +427,9 @@ int main() {
       std::printf("  [%s] ", AnswerNotionName(notion));
       PrintRelation(resp->relation);
       std::printf("%s", resp->stats.ToString().c_str());
+      if (notion == AnswerNotion::kCertainWithProbability) {
+        PrintProbabilities(*resp);
+      }
       if (notion == AnswerNotion::kCertainEnum &&
           resp->backend == Backend::kCTable) {
         std::printf(

@@ -5,8 +5,12 @@ Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.20]
 
 Prints the per-benchmark CPU-time delta and exits nonzero if any benchmark
 present in both files regressed by more than the threshold (default +20%
-CPU time). Benchmarks present in only one file are reported but never fail
-the run; aggregate rows (mean/median/stddev repetitions) are ignored.
+CPU time). Benchmarks present only in the current run are reported as
+"added" and never fail the run; benchmarks present only in the baseline
+get a loud "missing in current run" warning (a silently dropped benchmark
+is how a regression hides), which also fails the run under
+--fail_on_missing. Aggregate rows (mean/median/stddev repetitions) are
+ignored.
 """
 
 import argparse
@@ -65,6 +69,10 @@ def main(argv):
         "--threshold", type=float, default=0.20,
         help="fail when CPU time grows by more than this fraction "
              "(default: 0.20)")
+    parser.add_argument(
+        "--fail_on_missing", action="store_true",
+        help="exit nonzero when a baseline benchmark is missing from the "
+             "current run (default: warn only)")
     args = parser.parse_args(argv)
 
     base = load_cpu_times(args.baseline)
@@ -74,14 +82,16 @@ def main(argv):
     print("%-*s  %14s  %14s  %s" % (
         width, "benchmark", "baseline", "current", "delta"))
     regressions = []
+    missing = []
     for name in sorted(set(base) | set(cur)):
         if name not in base:
             print("%-*s  %14s  %14s  added" % (
                 width, name, "-", fmt_ns(cur[name])))
             continue
         if name not in cur:
-            print("%-*s  %14s  %14s  removed" % (
+            print("%-*s  %14s  %14s  MISSING IN CURRENT RUN" % (
                 width, name, fmt_ns(base[name]), "-"))
+            missing.append(name)
             continue
         delta = (cur[name] - base[name]) / base[name] if base[name] else 0.0
         flag = ""
@@ -92,12 +102,22 @@ def main(argv):
             width, name, fmt_ns(base[name]), fmt_ns(cur[name]),
             100.0 * delta, flag))
 
+    if missing:
+        print()
+        print("warning: %d baseline benchmark(s) missing in current run "
+              "(renamed, filtered out, or dropped — their regressions "
+              "cannot be checked):" % len(missing), file=sys.stderr)
+        for name in missing:
+            print("  %s" % name, file=sys.stderr)
+
     if regressions:
         print()
         print("%d benchmark(s) regressed by more than %.0f%% CPU time:" % (
             len(regressions), 100.0 * args.threshold))
         for name, delta in regressions:
             print("  %s  (+%.1f%%)" % (name, 100.0 * delta))
+        return 1
+    if missing and args.fail_on_missing:
         return 1
     return 0
 

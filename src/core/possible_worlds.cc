@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace incdb {
@@ -322,6 +323,22 @@ Status ForEachWorldCwaParallel(
   return ForEachValuationParallel(
       d, opts, num_threads,
       [&](const Valuation& v, size_t worker) { return fn(v.Apply(d), worker); });
+}
+
+Valuation SampleValuationAt(const std::vector<NullId>& nulls,
+                            const std::vector<Value>& domain, uint64_t seed,
+                            uint64_t index) {
+  Valuation v;
+  if (nulls.empty()) return v;
+  INCDB_CHECK_MSG(!domain.empty(), "empty world domain with nulls present");
+  // Decorrelate the per-sample streams: Rng's constructor SplitMix64-mixes
+  // its seed, so a golden-ratio stride over the index is enough to give
+  // every sample an independent-looking stream.
+  Rng rng(seed + 0x9E3779B97F4A7C15ull * (index + 1));
+  for (NullId id : nulls) {
+    v.Bind(id, domain[rng.Uniform(domain.size())]);
+  }
+  return v;
 }
 
 Status ForEachWorldOwaBounded(

@@ -145,6 +145,18 @@ Status ForEachWorldCwaParallel(
     const Database& d, const WorldEnumOptions& opts, int num_threads,
     const std::function<bool(const Database&, size_t worker)>& fn);
 
+/// The valuation drawn for sample `index` of the seeded stream (seed,
+/// index): each null of `nulls` independently takes a uniform value of
+/// `domain`. The randomness is a pure function of (seed, index) — NOT of a
+/// shared generator state — which is what lets the Monte-Carlo sampler
+/// (counting/sampler.h) partition a sample range across threads and still
+/// produce bit-identical tallies at every thread count. `nulls` must be
+/// sorted (callers pass Database::Nulls() flattened) and `domain` non-empty
+/// when `nulls` is not. O(#nulls).
+Valuation SampleValuationAt(const std::vector<NullId>& nulls,
+                            const std::vector<Value>& domain, uint64_t seed,
+                            uint64_t index);
+
 /// Invokes `fn` on every v(D) ∪ E where E ranges over subsets of
 /// `candidate_tuples` (pairs of relation name and tuple; tuples must be
 /// complete). Validation-only approximation of ⟦D⟧_owa. Serial;

@@ -1,0 +1,241 @@
+#include "counting/probabilistic.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "algebra/eval.h"
+#include "algebra/optimize.h"
+#include "counting/world_count.h"
+#include "ctables/ctable_algebra.h"
+
+namespace incdb {
+namespace {
+
+Status CheckCwa(WorldSemantics semantics) {
+  if (semantics != WorldSemantics::kClosedWorld) {
+    return Status::Unsupported(
+        "answer probabilities are defined over the CWA valuation measure; "
+        "OWA/WCWA world sets carry no uniform distribution");
+  }
+  return Status::OK();
+}
+
+// Emits the thresholded relation and (optionally) the probability table
+// from the canonical tuple → probability map.
+Relation EmitAnswers(size_t arity,
+                     const std::map<Tuple, TupleProbability>& table,
+                     double threshold,
+                     std::vector<TupleProbability>* probabilities) {
+  Relation out(arity);
+  if (probabilities != nullptr) probabilities->clear();
+  for (const auto& [tuple, p] : table) {
+    if (probabilities != nullptr) probabilities->push_back(p);
+    if (p.probability >= threshold) out.Add(tuple);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> CertainAnswersWithProbabilityEnum(
+    const RAExprPtr& e, const Database& db, WorldSemantics semantics,
+    const ProbabilisticOptions& popts, const WorldEnumOptions& wopts,
+    const EvalOptions& options,
+    std::vector<TupleProbability>* probabilities) {
+  INCDB_RETURN_IF_ERROR(CheckCwa(semantics));
+  INCDB_ASSIGN_OR_RETURN(const size_t arity, e->InferArity(db.schema()));
+  RAExprPtr plan = e;
+  if (options.optimize) plan = Optimize(plan, db);
+
+  const std::set<NullId> null_set = db.Nulls();
+  const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+  const std::vector<Value> domain = WorldDomain(db, wopts);
+  if (!nulls.empty() && domain.empty()) {
+    return Status::InvalidArgument("empty world domain with nulls present");
+  }
+
+  // Per-world / per-sample evaluations must not re-optimize, and the
+  // sampled path runs them concurrently, so they get no shared stats sink
+  // and no nested parallelism.
+  EvalOptions body = options;
+  body.optimize = false;
+  body.stats = nullptr;
+  body.num_threads = 1;
+
+  std::map<Tuple, TupleProbability> table;
+  const uint64_t total = CountWorldsCwa(db, wopts);
+  const bool exact = !popts.force_sampling && total != UINT64_MAX &&
+                     total <= popts.max_exact_worlds &&
+                     total <= wopts.max_worlds;
+  if (exact) {
+    EvalOptions serial_body = body;
+    serial_body.stats = options.stats;  // exact path runs on this thread
+    std::map<Tuple, uint64_t> hits;
+    Status eval_status = Status::OK();
+    INCDB_RETURN_IF_ERROR(
+        ForEachWorldCwaScratch(db, wopts, [&](const Database& world) {
+          Result<Relation> r = EvalNaive(plan, world, serial_body);
+          if (!r.ok()) {
+            eval_status = r.status();
+            return false;
+          }
+          for (const Tuple& t : r->tuples()) ++hits[t];
+          return true;
+        }));
+    INCDB_RETURN_IF_ERROR(eval_status);
+    if (options.stats != nullptr) {
+      options.stats->CountWorldsCounted(total);
+      options.stats->CountExactCountHits(hits.size());
+    }
+    for (const auto& [tuple, count] : hits) {
+      const double p =
+          static_cast<double>(count) / static_cast<double>(total);
+      table[tuple] = TupleProbability{tuple, p, p, p, /*exact=*/true};
+    }
+  } else {
+    INCDB_ASSIGN_OR_RETURN(
+        const SampleTally tally,
+        SampleTupleFrequencies(
+            nulls, domain, popts.sampling,
+            [&](const Valuation& v,
+                std::vector<Tuple>* world_tuples) -> Result<bool> {
+              INCDB_ASSIGN_OR_RETURN(const Relation r,
+                                     EvalNaive(plan, v.Apply(db), body));
+              *world_tuples = r.tuples();
+              return true;
+            },
+            options.stats));
+    for (const auto& [tuple, count] : tally.hits) {
+      const double p =
+          static_cast<double>(count) / static_cast<double>(tally.effective);
+      const Interval ci =
+          WilsonInterval(count, tally.effective, popts.sampling.z);
+      table[tuple] =
+          TupleProbability{tuple, p, ci.low, ci.high, /*exact=*/false};
+    }
+  }
+  return EmitAnswers(arity, table, popts.threshold, probabilities);
+}
+
+Result<Relation> CertainAnswersWithProbabilityCTable(
+    const RAExprPtr& e, const Database& db, WorldSemantics semantics,
+    const ProbabilisticOptions& popts, const WorldEnumOptions& wopts,
+    const EvalOptions& options,
+    std::vector<TupleProbability>* probabilities) {
+  INCDB_RETURN_IF_ERROR(CheckCwa(semantics));
+  INCDB_RETURN_IF_ERROR(e->InferArity(db.schema()).status());
+  RAExprPtr plan = e;
+  if (options.optimize) plan = Optimize(plan, db);
+
+  const CDatabase cdb = CDatabase::FromDatabase(db);
+  ConditionNormalizer norm;
+  INCDB_ASSIGN_OR_RETURN(CTable result,
+                         EvalOnCTables(plan, cdb, options, &norm));
+  auto flush_norm_counters = [&]() {
+    if (options.stats != nullptr) {
+      options.stats->CountCondSimplified(norm.simplified());
+      options.stats->CountUnsatPruned(norm.unsat_pruned());
+    }
+  };
+
+  const std::set<NullId> null_set = db.Nulls();
+  const std::vector<NullId> nulls(null_set.begin(), null_set.end());
+  const std::vector<Value> domain = WorldDomain(db, wopts);
+  if (!nulls.empty() && domain.empty()) {
+    flush_norm_counters();
+    return Status::InvalidArgument("empty world domain with nulls present");
+  }
+  const uint64_t budget = wopts.max_worlds;
+
+  const ConditionPtr global = norm.Normalize(result.global_condition());
+  INCDB_ASSIGN_OR_RETURN(const bool global_sat,
+                         SatisfiableOverDomain(global, domain, &norm, budget));
+  if (!global_sat) {
+    flush_norm_counters();
+    return Status::InvalidArgument(
+        "c-table global condition is unsatisfiable over the domain: the "
+        "represented world set is empty");
+  }
+
+  // Candidates are exactly the possible tuples — the probability-> 0 set.
+  INCDB_ASSIGN_OR_RETURN(
+      const Relation candidates,
+      PossibleAnswersFromCTable(result, domain, &norm, budget, options.stats));
+
+  // The conditioning denominator: #satisfying(global). Usually `true`
+  // (lifted naive databases), so this is the free-null fast path.
+  bool exact_global = false;
+  WorldCount global_count;
+  if (!popts.force_sampling) {
+    Result<WorldCount> g = CountSatisfyingValuations(
+        global, nulls, domain, &norm, budget, options.stats);
+    if (g.ok()) {
+      global_count = *g;
+      exact_global = global_count.fraction > 0.0;
+    } else if (g.status().code() != StatusCode::kResourceExhausted) {
+      flush_norm_counters();
+      return g.status();
+    }
+  }
+
+  std::map<Tuple, TupleProbability> table;
+  // Candidates whose exact count blew the budget, with their pre-normalized
+  // membership conditions (normalization is single-threaded; the sampling
+  // pass below only calls the thread-safe EvalUnder on the shared nodes).
+  std::vector<std::pair<Tuple, ConditionPtr>> sampled;
+  for (const Tuple& cand : candidates.tuples()) {
+    const ConditionPtr membership = norm.Normalize(Condition::And(
+        global, TupleMembershipCondition(result, cand)));
+    if (exact_global) {
+      Result<WorldCount> wc = CountSatisfyingValuations(
+          membership, nulls, domain, &norm, budget, options.stats);
+      if (wc.ok()) {
+        const double p = wc->fraction / global_count.fraction;
+        table[cand] = TupleProbability{cand, p, p, p, /*exact=*/true};
+        if (options.stats != nullptr) options.stats->CountExactCountHits(1);
+        continue;
+      }
+      if (wc.status().code() != StatusCode::kResourceExhausted) {
+        flush_norm_counters();
+        return wc.status();
+      }
+    }
+    sampled.emplace_back(cand, membership);
+  }
+
+  if (!sampled.empty()) {
+    INCDB_ASSIGN_OR_RETURN(
+        const SampleTally tally,
+        SampleTupleFrequencies(
+            nulls, domain, popts.sampling,
+            [&](const Valuation& v,
+                std::vector<Tuple>* world_tuples) -> Result<bool> {
+              if (!global->EvalUnder(v)) return false;
+              for (const auto& [cand, membership] : sampled) {
+                // membership already conjoins global, so under an admitted
+                // valuation it reduces to the D_t test.
+                if (membership->EvalUnder(v)) world_tuples->push_back(cand);
+              }
+              return true;
+            },
+            options.stats));
+    for (const auto& [cand, membership] : sampled) {
+      const auto it = tally.hits.find(cand);
+      // Match the enumeration driver: tuples never observed in an admitted
+      // sample are not reported.
+      if (it == tally.hits.end() || tally.effective == 0) continue;
+      const double p = static_cast<double>(it->second) /
+                       static_cast<double>(tally.effective);
+      const Interval ci =
+          WilsonInterval(it->second, tally.effective, popts.sampling.z);
+      table[cand] =
+          TupleProbability{cand, p, ci.low, ci.high, /*exact=*/false};
+    }
+  }
+
+  flush_norm_counters();
+  return EmitAnswers(result.arity(), table, popts.threshold, probabilities);
+}
+
+}  // namespace incdb

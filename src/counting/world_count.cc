@@ -1,0 +1,165 @@
+#include "counting/world_count.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "core/valuation.h"
+
+namespace incdb {
+namespace {
+
+uint64_t MulSat(uint64_t a, uint64_t b, bool* saturated) {
+  if (a == 0 || b == 0) return 0;
+  if (a > UINT64_MAX / b) {
+    *saturated = true;
+    return UINT64_MAX;
+  }
+  return a * b;
+}
+
+uint64_t PowSat(uint64_t base, size_t exp, bool* saturated) {
+  uint64_t out = 1;
+  for (size_t i = 0; i < exp; ++i) out = MulSat(out, base, saturated);
+  return out;
+}
+
+// Splices nested conjunctions into one operand list (the normalizer keeps
+// AND flattened logically but stores it as binary nodes).
+void FlattenAnd(const ConditionPtr& c, std::vector<ConditionPtr>* out) {
+  if (c->kind() == Condition::Kind::kAnd) {
+    FlattenAnd(c->left(), out);
+    FlattenAnd(c->right(), out);
+  } else {
+    out->push_back(c);
+  }
+}
+
+size_t Find(std::vector<size_t>* parent, size_t i) {
+  while ((*parent)[i] != i) {
+    (*parent)[i] = (*parent)[(*parent)[i]];
+    i = (*parent)[i];
+  }
+  return i;
+}
+
+}  // namespace
+
+Result<WorldCount> CountSatisfyingValuations(const ConditionPtr& c,
+                                             const std::vector<NullId>& nulls,
+                                             const std::vector<Value>& domain,
+                                             ConditionNormalizer* norm,
+                                             uint64_t budget,
+                                             EvalStats* stats) {
+  WorldCount out;
+  const ConditionPtr nc = norm->Normalize(c);
+  if (nc->IsFalse()) return out;  // fraction 0, count 0
+
+  if (!nulls.empty() && domain.empty()) {
+    return Status::InvalidArgument("empty world domain with nulls present");
+  }
+  const uint64_t dsize = domain.size();
+
+  std::set<NullId> cond_null_set;
+  nc->CollectNulls(&cond_null_set);
+  INCDB_CHECK_MSG(
+      std::includes(nulls.begin(), nulls.end(), cond_null_set.begin(),
+                    cond_null_set.end()),
+      "condition mentions a null outside the measure space");
+
+  if (cond_null_set.empty()) {
+    // Ground condition: every valuation agrees with it.
+    const bool sat = nc->EvalUnder(Valuation());
+    out.fraction = sat ? 1.0 : 0.0;
+    out.count = sat ? PowSat(dsize, nulls.size(), &out.saturated) : 0;
+    return out;
+  }
+
+  std::vector<ConditionPtr> ops;
+  FlattenAnd(nc, &ops);
+
+  // Union-find over operand indices: operands sharing a null land in one
+  // component; components touch disjoint null sets, so counts multiply.
+  std::vector<size_t> parent(ops.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::map<NullId, size_t> null_owner;
+  std::vector<std::set<NullId>> op_nulls(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    ops[i]->CollectNulls(&op_nulls[i]);
+    for (NullId id : op_nulls[i]) {
+      auto [it, inserted] = null_owner.emplace(id, i);
+      if (!inserted) parent[Find(&parent, i)] = Find(&parent, it->second);
+    }
+  }
+  std::map<size_t, std::vector<size_t>> components;  // root -> operand ids
+  for (size_t i = 0; i < ops.size(); ++i) {
+    components[Find(&parent, i)].push_back(i);
+  }
+
+  // Nulls no operand mentions are free: |domain| choices each, all
+  // satisfying.
+  const size_t free_nulls = nulls.size() - cond_null_set.size();
+  out.fraction = 1.0;
+  out.count = PowSat(dsize, free_nulls, &out.saturated);
+
+  uint64_t remaining = budget;
+  for (const auto& [root, members] : components) {
+    std::set<NullId> comp_null_set;
+    for (size_t i : members) {
+      comp_null_set.insert(op_nulls[i].begin(), op_nulls[i].end());
+    }
+    if (comp_null_set.empty()) {
+      // Ground operand: the normalizer folds these to true/false, but stay
+      // defensive — a false one zeroes the count.
+      for (size_t i : members) {
+        if (!ops[i]->EvalUnder(Valuation())) return WorldCount{};
+      }
+      continue;
+    }
+    const std::vector<NullId> comp_nulls(comp_null_set.begin(),
+                                         comp_null_set.end());
+    bool comp_saturated = false;
+    const uint64_t total = PowSat(dsize, comp_nulls.size(), &comp_saturated);
+    if (comp_saturated || total > remaining) {
+      return Status::ResourceExhausted(
+          "exact world counting needs " +
+          (comp_saturated ? std::string("2^64+") : std::to_string(total)) +
+          " component assignments with budget " + std::to_string(remaining) +
+          " left; fall back to sampling");
+    }
+    remaining -= total;
+    if (stats != nullptr) stats->CountWorldsCounted(total);
+
+    // Odometer over domain^comp_nulls; count assignments satisfying every
+    // member operand.
+    uint64_t sat_count = 0;
+    Valuation v;
+    std::vector<size_t> idx(comp_nulls.size(), 0);
+    for (;;) {
+      for (size_t i = 0; i < comp_nulls.size(); ++i) {
+        v.Bind(comp_nulls[i], domain[idx[i]]);
+      }
+      bool sat = true;
+      for (size_t i : members) {
+        if (!ops[i]->EvalUnder(v)) {
+          sat = false;
+          break;
+        }
+      }
+      if (sat) ++sat_count;
+      size_t pos = 0;
+      while (pos < idx.size() && ++idx[pos] == domain.size()) {
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == idx.size()) break;
+    }
+    if (sat_count == 0) return WorldCount{};  // fraction 0, count 0
+    out.fraction *= static_cast<double>(sat_count) / static_cast<double>(total);
+    out.count = MulSat(out.count, sat_count, &out.saturated);
+  }
+  return out;
+}
+
+}  // namespace incdb

@@ -1,0 +1,75 @@
+// Exact counting of satisfying valuations — the tractable half of the
+// probabilistic answer layer (Arenas, Barceló, Monet: "Counting Problems
+// over Incomplete Databases").
+//
+// The measure space is the uniform distribution over valuations of the
+// database's nulls into the finite enumeration domain (core/possible_worlds
+// WorldDomain) — |domain|^#nulls equally likely worlds. A tuple's
+// probability is then #satisfying(global ∧ D_t) / #satisfying(global),
+// with D_t the membership condition of ctables/ctable_algebra.h.
+//
+// Naïve counting enumerates |domain|^#nulls assignments, which is exactly
+// the exponential this layer exists to avoid. CountSatisfyingValuations
+// factors the problem first:
+//
+//  * nulls the condition never mentions are free — they multiply the count
+//    by |domain|^#free and the fraction by 1;
+//  * the top-level conjunction is split into connected components by
+//    shared nulls (union-find): components touch disjoint null sets, so
+//    their counts multiply. Per-null independence — the common case when
+//    nulls don't co-occur in any condition — makes every component a
+//    single-null enumeration of |domain| assignments;
+//  * each component is counted by brute enumeration of its own null set
+//    (|domain|^#component-nulls assignments), charged against `budget`.
+//    A component that is coupled beyond the budget (e.g. a many-null OR
+//    that no factoring splits) surfaces ResourceExhausted, which is the
+//    signal to fall back to Monte-Carlo sampling (counting/sampler.h).
+//
+// Counts can overflow uint64 long before the fraction loses precision
+// (24^20 ≈ 4·10^27), so the fraction is computed as a product of
+// per-component fractions and the raw count saturates with an explicit
+// flag rather than wrapping.
+
+#ifndef INCDB_COUNTING_WORLD_COUNT_H_
+#define INCDB_COUNTING_WORLD_COUNT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/value.h"
+#include "ctables/condition_norm.h"
+#include "engine/stats.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// Result of one exact count over the valuation space domain^nulls.
+struct WorldCount {
+  /// #satisfying / |domain|^#nulls, as a product of per-component
+  /// fractions (exact up to FP rounding even when `count` saturates).
+  double fraction = 0.0;
+  /// #satisfying valuations, saturating at UINT64_MAX.
+  uint64_t count = 0;
+  /// True when `count` (or the world total) overflowed uint64 and
+  /// saturated; `fraction` remains meaningful.
+  bool saturated = false;
+};
+
+/// Number of valuations of `nulls` over `domain` satisfying `c`, computed
+/// by independence factoring + per-component enumeration as described
+/// above. `nulls` is the full measure space (every database null, sorted);
+/// nulls of `c` must be a subset. Charges one `budget` unit per component
+/// assignment enumerated and returns ResourceExhausted when the budget is
+/// exceeded — the caller's cue to sample instead. `stats`, when non-null,
+/// receives the assignments enumerated via CountWorldsCounted.
+/// O(Σ_components |domain|^#component-nulls · |component|).
+Result<WorldCount> CountSatisfyingValuations(const ConditionPtr& c,
+                                             const std::vector<NullId>& nulls,
+                                             const std::vector<Value>& domain,
+                                             ConditionNormalizer* norm,
+                                             uint64_t budget,
+                                             EvalStats* stats = nullptr);
+
+}  // namespace incdb
+
+#endif  // INCDB_COUNTING_WORLD_COUNT_H_

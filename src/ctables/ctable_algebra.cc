@@ -361,6 +361,16 @@ Result<CTable> EvalOnCTables(const RAExprPtr& e, const CDatabase& db,
   return EvalCT(e, db, options, norm);
 }
 
+ConditionPtr TupleMembershipCondition(const CTable& t, const Tuple& cand) {
+  ConditionPtr dt = Condition::False();
+  for (const CTableRow& row : t.rows()) {
+    dt = Condition::Or(
+        std::move(dt),
+        Condition::And(row.condition, TuplesEqualCondition(row.tuple, cand)));
+  }
+  return dt;
+}
+
 Result<Relation> CertainAnswersFromCTable(const CTable& t,
                                           const std::vector<Value>& domain,
                                           ConditionNormalizer* norm,

@@ -69,6 +69,15 @@ Result<CTable> IntersectCT(const CTable& l, const CTable& r,
 /// Condition "t = s" componentwise.
 ConditionPtr TuplesEqualCondition(const Tuple& t, const Tuple& s);
 
+/// D_t of the extraction equations: the condition under which the complete
+/// tuple `cand` is a member of the world `t` represents under a valuation —
+/// ⋁_rows (cond_r ∧ "tuple_r = cand"). The factories' constant folding drops
+/// ground rows that cannot match, so the disjunction only carries the
+/// candidate's exact-match rows plus the null-carrying rows. The counting
+/// layer (counting/probabilistic.h) counts/samples satisfying valuations of
+/// global ∧ D_t to turn membership into a probability.
+ConditionPtr TupleMembershipCondition(const CTable& t, const Tuple& cand);
+
 // ---------------------------------------------------------------------------
 // Direct certain/possible-answer extraction (the c-table-native pipeline).
 //

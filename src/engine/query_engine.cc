@@ -61,6 +61,8 @@ const char* AnswerNotionName(AnswerNotion n) {
       return "certain-object";
     case AnswerNotion::kPossible:
       return "possible";
+    case AnswerNotion::kCertainWithProbability:
+      return "certain-probability";
   }
   return "?";
 }
@@ -120,22 +122,27 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
     resp.plan = ra_view;
   }
 
-  const bool world_quantified = request.notion == AnswerNotion::kCertainEnum ||
-                                request.notion == AnswerNotion::kPossible;
+  const bool world_quantified =
+      request.notion == AnswerNotion::kCertainEnum ||
+      request.notion == AnswerNotion::kPossible ||
+      request.notion == AnswerNotion::kCertainWithProbability;
   if (world_quantified) resp.backend = request.backend;
 
   auto finish = [&](Result<Relation> r) -> Result<QueryResponse> {
     INCDB_ASSIGN_OR_RETURN(resp.relation, std::move(r));
     resp.cond_simplified = resp.stats.cond_simplified();
     resp.unsat_pruned = resp.stats.unsat_pruned();
+    resp.worlds_counted = resp.stats.worlds_counted();
+    resp.samples_drawn = resp.stats.samples_drawn();
+    resp.exact_count_hits = resp.stats.exact_count_hits();
     if (request.eval.stats != nullptr) request.eval.stats->Merge(resp.stats);
     return resp;
   };
 
   if (request.backend == Backend::kCTable && !world_quantified) {
     return Status::Unsupported(
-        std::string("the ctable backend computes certain-enum and possible "
-                    "answers; notion ") +
+        std::string("the ctable backend computes certain-enum, possible, and "
+                    "certain-probability answers; notion ") +
         AnswerNotionName(request.notion) + " runs on the enumeration backend");
   }
 
@@ -154,6 +161,7 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
         return finish(EvalSql(*sql, db_, SqlEvalMode::kNaive, opts));
       case AnswerNotion::kCertainEnum:
       case AnswerNotion::kPossible:
+      case AnswerNotion::kCertainWithProbability:
         // Both backends run on the RA translation; surface its error if the
         // query has none.
         if (ra_view == nullptr) {
@@ -183,6 +191,10 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
       case AnswerNotion::kPossible:
         return finish(
             PossibleAnswersCTable(ra, db_, request.world_options, opts));
+      case AnswerNotion::kCertainWithProbability:
+        return finish(CertainAnswersWithProbabilityCTable(
+            ra, db_, request.semantics, request.probability,
+            request.world_options, opts, &resp.probabilities));
       default:
         return Status::Internal("non-world-quantified notion reached the "
                                 "ctable backend dispatch");
@@ -208,6 +220,10 @@ Result<QueryResponse> QueryEngine::Run(const QueryRequest& request) const {
       return finish(CertainObjectNaive(ra, db_, opts));
     case AnswerNotion::kPossible:
       return finish(PossibleAnswersEnum(ra, db_, request.world_options, opts));
+    case AnswerNotion::kCertainWithProbability:
+      return finish(CertainAnswersWithProbabilityEnum(
+          ra, db_, request.semantics, request.probability,
+          request.world_options, opts, &resp.probabilities));
   }
   return Status::Internal("unknown answer notion");
 }

@@ -23,6 +23,7 @@
 #include "algebra/classify.h"
 #include "core/database.h"
 #include "core/possible_worlds.h"
+#include "counting/probabilistic.h"
 #include "engine/stats.h"
 #include "sql/ast.h"
 
@@ -38,6 +39,9 @@ enum class AnswerNotion {
   kCertainEnum,    ///< ground-truth certain answers by world enumeration
   kCertainObject,  ///< certainO(Q,D) = Q(D): the certain answer as an object
   kPossible,       ///< possible answers: union over CWA worlds
+  kCertainWithProbability,  ///< tuples with answer probability ≥ threshold,
+                            ///< with per-tuple probability/CI in the response
+                            ///< (counting/probabilistic.h; CWA only)
 };
 
 /// Printable notion name ("naive", "certain-naive", ...).
@@ -115,9 +119,11 @@ class QueryInput {
 struct QueryRequest {
   /// The query. Must be set unless one of the deprecated fields below is.
   QueryInput input;
-  /// Backend for kCertainEnum / kPossible; other notions ignore it. The
-  /// kCTable backend supports exactly those two notions (kUnsupported
-  /// otherwise) and answers them bit-identically to kEnumeration.
+  /// Backend for the world-quantified notions (kCertainEnum, kPossible,
+  /// kCertainWithProbability); other notions ignore it. The kCTable backend
+  /// supports exactly those notions (kUnsupported otherwise) and answers
+  /// them bit-identically to kEnumeration (sampled probabilities included —
+  /// both backends tally the same seeded valuation stream).
   Backend backend = Backend::kEnumeration;
 
   // Deprecated input fields, kept as a shim for one release: exactly one
@@ -144,6 +150,10 @@ struct QueryRequest {
   /// world enumeration; the response's stats then report delta_applied /
   /// delta_fallbacks alongside the subplan-cache counters).
   EvalOptions eval;
+  /// Knobs for kCertainWithProbability: the answer threshold, the sampling
+  /// seed/sample-count/z/threads, the exact-path gate. Other notions ignore
+  /// it.
+  ProbabilisticOptions probability;
 };
 
 /// Fluent construction of QueryRequests:
@@ -182,6 +192,10 @@ class QueryRequestBuilder {
     req_.eval = opts;
     return *this;
   }
+  QueryRequestBuilder& Probability(ProbabilisticOptions opts) {
+    req_.probability = std::move(opts);
+    return *this;
+  }
 
   QueryRequest Build() const { return req_; }
 
@@ -215,6 +229,18 @@ struct QueryResponse {
   /// Mirrors stats.cond_simplified() / stats.unsat_pruned().
   uint64_t cond_simplified = 0;
   uint64_t unsat_pruned = 0;
+  /// kCertainWithProbability only: the full probability table — every tuple
+  /// with non-zero observed probability, in canonical tuple order, with its
+  /// probability, Wilson CI bounds, and whether the value is an exact count
+  /// or a Monte-Carlo estimate. `relation` is this table filtered by the
+  /// requested threshold.
+  std::vector<TupleProbability> probabilities;
+  /// Probabilistic-layer work (0 for other notions): valuations counted
+  /// exactly, Monte-Carlo samples drawn, tuples answered by exact counts.
+  /// Mirror stats.worlds_counted() / samples_drawn() / exact_count_hits().
+  uint64_t worlds_counted = 0;
+  uint64_t samples_drawn = 0;
+  uint64_t exact_count_hits = 0;
 };
 
 /// Facade over the evaluators. Holds a reference to the database; the

@@ -115,6 +115,15 @@ std::string EvalStats::ToString() const {
                   static_cast<unsigned long long>(unsat_pruned_));
     out += line;
   }
+  if (worlds_counted_ != 0 || samples_drawn_ != 0 || exact_count_hits_ != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "  counting       worlds %llu  samples %llu  exact-hits %llu\n",
+        static_cast<unsigned long long>(worlds_counted_),
+        static_cast<unsigned long long>(samples_drawn_),
+        static_cast<unsigned long long>(exact_count_hits_));
+    out += line;
+  }
   return out;
 }
 

@@ -79,6 +79,9 @@ class EvalStats {
     delta_fallbacks_ += o.delta_fallbacks_;
     cond_simplified_ += o.cond_simplified_;
     unsat_pruned_ += o.unsat_pruned_;
+    worlds_counted_ += o.worlds_counted_;
+    samples_drawn_ += o.samples_drawn_;
+    exact_count_hits_ += o.exact_count_hits_;
   }
   void Reset() { *this = EvalStats(); }
 
@@ -114,6 +117,16 @@ class EvalStats {
   void CountCondSimplified(uint64_t n) { cond_simplified_ += n; }
   void CountUnsatPruned(uint64_t n) { unsat_pruned_ += n; }
 
+  /// Probabilistic answers (counting/): valuations the exact counter
+  /// enumerated / Monte-Carlo samples the sampler drew / candidate tuples
+  /// whose probability came from an exact count rather than sampling.
+  uint64_t worlds_counted() const { return worlds_counted_; }
+  uint64_t samples_drawn() const { return samples_drawn_; }
+  uint64_t exact_count_hits() const { return exact_count_hits_; }
+  void CountWorldsCounted(uint64_t n) { worlds_counted_ += n; }
+  void CountSamplesDrawn(uint64_t n) { samples_drawn_ += n; }
+  void CountExactCountHits(uint64_t n) { exact_count_hits_ += n; }
+
   /// Multi-line table of the operators with non-zero counters.
   std::string ToString() const;
 
@@ -125,6 +138,9 @@ class EvalStats {
   uint64_t delta_fallbacks_ = 0;
   uint64_t cond_simplified_ = 0;
   uint64_t unsat_pruned_ = 0;
+  uint64_t worlds_counted_ = 0;
+  uint64_t samples_drawn_ = 0;
+  uint64_t exact_count_hits_ = 0;
 };
 
 /// Options threaded through every evaluator.

@@ -16,6 +16,9 @@
 //   logic/    — FO formulas, model checking, diagram formulas δ_D,
 //               conjunctive queries, tableau duality, containment
 //   ctables/  — conditional tables and the Imieliński–Lipski algebra
+//   counting/ — probabilistic answers: exact world counting by independence
+//               factoring, seeded Monte-Carlo valuation sampling with
+//               Wilson confidence intervals
 //   sql/      — SQL subset: parser, 3VL & naïve evaluation, certain-answer
 //               rewriting
 //   exchange/ — st-tgd schema mappings and the naïve chase
@@ -49,6 +52,9 @@
 #include "core/tuple.h"
 #include "core/valuation.h"
 #include "core/value.h"
+#include "counting/probabilistic.h"
+#include "counting/sampler.h"
+#include "counting/world_count.h"
 #include "ctables/cio.h"
 #include "ctables/condition.h"
 #include "ctables/ctable.h"

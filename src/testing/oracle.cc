@@ -1,5 +1,6 @@
 #include "testing/oracle.h"
 
+#include <cmath>
 #include <optional>
 #include <string>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "algebra/eval.h"
 #include "algebra/eval_3vl.h"
 #include "core/possible_worlds.h"
+#include "counting/probabilistic.h"
 #include "ctables/ctable.h"
 #include "ctables/ctable_algebra.h"
 #include "engine/query_engine.h"
@@ -273,6 +275,211 @@ OracleReport CheckCase(const RAExprPtr& plan, const Database& db,
     check_backend("ctable-backend/possible", possible,
                   PossibleAnswersCTable(plan, db, world_opts),
                   AnswerNotion::kPossible);
+  }
+
+  // --- Probabilistic notion: counts, samples, and backends must agree. ---
+  if (options.check_sampling && certain_cwa && possible) {
+    auto same_set = [](const Relation& a, const Relation& b) {
+      return a.IsSubsetOf(b) && b.IsSubsetOf(a);
+    };
+    auto describe_table = [](const std::vector<TupleProbability>& tab) {
+      std::string s = "{";
+      for (const TupleProbability& p : tab) {
+        s += p.tuple.ToString() + ":" + std::to_string(p.probability) + " ";
+      }
+      return Truncate(s + "}");
+    };
+    // Sound in both modes: reported tuples are possible, certain tuples
+    // carry probability exactly 1 (a certain tuple is in every world, so
+    // even a sampled tally hits on every admitted sample), and the
+    // threshold-1.0 relation therefore covers the certain answers. When
+    // every row is exact the description is complete: reported == possible,
+    // probability-1 set == certain, relation == certain.
+    auto check_table = [&](const std::string& what, const Relation& rel,
+                           const std::vector<TupleProbability>& tab) {
+      Relation reported(possible->arity());
+      Relation prob_one(possible->arity());
+      bool all_exact = true;
+      for (const TupleProbability& p : tab) {
+        reported.Add(p.tuple);
+        all_exact = all_exact && p.exact;
+        if (p.probability == 1.0) prob_one.Add(p.tuple);
+        // The Wilson interval contains the point estimate; allow FP slack
+        // at the p = 1 boundary where the bound computes to 1 ± rounding.
+        if (p.probability <= 0.0 || p.probability > 1.0 ||
+            p.ci_low > p.probability + 1e-12 ||
+            p.probability > p.ci_high + 1e-12) {
+          report.violations.push_back(
+              what + ": malformed probability row for " + p.tuple.ToString());
+        }
+      }
+      if (!reported.IsSubsetOf(*possible)) {
+        report.violations.push_back(what + ": reported tuples ⊄ possible: " +
+                                    DescribeSides(*possible, reported));
+      }
+      if (!certain_cwa->IsSubsetOf(prob_one)) {
+        report.violations.push_back(
+            what + ": a certain tuple lacks probability 1: certain=" +
+            Truncate(certain_cwa->ToString()) + " table=" +
+            describe_table(tab));
+      }
+      if (!certain_cwa->IsSubsetOf(rel)) {
+        report.violations.push_back(what +
+                                    ": threshold-1.0 answer misses certain "
+                                    "tuples: " +
+                                    DescribeSides(*certain_cwa, rel));
+      }
+      if (all_exact) {
+        if (!same_set(reported, *possible)) {
+          report.violations.push_back(what + ": exact table != possible: " +
+                                      DescribeSides(*possible, reported));
+        }
+        if (!same_set(prob_one, *certain_cwa)) {
+          report.violations.push_back(
+              what + ": exact probability-1 set != certain: " +
+              DescribeSides(*certain_cwa, prob_one));
+        }
+        if (!same_set(rel, *certain_cwa)) {
+          report.violations.push_back(
+              what + ": exact threshold-1.0 answer != certain: " +
+              DescribeSides(*certain_cwa, rel));
+        }
+      }
+    };
+    // Runs one driver configuration; kUnsupported / kResourceExhausted are
+    // legitimate refusals (condition language, counting budget), anything
+    // else is a violation because the enumeration reference succeeded.
+    auto run_prob =
+        [&](const std::string& what, bool ctable,
+            const ProbabilisticOptions& popts,
+            std::vector<TupleProbability>* tab) -> std::optional<Relation> {
+      ++report.configs_run;
+      Result<Relation> r =
+          ctable ? CertainAnswersWithProbabilityCTable(
+                       plan, db, WorldSemantics::kClosedWorld, popts,
+                       world_opts, {}, tab)
+                 : CertainAnswersWithProbabilityEnum(
+                       plan, db, WorldSemantics::kClosedWorld, popts,
+                       world_opts, {}, tab);
+      if (r.ok()) return std::move(r).value();
+      if (r.status().code() == StatusCode::kUnsupported ||
+          r.status().code() == StatusCode::kResourceExhausted) {
+        report.skipped.push_back(what + ": " + r.status().ToString());
+      } else {
+        report.violations.push_back(what + ": " + r.status().ToString() +
+                                    " (enumeration succeeded)");
+      }
+      return std::nullopt;
+    };
+    auto tables_equal = [](const std::vector<TupleProbability>& a,
+                           const std::vector<TupleProbability>& b) {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i].tuple == b[i].tuple) ||
+            a[i].probability != b[i].probability ||
+            a[i].ci_low != b[i].ci_low || a[i].ci_high != b[i].ci_high ||
+            a[i].exact != b[i].exact) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    ProbabilisticOptions popts;
+    popts.sampling.samples = options.sampling_samples;
+
+    // Exact mode, both backends. Exact probabilities are the same rational
+    // count/total on both sides, computed by different factorings — agree
+    // up to FP rounding.
+    std::vector<TupleProbability> exact_enum;
+    std::optional<Relation> exact_enum_rel =
+        run_prob("probability/exact-enum", /*ctable=*/false, popts,
+                 &exact_enum);
+    if (exact_enum_rel) {
+      check_table("probability/exact-enum", *exact_enum_rel, exact_enum);
+    }
+    std::vector<TupleProbability> exact_ct;
+    std::optional<Relation> exact_ct_rel =
+        run_prob("probability/exact-ctable", /*ctable=*/true, popts,
+                 &exact_ct);
+    if (exact_ct_rel) {
+      check_table("probability/exact-ctable", *exact_ct_rel, exact_ct);
+    }
+    if (exact_enum_rel && exact_ct_rel) {
+      bool agree = exact_enum.size() == exact_ct.size();
+      for (size_t i = 0; agree && i < exact_enum.size(); ++i) {
+        agree = exact_enum[i].tuple == exact_ct[i].tuple &&
+                (!exact_enum[i].exact || !exact_ct[i].exact ||
+                 std::abs(exact_enum[i].probability -
+                          exact_ct[i].probability) <= 1e-9);
+      }
+      if (!agree) {
+        report.violations.push_back(
+            "probability: exact-ctable != exact-enum: enum=" +
+            describe_table(exact_enum) + " ctable=" +
+            describe_table(exact_ct));
+      }
+    }
+
+    // Facade faithfulness for the new notion.
+    if (exact_enum_rel) {
+      QueryEngine engine(db);
+      QueryRequest req;
+      req.input = QueryInput::Ra(plan);
+      req.notion = AnswerNotion::kCertainWithProbability;
+      req.semantics = WorldSemantics::kClosedWorld;
+      req.world_options = world_opts;
+      req.probability = popts;
+      Result<QueryResponse> resp = engine.Run(req);
+      ++report.configs_run;
+      if (!resp.ok()) {
+        report.violations.push_back(
+            "QueryEngine(kCertainWithProbability) failed: " +
+            resp.status().ToString());
+      } else if (!tables_equal(resp->probabilities, exact_enum) ||
+                 resp->relation != *exact_enum_rel) {
+        report.violations.push_back(
+            "QueryEngine(kCertainWithProbability) differs: engine=" +
+            describe_table(resp->probabilities) + " direct=" +
+            describe_table(exact_enum));
+      }
+    }
+
+    // Forced sampling: both backends draw the same (seed, index) valuation
+    // stream over the same domain, so the tallies — and the full tables —
+    // must be bit-identical, at every thread count.
+    ProbabilisticOptions sampled = popts;
+    sampled.force_sampling = true;
+    sampled.sampling.num_threads = 1;
+    std::vector<TupleProbability> serial_enum;
+    std::optional<Relation> serial_rel = run_prob(
+        "probability/sampled-enum-serial", /*ctable=*/false, sampled,
+        &serial_enum);
+    if (serial_rel) {
+      check_table("probability/sampled-enum-serial", *serial_rel,
+                  serial_enum);
+      sampled.sampling.num_threads = options.num_threads;
+      std::vector<TupleProbability> parallel_enum;
+      std::optional<Relation> parallel_rel = run_prob(
+          "probability/sampled-enum-parallel", /*ctable=*/false, sampled,
+          &parallel_enum);
+      if (parallel_rel && !tables_equal(serial_enum, parallel_enum)) {
+        report.violations.push_back(
+            "probability: sampled tallies differ across thread counts: "
+            "serial=" + describe_table(serial_enum) + " parallel=" +
+            describe_table(parallel_enum));
+      }
+      std::vector<TupleProbability> sampled_ct;
+      std::optional<Relation> sampled_ct_rel = run_prob(
+          "probability/sampled-ctable", /*ctable=*/true, sampled,
+          &sampled_ct);
+      if (sampled_ct_rel && !tables_equal(serial_enum, sampled_ct)) {
+        report.violations.push_back(
+            "probability: sampled-ctable != sampled-enum at equal seed: "
+            "enum=" + describe_table(serial_enum) + " ctable=" +
+            describe_table(sampled_ct));
+      }
+    }
   }
 
   // --- 3VL soundness on positive plans: null-free 3VL rows are certain. ---

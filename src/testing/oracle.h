@@ -19,6 +19,12 @@
 //    native pipeline — normalizing kernels + condition-level extraction,
 //    no world ever materialized) against the enumeration reference, and
 //    QueryEngine::Run on Backend::kCTable against both.
+//  * probabilistic notion: exact per-tuple probabilities (both backends)
+//    must report exactly the possible tuples with probability 1 exactly on
+//    the certain tuples; forced-sampling tallies must be bit-identical
+//    across backends and thread counts at a fixed seed, with every certain
+//    tuple estimated at exactly 1 (only the sound directions are checked —
+//    a sampled estimate of 1.0 does not imply certainty).
 //
 // Containment checks (sound-but-incomplete relationships):
 //  * 3VL: null-free SQL answers ⊆ certain answers, on positive plans.
@@ -56,6 +62,13 @@ struct OracleOptions {
   bool check_ctable_backend = true;
   /// Run the checks under OWA as well (positive plans only).
   bool check_owa = true;
+  /// Cross-check the probabilistic notion (kCertainWithProbability): exact
+  /// probabilities against the certain/possible ground truth, and
+  /// forced-sampling tallies for backend/thread-count bit-identity at a
+  /// fixed seed.
+  bool check_sampling = true;
+  /// Monte-Carlo samples per forced-sampling configuration.
+  uint64_t sampling_samples = 1'000;
   /// Test hook: corrupt the result of one non-reference configuration by
   /// injecting a bogus tuple, so the harness's catch-and-shrink path can be
   /// exercised without actually breaking a kernel. 0 = off.

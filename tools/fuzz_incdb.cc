@@ -41,7 +41,11 @@ void Usage() {
                "  --no_shrink         report failures unshrunk\n"
                "  --no_ctables        skip the c-table grounding check\n"
                "  --no_ctable_backend skip the c-table-native certain/"
-               "possible backend cross-check\n");
+               "possible backend cross-check\n"
+               "  --no_check_sampling skip the probabilistic-notion "
+               "cross-check\n"
+               "  --samples=N         Monte-Carlo samples per sampling "
+               "cross-check (default 1000)\n");
 }
 
 bool ParseUint(const char* s, uint64_t* out) {
@@ -122,6 +126,10 @@ int main(int argc, char** argv) {
       config.oracle.check_ctables = false;
     } else if (arg == "--no_ctable_backend") {
       config.oracle.check_ctable_backend = false;
+    } else if (arg == "--no_check_sampling") {
+      config.oracle.check_sampling = false;
+    } else if (const char* v = value("--samples=")) {
+      if (!ParseUint(v, &config.oracle.sampling_samples)) return Usage(), 2;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(), 0;
     } else {
