@@ -108,6 +108,7 @@ void PrintRelation(const Relation& r) {
 bool g_stats = false;
 int g_threads = 1;  // num_threads for every query; 1 = serial, 0 = auto
 bool g_delta = true;  // differential world enumeration (EvalOptions::delta_eval)
+bool g_vectorize = true;  // batch-vectorized columnar execution
 Backend g_backend = Backend::kEnumeration;  // certain-enum/possible backend
 
 // Runs one notion through the engine and prints the outcome under `label`.
@@ -152,6 +153,7 @@ QueryRequest SqlRequest(const std::string& sql, AnswerNotion notion) {
   req.backend = g_backend;
   req.eval.num_threads = g_threads;
   req.eval.delta_eval = g_delta;
+  req.eval.vectorize = g_vectorize;
   return req;
 }
 
@@ -211,6 +213,8 @@ int main() {
           "  stats on|off          per-operator counters after queries\n"
           "  threads <n>           worker threads (0 = auto, 1 = serial)\n"
           "  delta on|off          differential world enumeration\n"
+          "  vectorize on|off      batch-at-a-time execution over columnar\n"
+          "                        storage (answers are identical)\n"
           "  backend enum|ctable   how certain-enum/possible answers are\n"
           "                        computed: world enumeration, or natively\n"
           "                        on c-tables (bit-identical, no worlds)\n"
@@ -313,6 +317,11 @@ int main() {
       std::printf("  delta %s\n", g_delta ? "on" : "off");
       continue;
     }
+    if (cmd == "vectorize") {
+      g_vectorize = EqualsIgnoreCase(rest, "on");
+      std::printf("  vectorize %s\n", g_vectorize ? "on" : "off");
+      continue;
+    }
     if (cmd == "backend") {
       if (EqualsIgnoreCase(rest, "ctable")) {
         g_backend = Backend::kCTable;
@@ -364,6 +373,7 @@ int main() {
       req.probability = popts;
       req.eval.num_threads = g_threads;
       req.eval.delta_eval = g_delta;
+      req.eval.vectorize = g_vectorize;
       auto resp = engine.Run(req);
       if (!resp.ok()) {
         std::printf("  %s\n", resp.status().ToString().c_str());
@@ -407,6 +417,7 @@ int main() {
       req.backend = g_backend;
       req.eval.num_threads = g_threads;
       req.eval.delta_eval = g_delta;
+      req.eval.vectorize = g_vectorize;
       auto resp = engine.Run(req);
       if (!resp.ok()) {
         std::printf("  %s\n", resp.status().ToString().c_str());
@@ -450,6 +461,12 @@ int main() {
             resp->stats.delta_applied() == 1 ? "" : "s",
             static_cast<unsigned long long>(resp->stats.delta_fallbacks()),
             resp->stats.delta_fallbacks() == 1 ? "" : "s");
+        std::printf(
+            "  vectorized:    %llu batch%s / %llu row%s\n",
+            static_cast<unsigned long long>(resp->stats.batches_processed()),
+            resp->stats.batches_processed() == 1 ? "" : "es",
+            static_cast<unsigned long long>(resp->stats.rows_vectorized()),
+            resp->stats.rows_vectorized() == 1 ? "" : "s");
       }
       continue;
     }
@@ -459,6 +476,7 @@ int main() {
       naive_req.input = QueryInput::RaText(rest);
       naive_req.notion = AnswerNotion::kNaive;
       naive_req.eval.num_threads = g_threads;
+      naive_req.eval.vectorize = g_vectorize;
       auto naive = engine.Run(naive_req);
       if (!naive.ok()) {
         std::printf("  %s\n", naive.status().ToString().c_str());
@@ -477,6 +495,7 @@ int main() {
         req.notion = AnswerNotion::kCertainNaive;
         req.semantics = sem;
         req.eval.num_threads = g_threads;
+        req.eval.vectorize = g_vectorize;
         auto certain = engine.Run(req);
         if (certain.ok()) {
           std::printf("  [certain/%s] ", WorldSemanticsName(sem));

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "engine/kernels.h"
+#include "engine/vectorized.h"
 
 namespace incdb {
 namespace {
@@ -203,6 +204,9 @@ Result<Relation> DivideRelations(const Relation& r, const Relation& s) {
 
 Result<Relation> EvalNaive(const RAExprPtr& e, const Database& db,
                            const EvalOptions& options) {
+  // Batch-at-a-time evaluation over columnar storage; plan shapes and
+  // answers are identical, only the inner loops differ.
+  if (UseVectorizedEval(options)) return EvalVectorized(e, db, options);
   // Validate typing once at the root.
   INCDB_RETURN_IF_ERROR(e->InferArity(db.schema()).status());
   Rec rec{db, options, options.stats};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/columnar.h"
 #include "util/status.h"
 
 namespace incdb {
@@ -23,6 +24,7 @@ Relation::Relation(const Relation& o) : arity_(o.arity_) {
   tuples_ = o.tuples_;
   index_ = o.index_;
   col_indexes_ = o.col_indexes_;
+  columnar_ = o.columnar_;
   complete_.store(o.complete_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
   version_ = o.version_;
@@ -36,6 +38,7 @@ Relation& Relation::operator=(const Relation& o) {
   dirty_ = false;
   index_ = o.index_;
   col_indexes_ = o.col_indexes_;
+  columnar_ = o.columnar_;
   complete_.store(o.complete_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
   version_ = o.version_;
@@ -48,6 +51,7 @@ Relation::Relation(Relation&& o) noexcept
       dirty_(o.dirty_),
       index_(std::move(o.index_)),
       col_indexes_(std::move(o.col_indexes_)),
+      columnar_(std::move(o.columnar_)),
       version_(o.version_) {
   complete_.store(o.complete_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
@@ -62,6 +66,7 @@ Relation& Relation::operator=(Relation&& o) noexcept {
   dirty_ = o.dirty_;
   index_ = std::move(o.index_);
   col_indexes_ = std::move(o.col_indexes_);
+  columnar_ = std::move(o.columnar_);
   complete_.store(o.complete_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
   version_ = o.version_;
@@ -106,6 +111,7 @@ void Relation::Add(Tuple t) {
   dirty_ = true;
   index_.reset();
   col_indexes_.reset();
+  columnar_.reset();
   ++version_;
 }
 
@@ -121,6 +127,7 @@ void Relation::AddAll(const Relation& other) {
   dirty_ = true;
   index_.reset();
   col_indexes_.reset();
+  columnar_.reset();
   ++version_;
 }
 
@@ -155,6 +162,13 @@ const TupleRowIndex& Relation::BuildColumnIndex(
     }
   }
   return it->second;
+}
+
+std::shared_ptr<const ColumnarRelation> Relation::Columnar() const {
+  if (columnar_ == nullptr) {
+    columnar_ = ColumnarRelation::FromRelation(*this);
+  }
+  return columnar_;
 }
 
 const TupleRowIndex* Relation::FindColumnIndex(

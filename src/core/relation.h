@@ -35,6 +35,8 @@
 
 namespace incdb {
 
+class ColumnarRelation;
+
 /// Hash index keyed by the values at a fixed column list: HashColumns(t,
 /// cols) → row indices into tuples() whose columns hash there (collisions
 /// included; confirm with ColumnsEqual).
@@ -84,6 +86,14 @@ class Relation {
 
   /// The column index previously built for `cols`, or nullptr. Never builds.
   const TupleRowIndex* FindColumnIndex(const std::vector<size_t>& cols) const;
+
+  /// The columnar (dictionary-encoded) form of this relation
+  /// (core/columnar.h). Built on first use and cached exactly like
+  /// HashIndex(): the snapshot is shared by copies and invalidated by
+  /// mutation. Not thread-safe to build — force it on the owning thread
+  /// before sharing the relation; the returned object is immutable and safe
+  /// under concurrent readers.
+  std::shared_ptr<const ColumnarRelation> Columnar() const;
 
   /// Canonical (sorted, deduplicated) tuple list.
   const std::vector<Tuple>& tuples() const;
@@ -141,6 +151,9 @@ class Relation {
   // reset on mutation. Row ids refer to the canonical tuple order.
   mutable std::shared_ptr<std::map<std::vector<size_t>, TupleRowIndex>>
       col_indexes_;
+  // Cached columnar snapshot (Columnar()); shared by copies, reset on
+  // mutation.
+  mutable std::shared_ptr<const ColumnarRelation> columnar_;
   // Memoized IsComplete: -1 unknown, 0 has nulls, 1 complete. Atomic so
   // concurrent readers of a shared relation may race to fill it benignly
   // (both compute the same value).

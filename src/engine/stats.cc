@@ -124,6 +124,13 @@ std::string EvalStats::ToString() const {
         static_cast<unsigned long long>(exact_count_hits_));
     out += line;
   }
+  if (batches_processed_ != 0 || rows_vectorized_ != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  vectorized     batches %llu  rows %llu\n",
+                  static_cast<unsigned long long>(batches_processed_),
+                  static_cast<unsigned long long>(rows_vectorized_));
+    out += line;
+  }
   return out;
 }
 

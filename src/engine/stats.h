@@ -82,6 +82,8 @@ class EvalStats {
     worlds_counted_ += o.worlds_counted_;
     samples_drawn_ += o.samples_drawn_;
     exact_count_hits_ += o.exact_count_hits_;
+    batches_processed_ += o.batches_processed_;
+    rows_vectorized_ += o.rows_vectorized_;
   }
   void Reset() { *this = EvalStats(); }
 
@@ -127,6 +129,14 @@ class EvalStats {
   void CountSamplesDrawn(uint64_t n) { samples_drawn_ += n; }
   void CountExactCountHits(uint64_t n) { exact_count_hits_ += n; }
 
+  /// Vectorized execution (engine/vectorized.h): column batches a kernel
+  /// loop consumed / input rows those batches covered. Zero when the
+  /// vectorize knob is off or every operator fell back to the row path.
+  uint64_t batches_processed() const { return batches_processed_; }
+  uint64_t rows_vectorized() const { return rows_vectorized_; }
+  void CountBatchesProcessed(uint64_t n) { batches_processed_ += n; }
+  void CountRowsVectorized(uint64_t n) { rows_vectorized_ += n; }
+
   /// Multi-line table of the operators with non-zero counters.
   std::string ToString() const;
 
@@ -141,6 +151,8 @@ class EvalStats {
   uint64_t worlds_counted_ = 0;
   uint64_t samples_drawn_ = 0;
   uint64_t exact_count_hits_ = 0;
+  uint64_t batches_processed_ = 0;
+  uint64_t rows_vectorized_ = 0;
 };
 
 /// Options threaded through every evaluator.
@@ -185,6 +197,17 @@ struct EvalOptions {
   /// bit-identical either way; `stats` reports delta_applied /
   /// delta_fallbacks.
   bool delta_eval = true;
+  /// Evaluate RA plans batch-at-a-time over dictionary-encoded columns
+  /// (core/columnar.h + engine/vectorized.h) instead of tuple-at-a-time:
+  /// selections run as predicate-over-column loops producing selection
+  /// vectors, projections as column slicing, equi-joins as batched hash
+  /// build/probe over key columns, and union/intersect/diff as sorted-run
+  /// merges. Only takes effect together with `use_hash_kernels` (with
+  /// kernels off the evaluator is the nested-loop reference oracle).
+  /// Composes with optimize / cache_subplans / delta_eval; answers are
+  /// bit-identical either way. `stats` reports batches_processed /
+  /// rows_vectorized.
+  bool vectorize = true;
 };
 
 /// RAII scope that attributes wall time and counters to one operator.

@@ -18,6 +18,7 @@ void ForceRelation(const Relation& r) {
   r.tuples();
   r.HashIndex();
   r.IsComplete();
+  r.Columnar();
 }
 
 uint64_t MixStamp(uint64_t h, uint64_t v) {

@@ -1,0 +1,63 @@
+// Batch-vectorized plan execution over dictionary-encoded columns.
+//
+// EvalVectorized is a drop-in alternative to the tuple-at-a-time tree
+// walker in algebra/eval.cc: it evaluates the same (optimized) RA plans
+// with the same naïve semantics — marked nulls are ordinary values, all
+// comparisons use the total Value order — but batch-at-a-time over the
+// ColumnarRelation form (core/columnar.h):
+//
+//   * selection runs as predicate-over-column loops producing selection
+//     vectors (per-batch byte masks folded into kept-row lists); constants
+//     are rank-resolved against the dictionary once, so the inner loops
+//     compare 32-bit codes only;
+//   * projection is column slicing plus a code-level sort/unique compact;
+//   * σ-over-× with cross-boundary equalities fuses into a batched hash
+//     equi-join: build/probe over key-code columns, candidate verification
+//     and residual predicates evaluated on codes, the π fused into the
+//     emit (mirroring the row kernel's plan shapes exactly);
+//   * union / intersection / difference run as merge walks over sorted
+//     code runs (rows are kept in canonical lexicographic order end to
+//     end, so every binary operator sees two sorted inputs);
+//   * division reuses the counting scheme of HashDivide over code rows.
+//
+// Cross-dictionary operators first merge the two sorted dictionaries and
+// remap codes through the order-preserving translations of MergeDicts, so
+// code comparisons stay valid across inputs. Intermediates never decode to
+// Values; the final result is materialized to a canonical Relation, which
+// is why the path is bit-identical to the row evaluator on every plan —
+// the differential oracle and the vectorized property test machine-check
+// that. Selected via EvalOptions::vectorize (plus use_hash_kernels); the
+// nested-loop reference evaluator is untouched and remains the oracle.
+//
+// Large probe/filter loops chunk through util/thread_pool.h's ParallelFor
+// above EvalOptions::parallel_row_threshold with per-chunk outputs merged
+// in chunk order, so results are bit-identical at every thread count (and
+// nested calls inside the enumeration drivers' workers run inline).
+
+#ifndef INCDB_ENGINE_VECTORIZED_H_
+#define INCDB_ENGINE_VECTORIZED_H_
+
+#include "algebra/ast.h"
+#include "core/database.h"
+#include "engine/stats.h"
+#include "util/status.h"
+
+namespace incdb {
+
+/// True when `options` select the vectorized path: the vectorize knob is
+/// on and hash kernels are enabled (with kernels off the evaluator is the
+/// nested-loop reference oracle and must stay tuple-at-a-time).
+inline bool UseVectorizedEval(const EvalOptions& options) {
+  return options.vectorize && options.use_hash_kernels;
+}
+
+/// Evaluates `e` against `db` batch-at-a-time over columnar storage.
+/// Answers are bit-identical to the row-oriented EvalNaive; EvalOptions
+/// stats receive the usual per-operator counters plus batches_processed /
+/// rows_vectorized. Called by EvalNaive when UseVectorizedEval(options).
+Result<Relation> EvalVectorized(const RAExprPtr& e, const Database& db,
+                                const EvalOptions& options);
+
+}  // namespace incdb
+
+#endif  // INCDB_ENGINE_VECTORIZED_H_

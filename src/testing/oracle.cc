@@ -26,7 +26,8 @@ struct Config {
   bool optimize;
   bool cache;
   bool delta;
-  int threads;  // 0 = use OracleOptions::num_threads
+  int threads;       // 0 = use OracleOptions::num_threads
+  bool vec = false;  // batch-vectorized columnar execution
 };
 
 // The reference (index 0) is the nested-loop serial evaluator with every
@@ -50,6 +51,16 @@ const std::vector<Config>& ConfigMatrix() {
                    true, 0});
     out.push_back({"hash,opt=0,cache=0,delta=0,parallel", true, false, false,
                    false, 0});
+    // Batch-vectorized columnar execution (engine/vectorized.h): the knob
+    // ladder again with the batch kernels swapped in for the row kernels.
+    out.push_back({"vec,opt=0,cache=0,delta=0,serial", true, false, false,
+                   false, 1, true});
+    out.push_back({"vec,opt=1,cache=0,delta=0,serial", true, true, false,
+                   false, 1, true});
+    out.push_back({"vec,opt=1,cache=1,delta=1,serial", true, true, true, true,
+                   1, true});
+    out.push_back({"vec,opt=1,cache=1,delta=1,parallel", true, true, true,
+                   true, 0, true});
     return out;
   }();
   return kConfigs;
@@ -61,6 +72,9 @@ EvalOptions MakeEvalOptions(const Config& c, int num_threads) {
   o.optimize = c.optimize;
   o.cache_subplans = c.cache;
   o.delta_eval = c.delta;
+  // `vectorize` defaults on; pin it so the row-path configs stay row-path
+  // (and the reference stays the nested-loop oracle).
+  o.vectorize = c.vec;
   o.num_threads = c.threads == 0 ? num_threads : c.threads;
   // Force the partitioned-kernel code paths onto small inputs.
   o.parallel_row_threshold = 2;
@@ -90,6 +104,7 @@ std::optional<Relation> CrossCheck(const std::string& what, Driver&& driver,
   const auto& matrix = ConfigMatrix();
   for (size_t i = 0; i < matrix.size(); ++i) {
     const Config& c = matrix[i];
+    if (c.vec && !options.check_vectorized) continue;
     Result<Relation> r = driver(MakeEvalOptions(c, options.num_threads));
     ++report->configs_run;
     if (i == 0) {

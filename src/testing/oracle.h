@@ -62,6 +62,10 @@ struct OracleOptions {
   bool check_ctable_backend = true;
   /// Run the checks under OWA as well (positive plans only).
   bool check_owa = true;
+  /// Include the batch-vectorized columnar configurations (serial and
+  /// parallel, across the optimize/cache/delta ladder) in the equality
+  /// matrix; they must be bit-identical to the nested-loop reference.
+  bool check_vectorized = true;
   /// Cross-check the probabilistic notion (kCertainWithProbability): exact
   /// probabilities against the certain/possible ground truth, and
   /// forced-sampling tallies for backend/thread-count bit-identity at a

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
+
+#include "core/columnar.h"
 
 namespace incdb {
 namespace {
@@ -234,6 +237,55 @@ TEST(RelationTest, PostBuildMutationInvalidatesMemoAndIndexesTogether) {
   EXPECT_EQ(r.FindColumnIndex({1}), nullptr);
   EXPECT_FALSE(snapshot.Contains(T2(5, 50)));
   EXPECT_TRUE(r.Contains(T2(5, 50)));
+}
+
+TEST(RelationTest, CopyAssignmentSharesDerivedStateUnderCoW) {
+  // The vectorized path reads FindColumnIndex and Columnar() off relations
+  // that were copy-assigned around by drivers; the assignment must carry the
+  // cached state over without aliasing future mutations.
+  Relation r(2);
+  r.Add(T2(1, 10));
+  r.Add(T2(2, 20));
+  const TupleRowIndex& idx = r.BuildColumnIndex({0});
+  auto columnar = r.Columnar();
+
+  Relation assigned(2);
+  assigned.Add(T2(9, 9));  // pre-existing state is fully replaced
+  assigned = r;
+  EXPECT_EQ(assigned, r);
+  EXPECT_EQ(assigned.FindColumnIndex({0}), &idx);
+  EXPECT_EQ(assigned.Columnar(), columnar);
+
+  // Mutating the assignee drops only its own caches.
+  assigned.Add(T2(3, 30));
+  EXPECT_EQ(assigned.FindColumnIndex({0}), nullptr);
+  EXPECT_NE(assigned.Columnar(), columnar);
+  EXPECT_EQ(assigned.Columnar()->ToRelation(), assigned);
+  EXPECT_EQ(r.FindColumnIndex({0}), &idx);
+  EXPECT_EQ(r.Columnar(), columnar);
+}
+
+TEST(RelationTest, MoveAssignmentStealsDerivedState) {
+  Relation r(2);
+  r.Add(T2(1, 10));
+  r.Add(T2(2, 20));
+  const TupleRowIndex& idx = r.BuildColumnIndex({1});
+  auto columnar = r.Columnar();
+  const Relation expected = r;
+
+  Relation target(2);
+  target.Add(T2(7, 7));
+  target = std::move(r);
+  EXPECT_EQ(target, expected);
+  // The caches moved with the content — no rebuild.
+  EXPECT_EQ(target.FindColumnIndex({1}), &idx);
+  EXPECT_EQ(target.Columnar(), columnar);
+
+  // And stay on the usual invalidation lifecycle afterwards.
+  target.Add(T2(8, 80));
+  EXPECT_EQ(target.FindColumnIndex({1}), nullptr);
+  EXPECT_NE(target.Columnar(), columnar);
+  EXPECT_EQ(target.Columnar()->ToRelation(), target);
 }
 
 }  // namespace

@@ -42,6 +42,8 @@ void Usage() {
                "  --no_ctables        skip the c-table grounding check\n"
                "  --no_ctable_backend skip the c-table-native certain/"
                "possible backend cross-check\n"
+               "  --no_vectorize      skip the batch-vectorized columnar "
+               "configurations\n"
                "  --no_check_sampling skip the probabilistic-notion "
                "cross-check\n"
                "  --samples=N         Monte-Carlo samples per sampling "
@@ -126,6 +128,8 @@ int main(int argc, char** argv) {
       config.oracle.check_ctables = false;
     } else if (arg == "--no_ctable_backend") {
       config.oracle.check_ctable_backend = false;
+    } else if (arg == "--no_vectorize") {
+      config.oracle.check_vectorized = false;
     } else if (arg == "--no_check_sampling") {
       config.oracle.check_sampling = false;
     } else if (const char* v = value("--samples=")) {
