@@ -11,6 +11,13 @@ get a loud "missing in current run" warning (a silently dropped benchmark
 is how a regression hides), which also fails the run under
 --fail_on_missing. Aggregate rows (mean/median/stddev repetitions) are
 ignored.
+
+Rows are matched by name *and* context — the run_type plus the set of user
+counters the benchmark reports. Two different benchmarks can share a name
+across files (e.g. a service-throughput row vs an evaluator row); when the
+contexts disagree the pair is reported as CONTEXT MISMATCH and excluded
+from the delta, instead of silently diffing apples against oranges.
+Context mismatches fail the run under --fail_on_missing.
 """
 
 import argparse
@@ -20,9 +27,24 @@ import sys
 # google-benchmark stamps every entry with its time_unit; normalize to ns.
 _UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# Keys google-benchmark itself writes on every entry. Anything else at the
+# top level of an entry is a user counter and part of the row's context.
+_STANDARD_KEYS = frozenset([
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+    "label", "error_occurred", "error_message",
+])
+
+
+def entry_context(bench):
+    """Context signature of one entry: (run_type, sorted counter names)."""
+    counters = tuple(sorted(k for k in bench if k not in _STANDARD_KEYS))
+    return (bench.get("run_type", "iteration"), counters)
+
 
 def load_cpu_times(path):
-    """Returns {benchmark name: cpu time in ns} for the JSON file at `path`.
+    """Returns {benchmark name: (cpu time in ns, context)} for `path`.
 
     Malformed entries (missing name/cpu_time — e.g. a run interrupted
     mid-write or an error entry) are skipped with a warning rather than
@@ -49,8 +71,19 @@ def load_cpu_times(path):
                 path, name, cpu_time), file=sys.stderr)
             continue
         unit = _UNIT_TO_NS.get(bench.get("time_unit", "ns"), 1.0)
-        times[name] = cpu_ns * unit
+        context = entry_context(bench)
+        if name in times and times[name][1] != context:
+            print("warning: %s: duplicate benchmark name %s with a "
+                  "different counter signature; keeping the first entry" % (
+                      path, name), file=sys.stderr)
+            continue
+        times[name] = (cpu_ns * unit, context)
     return times
+
+
+def describe_context(context):
+    run_type, counters = context
+    return "%s[%s]" % (run_type, ",".join(counters) if counters else "-")
 
 
 def fmt_ns(ns):
@@ -72,7 +105,8 @@ def main(argv):
     parser.add_argument(
         "--fail_on_missing", action="store_true",
         help="exit nonzero when a baseline benchmark is missing from the "
-             "current run (default: warn only)")
+             "current run or matches only with a different counter "
+             "signature (default: warn only)")
     args = parser.parse_args(argv)
 
     base = load_cpu_times(args.baseline)
@@ -83,23 +117,32 @@ def main(argv):
         width, "benchmark", "baseline", "current", "delta"))
     regressions = []
     missing = []
+    mismatched = []
     for name in sorted(set(base) | set(cur)):
         if name not in base:
             print("%-*s  %14s  %14s  added" % (
-                width, name, "-", fmt_ns(cur[name])))
+                width, name, "-", fmt_ns(cur[name][0])))
             continue
         if name not in cur:
             print("%-*s  %14s  %14s  MISSING IN CURRENT RUN" % (
-                width, name, fmt_ns(base[name]), "-"))
+                width, name, fmt_ns(base[name][0]), "-"))
             missing.append(name)
             continue
-        delta = (cur[name] - base[name]) / base[name] if base[name] else 0.0
+        base_ns, base_ctx = base[name]
+        cur_ns, cur_ctx = cur[name]
+        if base_ctx != cur_ctx:
+            print("%-*s  %14s  %14s  CONTEXT MISMATCH (%s vs %s)" % (
+                width, name, fmt_ns(base_ns), fmt_ns(cur_ns),
+                describe_context(base_ctx), describe_context(cur_ctx)))
+            mismatched.append(name)
+            continue
+        delta = (cur_ns - base_ns) / base_ns if base_ns else 0.0
         flag = ""
         if delta > args.threshold:
             flag = "  REGRESSION"
             regressions.append((name, delta))
         print("%-*s  %14s  %14s  %+6.1f%%%s" % (
-            width, name, fmt_ns(base[name]), fmt_ns(cur[name]),
+            width, name, fmt_ns(base_ns), fmt_ns(cur_ns),
             100.0 * delta, flag))
 
     if missing:
@@ -110,6 +153,15 @@ def main(argv):
         for name in missing:
             print("  %s" % name, file=sys.stderr)
 
+    if mismatched:
+        print()
+        print("warning: %d benchmark(s) matched by name but not by "
+              "run_type/counter signature (different benchmark under the "
+              "same name — not compared):" % len(mismatched),
+              file=sys.stderr)
+        for name in mismatched:
+            print("  %s" % name, file=sys.stderr)
+
     if regressions:
         print()
         print("%d benchmark(s) regressed by more than %.0f%% CPU time:" % (
@@ -117,7 +169,7 @@ def main(argv):
         for name, delta in regressions:
             print("  %s  (+%.1f%%)" % (name, 100.0 * delta))
         return 1
-    if missing and args.fail_on_missing:
+    if (missing or mismatched) and args.fail_on_missing:
         return 1
     return 0
 

@@ -1,16 +1,28 @@
 #include "core/database.h"
 
+#include <mutex>
+
 #include "util/status.h"
 
 namespace incdb {
 
 namespace {
 const Relation& EmptyRelation(size_t arity) {
-  // Shared immutable empties, one per arity ever requested.
+  // Shared immutable empties, one per arity ever requested. Mutex-guarded:
+  // concurrent readers (service sessions) may race to create an arity's
+  // entry. Map node stability keeps returned references valid across later
+  // insertions; the lazy caches are forced at creation so readers of the
+  // shared empty never build them.
+  static std::mutex* mu = new std::mutex;
   static std::map<size_t, Relation>* empties = new std::map<size_t, Relation>;
+  std::lock_guard<std::mutex> lock(*mu);
   auto it = empties->find(arity);
   if (it == empties->end()) {
     it = empties->emplace(arity, Relation(arity)).first;
+    it->second.tuples();
+    it->second.HashIndex();
+    it->second.Columnar();
+    it->second.IsComplete();
   }
   return it->second;
 }

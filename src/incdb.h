@@ -24,6 +24,8 @@
 //   exchange/ — st-tgd schema mappings and the naïve chase
 //   repr/     — certainty as object (glb) and as knowledge (theory), domain
 //               laws of the paper's abstract representation systems
+//   service/  — long-running multi-session query service: versioned
+//               database snapshots, prepared-plan cache, admission control
 //   workload/ — deterministic workload generators (naïve and c-table)
 //   testing/  — differential fuzzing harness: random plan generator,
 //               multi-configuration oracle, case shrinking, .inc corpus
@@ -80,6 +82,9 @@
 #include "sql/aggregate_bounds.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
+#include "service/plan_cache.h"
+#include "service/service.h"
+#include "service/snapshot.h"
 #include "sql/rewrite.h"
 #include "sql/to_algebra.h"
 #include "testing/corpus.h"

@@ -1,0 +1,65 @@
+#include "service/snapshot.h"
+
+#include <utility>
+
+namespace incdb {
+
+namespace {
+
+// Forces the lazy per-relation caches that query evaluation touches, so
+// every later accessor call from a reader session is a pure lookup.
+// Untouched relations share already-built caches with the previous
+// snapshot, so forcing them is a no-op (EnsureCanonical sees a clean copy,
+// HashIndex/Columnar see a non-null shared snapshot).
+void ForceRelation(const Relation& rel) {
+  rel.tuples();
+  rel.HashIndex();
+  rel.Columnar();
+  rel.IsComplete();
+}
+
+}  // namespace
+
+std::shared_ptr<const DatabaseSnapshot> DatabaseSnapshot::Make(
+    Database db, uint64_t version,
+    const std::shared_ptr<const DatabaseSnapshot>& prev) {
+  std::shared_ptr<DatabaseSnapshot> snap(
+      new DatabaseSnapshot(std::move(db), version));
+  for (const auto& [name, rel] : snap->db_.relations()) ForceRelation(rel);
+
+  if (prev == nullptr) {
+    // Seed snapshot: nothing to diff against; whole-database dependents
+    // computed on it are valid until the first real change.
+    snap->any_changed_ = version;
+    return snap;
+  }
+
+  snap->last_changed_ = prev->last_changed_;
+  snap->any_changed_ = prev->any_changed_;
+  bool changed_any = false;
+  for (const auto& [name, rel] : snap->db_.relations()) {
+    const Relation& old = prev->db().GetRelation(name);
+    const bool unchanged =
+        rel.SharesStorageWith(old) || (rel.empty() && old.empty());
+    if (!unchanged) {
+      snap->last_changed_[name] = version;
+      changed_any = true;
+    }
+  }
+  // Relations present before but dropped (or absent) now changed too.
+  for (const auto& [name, old] : prev->db().relations()) {
+    if (!snap->db_.HasRelation(name) && !old.empty()) {
+      snap->last_changed_[name] = version;
+      changed_any = true;
+    }
+  }
+  if (changed_any) snap->any_changed_ = version;
+  return snap;
+}
+
+uint64_t DatabaseSnapshot::LastChanged(const std::string& name) const {
+  auto it = last_changed_.find(name);
+  return it == last_changed_.end() ? 0 : it->second;
+}
+
+}  // namespace incdb

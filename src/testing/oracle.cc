@@ -15,6 +15,7 @@
 #include "ctables/ctable.h"
 #include "ctables/ctable_algebra.h"
 #include "engine/query_engine.h"
+#include "service/service.h"
 
 namespace incdb {
 namespace {
@@ -240,6 +241,49 @@ OracleReport CheckCase(const RAExprPtr& plan, const Database& db,
                                   DescribeSides(*certain_cwa,
                                                 resp->relation));
     }
+  }
+
+  // --- Service path: a shared IncDbService session must agree with the
+  // direct drivers — on the cold run, and again from the plan cache (the
+  // repeated identical request must be served as a hit). ---
+  if (options.check_service && (certain_cwa || possible)) {
+    IncDbService service{Database(db)};
+    Session session = service.OpenSession();
+    auto check_service = [&](const char* what, AnswerNotion notion,
+                             const std::optional<Relation>& reference) {
+      if (!reference) return;
+      QueryRequest req;
+      req.input = QueryInput::Ra(plan);
+      req.notion = notion;
+      req.semantics = WorldSemantics::kClosedWorld;
+      req.world_options = world_opts;
+      req.eval.num_threads = options.num_threads;
+      for (const bool expect_hit : {false, true}) {
+        Result<ServiceResponse> resp = session.Run(req);
+        ++report.configs_run;
+        if (!resp.ok()) {
+          report.violations.push_back(std::string("service(") + what +
+                                      ") failed: " +
+                                      resp.status().ToString());
+          return;
+        }
+        if (resp->cache_hit != expect_hit) {
+          report.violations.push_back(
+              std::string("service(") + what +
+              (expect_hit ? "): repeated query missed the plan cache"
+                          : "): cold query reported a cache hit"));
+        }
+        if (resp->response.relation != *reference) {
+          report.violations.push_back(
+              std::string("service(") + what +
+              (expect_hit ? ", cached)" : ", cold)") + " differs: " +
+              DescribeSides(*reference, resp->response.relation));
+          return;
+        }
+      }
+    };
+    check_service("kCertainEnum", AnswerNotion::kCertainEnum, certain_cwa);
+    check_service("kPossible", AnswerNotion::kPossible, possible);
   }
 
   // --- C-table-native backend: must be bit-identical to enumeration. ---

@@ -9,6 +9,9 @@
 //  * PossibleAnswersEnum across the same matrix.
 //  * QueryEngine::Run(kCertainEnum) against the direct driver (facade
 //    faithfulness).
+//  * service path: the same request through a shared IncDbService session
+//    (service/service.h) — certain and possible answers must match the
+//    direct drivers, on the cold run and again from the plan cache.
 //  * CertainAnswersNaive == CertainAnswersEnum whenever
 //    NaiveEvaluationWorks(plan, semantics) — equation (4): naïve evaluation
 //    computes certain answers on UCQ/OWA and Pos∀G(=RA_cwa)/CWA.
@@ -73,6 +76,10 @@ struct OracleOptions {
   bool check_sampling = true;
   /// Monte-Carlo samples per forced-sampling configuration.
   uint64_t sampling_samples = 1'000;
+  /// Route the case through a shared IncDbService session (service/) and
+  /// cross-check against the direct QueryEngine path — both the cold run
+  /// and the plan-cache hit the repeated query must be served from.
+  bool check_service = true;
   /// Test hook: corrupt the result of one non-reference configuration by
   /// injecting a bogus tuple, so the harness's catch-and-shrink path can be
   /// exercised without actually breaking a kernel. 0 = off.

@@ -44,6 +44,8 @@ void Usage() {
                "possible backend cross-check\n"
                "  --no_vectorize      skip the batch-vectorized columnar "
                "configurations\n"
+               "  --no_service        skip the IncDbService session "
+               "cross-check\n"
                "  --no_check_sampling skip the probabilistic-notion "
                "cross-check\n"
                "  --samples=N         Monte-Carlo samples per sampling "
@@ -130,6 +132,8 @@ int main(int argc, char** argv) {
       config.oracle.check_ctable_backend = false;
     } else if (arg == "--no_vectorize") {
       config.oracle.check_vectorized = false;
+    } else if (arg == "--no_service") {
+      config.oracle.check_service = false;
     } else if (arg == "--no_check_sampling") {
       config.oracle.check_sampling = false;
     } else if (const char* v = value("--samples=")) {

@@ -1,0 +1,319 @@
+// service_driver — many-client load driver for incdb_serve.
+//
+//   service_driver --port=7433 --clients=16 --seconds=60
+//
+// Each client opens its own connection (= session), cycles through a query
+// mix (defaults target the serve demo database; override with repeated
+// --query= / --sql= flags), optionally interleaves ingestion batches, and
+// validates every response against the protocol grammar. Reports
+// throughput and latency percentiles.
+//
+// Exit status: 0 = clean run (admission-control rejections are protocol-
+// conformant and only counted), 1 = protocol violation / connection
+// failure / server-side error, 2 = bad usage.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: service_driver --port=N [options]\n"
+               "  --host=ADDR         server address (default 127.0.0.1)\n"
+               "  --clients=N         concurrent client connections "
+               "(default 16)\n"
+               "  --seconds=S         run duration (default 10)\n"
+               "  --requests=N        per-client request cap (default 0 = "
+               "until --seconds)\n"
+               "  --ingest_every=K    every K-th request of each client is "
+               "an ingest batch (default 0 = never)\n"
+               "  --query=RA          add an RA query to the mix "
+               "(repeatable; replaces the default demo mix)\n"
+               "  --sql=SQL           add a SQL query to the mix "
+               "(repeatable)\n");
+}
+
+// One entry of the workload mix: session-state lines to (re)send, then the
+// timed query line.
+struct WorkItem {
+  std::vector<std::string> setup;
+  std::string query;
+};
+
+std::vector<WorkItem> DemoMix() {
+  // Targets the incdb_serve --demo schema: Order(o_id, product),
+  // Pay(p_id, order_id, amount). The join is the paper's "products
+  // certainly paid for".
+  const std::string join = "proj{1}(sel[#0 = #3](Order x Pay))";
+  return {
+      {{"notion naive"}, "query proj{1}(Order)"},
+      {{"notion certain-enum", "backend enumeration"}, "query " + join},
+      {{"notion certain-enum", "backend ctable"}, "query " + join},
+      {{"notion possible", "backend enumeration"}, "query " + join},
+      {{"notion 3vl"}, "sql SELECT p_id FROM Pay WHERE amount > 50"},
+      {{"notion certain-probability", "threshold 0.5"},
+       "query " + join + " U proj{1}(Order)"},
+  };
+}
+
+struct ClientResult {
+  uint64_t queries = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies_ms;
+  std::string first_error;
+};
+
+class Connection {
+ public:
+  bool Open(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+           0;
+  }
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool SendLine(const std::string& line) {
+    std::string data = line + "\n";
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* out) {
+    out->clear();
+    for (;;) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // Reads one full response: any number of data lines then one terminator.
+  // Returns "ok ..." / "error ..." or "" on protocol violation.
+  std::string ReadResponse(std::string* violation) {
+    std::string line;
+    for (;;) {
+      if (!ReadLine(&line)) {
+        *violation = "connection closed mid-response";
+        return "";
+      }
+      if (line.rfind("| ", 0) == 0 || line.rfind("p ", 0) == 0) continue;
+      if (line.rfind("ok", 0) == 0 &&
+          (line.size() == 2 || line[2] == ' ')) {
+        return line;
+      }
+      if (line.rfind("error ", 0) == 0) return line;
+      *violation = "unparseable response line: " + line;
+      return "";
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct DriverConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int clients = 16;
+  double seconds = 10;
+  uint64_t requests = 0;
+  uint64_t ingest_every = 0;
+  std::vector<WorkItem> mix;
+};
+
+void RunClient(const DriverConfig& config, int client_id,
+               ClientResult* result) {
+  Connection conn;
+  if (!conn.Open(config.host, config.port)) {
+    result->errors = 1;
+    result->first_error = "connect failed";
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config.seconds));
+  std::string violation;
+  uint64_t sent = 0;
+  auto fail = [&](const std::string& why) {
+    ++result->errors;
+    if (result->first_error.empty()) result->first_error = why;
+  };
+  // Exchanges one line for one response; false stops the client.
+  auto exchange = [&](const std::string& line, std::string* terminator) {
+    if (!conn.SendLine(line)) {
+      fail("send failed");
+      return false;
+    }
+    *terminator = conn.ReadResponse(&violation);
+    if (terminator->empty()) {
+      fail(violation);
+      return false;
+    }
+    return true;
+  };
+
+  std::string term;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (config.requests == 0 || sent < config.requests)) {
+    const uint64_t n = sent++;
+    if (config.ingest_every > 0 && n > 0 && n % config.ingest_every == 0) {
+      // Complete tuples with client-unique ids: grows the instance without
+      // growing the null count (world spaces stay bounded).
+      const long long uid = 1000000 + 100000LL * client_id +
+                            static_cast<long long>(n);
+      if (!conn.SendLine("ingest 1")) return fail("send failed");
+      if (!conn.SendLine("Pay " + std::to_string(uid) + " 1 55")) {
+        return fail("send failed");
+      }
+      term = conn.ReadResponse(&violation);
+      if (term.empty()) return fail(violation);
+      if (term.rfind("error ", 0) == 0) return fail("ingest: " + term);
+      continue;
+    }
+    const WorkItem& item = config.mix[n % config.mix.size()];
+    for (const std::string& setup : item.setup) {
+      if (!exchange(setup, &term)) return;
+      if (term.rfind("error ", 0) == 0) return fail("setup: " + term);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    if (!exchange(item.query, &term)) return;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (term.rfind("ok", 0) == 0) {
+      ++result->queries;
+      result->latencies_ms.push_back(ms);
+    } else if (term.find("RESOURCE_EXHAUSTED") != std::string::npos) {
+      ++result->rejected;  // admission control working as specified
+    } else {
+      return fail("query: " + term);
+    }
+  }
+  conn.SendLine("quit");
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  const size_t idx = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted->size())));
+  return (*sorted)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DriverConfig config;
+  std::vector<WorkItem> custom_mix;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--host=")) {
+      config.host = v;
+    } else if (const char* v = value("--port=")) {
+      config.port = std::atoi(v);
+    } else if (const char* v = value("--clients=")) {
+      config.clients = std::atoi(v);
+    } else if (const char* v = value("--seconds=")) {
+      config.seconds = std::atof(v);
+    } else if (const char* v = value("--requests=")) {
+      config.requests = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--ingest_every=")) {
+      config.ingest_every = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--query=")) {
+      custom_mix.push_back({{}, std::string("query ") + v});
+    } else if (const char* v = value("--sql=")) {
+      custom_mix.push_back({{}, std::string("sql ") + v});
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(), 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(), 2;
+    }
+  }
+  if (config.port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return Usage(), 2;
+  }
+  config.mix = custom_mix.empty() ? DemoMix() : std::move(custom_mix);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ClientResult> results(
+      static_cast<size_t>(std::max(1, config.clients)));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < std::max(1, config.clients); ++c) {
+    threads.emplace_back(RunClient, std::cref(config), c, &results[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  uint64_t queries = 0, rejected = 0, errors = 0;
+  std::vector<double> latencies;
+  std::string first_error;
+  for (const ClientResult& r : results) {
+    queries += r.queries;
+    rejected += r.rejected;
+    errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    if (first_error.empty()) first_error = r.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  std::printf("clients:    %d\n", config.clients);
+  std::printf("queries:    %llu (%.0f/s)\n",
+              static_cast<unsigned long long>(queries),
+              elapsed > 0 ? static_cast<double>(queries) / elapsed : 0.0);
+  std::printf("rejected:   %llu\n", static_cast<unsigned long long>(rejected));
+  std::printf("errors:     %llu\n", static_cast<unsigned long long>(errors));
+  std::printf("latency ms: p50=%.3f p90=%.3f p99=%.3f\n",
+              Percentile(&latencies, 0.50), Percentile(&latencies, 0.90),
+              Percentile(&latencies, 0.99));
+  if (errors > 0) {
+    std::printf("first error: %s\n", first_error.c_str());
+    return 1;
+  }
+  return 0;
+}
